@@ -1,0 +1,87 @@
+//! Ablation (§3.5 "Why not a multi-level tree?"): single-level sparse
+//! index vs a hypothetical two-level tree, across HDFS block sizes.
+//!
+//! The paper's argument: a root-directory read costs
+//! `seek + size/transfer_rate`; a two-level access costs an extra seek.
+//! The single level loses only once the root exceeds
+//! `transfer_rate × seek` ≈ 500 KB — i.e. ≈5 GB blocks. We recompute
+//! the crossover from the hardware profile and verify it empirically
+//! with real index structures.
+
+use hail_bench::Report;
+use hail_index::ClusteredIndex;
+use hail_sim::HardwareProfile;
+use hail_types::{DataType, Value};
+
+/// Index root size for a block of `block_bytes` with 10 fixed-size
+/// attributes (the paper's running example: 4 B values, 1,024-value
+/// partitions, one 4 B entry per partition).
+fn root_bytes(block_bytes: f64) -> f64 {
+    let per_attr = block_bytes / 10.0;
+    let values = per_attr / 4.0;
+    (values / 1024.0) * 4.0
+}
+
+fn main() {
+    let hw = HardwareProfile::physical();
+    let rate = hw.disk_read_mb_s * 1e6; // B/s
+    let mut report = Report::new(
+        "Ablation: index levels",
+        "Index access time, single-level vs two-level",
+        "ms",
+    );
+
+    let mut crossover_gb = None;
+    for gb_tenths in [1u64, 5, 10, 20, 50, 80, 120] {
+        let block = gb_tenths as f64 * 0.1 * 1e9;
+        let single = hw.seek_s + root_bytes(block) / rate;
+        // Two-level: read a small root (fits a page), seek, read one
+        // second-level node (also small).
+        let two_level = 2.0 * hw.seek_s + 2.0 * 4096.0 / rate;
+        report.row(
+            format!("block {:.1} GB single-level", block / 1e9),
+            None,
+            single * 1e3,
+        );
+        report.row(
+            format!("block {:.1} GB two-level", block / 1e9),
+            None,
+            two_level * 1e3,
+        );
+        if single > two_level && crossover_gb.is_none() {
+            crossover_gb = Some(block / 1e9);
+        }
+    }
+
+    // The paper's closed form: root may grow to transfer_rate × seek
+    // before a second level pays; that is ~500 KB → ~5 GB blocks at
+    // 100 MB/s and 5 ms.
+    let max_root = rate * hw.seek_s;
+    let crossover_block = max_root * 1024.0 / 4.0 * 4.0 * 10.0;
+    report.note(format!(
+        "analytic max single-level root: {:.0} KB → crossover at {:.1} GB blocks (paper: ~500 KB / ~5 GB)",
+        max_root / 1e3,
+        crossover_block / 1e9
+    ));
+    let cross = crossover_gb.expect("a crossover must exist in the sweep");
+    assert!(
+        (2.0..10.0).contains(&cross),
+        "crossover at {cross:.1} GB should be in single-digit GB (paper: ~5 GB)"
+    );
+    assert!(
+        (200e3..1e6).contains(&max_root),
+        "max root {max_root:.0} B should be ~500 KB"
+    );
+
+    // Empirical sanity: a real index over a 64 MB-equivalent block stays
+    // tiny (the paper's "typically a few KB").
+    let keys: Vec<Value> = (0..1_600_000).map(Value::Int).collect();
+    let idx = ClusteredIndex::build(0, DataType::Int, 1024, &keys).unwrap();
+    report.note(format!(
+        "real index over 1.6M keys: {} bytes ({} partitions)",
+        idx.byte_len(),
+        idx.partition_count()
+    ));
+    assert!(idx.byte_len() < 16 * 1024);
+    report.print();
+}

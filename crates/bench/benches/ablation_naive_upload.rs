@@ -1,0 +1,62 @@
+//! Ablation (§3.1): the naive two-pass upload the paper's first
+//! prototype used — store text like HDFS, then re-read and re-write
+//! every replica to index it — vs the streaming HAIL pipeline.
+//!
+//! Paper anecdote: for a 100 GB input the naive approach pays 600 GB of
+//! extra cluster I/O; "this lead to very long upload times".
+
+use hail_bench::{uv_testbed, ExperimentScale, Report};
+use hail_core::{upload_hail, upload_hail_naive, upload_seconds};
+use hail_dfs::DfsCluster;
+use hail_index::ReplicaIndexConfig;
+use hail_sim::HardwareProfile;
+
+fn main() {
+    let scale = ExperimentScale::upload(10, 5000);
+    let tb = uv_testbed(scale, HardwareProfile::physical());
+    let config = ReplicaIndexConfig::first_indexed(3, &[2, 0, 3]);
+
+    let mut streaming = DfsCluster::new(tb.scale.nodes, tb.storage.clone());
+    upload_hail(&mut streaming, &tb.schema, "uv", &tb.texts, &config).expect("streaming upload");
+    let t_stream = upload_seconds(&streaming, &tb.spec);
+    let io_stream: u64 = streaming
+        .upload_ledgers()
+        .iter()
+        .map(|l| l.disk_read + l.disk_write)
+        .sum();
+
+    let mut naive = DfsCluster::new(tb.scale.nodes, tb.storage.clone());
+    upload_hail_naive(&mut naive, &tb.schema, "uv", &tb.texts, &config).expect("naive upload");
+    let t_naive = upload_seconds(&naive, &tb.spec);
+    let io_naive: u64 = naive
+        .upload_ledgers()
+        .iter()
+        .map(|l| l.disk_read + l.disk_write)
+        .sum();
+
+    let mut report = Report::new(
+        "Ablation: naive two-pass upload",
+        "Streaming HAIL pipeline vs store-then-convert",
+        "simulated s",
+    );
+    report.row("HAIL streaming", None, t_stream);
+    report.row("HAIL naive two-pass", None, t_naive);
+
+    let input_bytes: u64 = tb.texts.iter().map(|(_, t)| t.len() as u64).sum();
+    let extra_io = io_naive.saturating_sub(io_stream);
+    report.note(format!(
+        "extra cluster disk I/O: {:.1}x the input size (paper: 6x for replication 3 — one extra read + one extra write per replica)",
+        extra_io as f64 / input_bytes as f64
+    ));
+    report.note(format!(
+        "slowdown of the naive pipeline: {:.2}x",
+        t_naive / t_stream
+    ));
+
+    assert!(t_naive > 1.5 * t_stream, "naive must be much slower");
+    assert!(
+        extra_io as f64 > 3.0 * input_bytes as f64,
+        "naive pays several times the input in extra I/O"
+    );
+    report.print();
+}

@@ -1,0 +1,65 @@
+//! Fig. 4(a): upload time for UserVisits while varying the number of
+//! created indexes (0–3 for HAIL, 0–1 for Hadoop++, none for Hadoop).
+//!
+//! Paper shape: HAIL-0 ≈ Hadoop (+2 %); HAIL-3 ≤ +14 %; Hadoop++ is
+//! 5.1×/7.3× slower than HAIL.
+
+use hail_bench::{paper, setup_hadoop, setup_hail, setup_hpp, uv_testbed, ExperimentScale, Report};
+use hail_sim::HardwareProfile;
+
+fn main() {
+    let scale = ExperimentScale::upload(10, 6000);
+    let tb = uv_testbed(scale, HardwareProfile::physical());
+    let mut report = Report::new(
+        "Fig. 4(a)",
+        "Upload time, UserVisits, 10-node physical cluster",
+        "simulated s",
+    );
+
+    let hadoop = setup_hadoop(&tb).expect("hadoop upload");
+    report.row("Hadoop", Some(paper::fig4a::HADOOP), hadoop.upload_seconds);
+
+    // Bob's index columns: visitDate (@3), sourceIP (@1), adRevenue (@4).
+    let index_cols = [2usize, 0, 3];
+    for n in 0..=3usize {
+        let hail = setup_hail(&tb, &index_cols[..n]).expect("hail upload");
+        report.row(
+            format!("HAIL {n} idx"),
+            Some(paper::fig4a::HAIL[n]),
+            hail.upload_seconds,
+        );
+    }
+
+    for (n, key) in [(0usize, None), (1, Some(0usize))] {
+        let (hpp, _) = setup_hpp(&tb, key).expect("hadoop++ upload");
+        report.row(
+            format!("Hadoop++ {n} idx"),
+            Some(paper::fig4a::HADOOP_PP[n]),
+            hpp.upload_seconds,
+        );
+    }
+
+    report.note(format!(
+        "materialized {} nodes x {} rows, {} blocks/node, scale factor {:.0}x",
+        scale.nodes, scale.rows_per_node, scale.blocks_per_node, tb.spec.scale.0
+    ));
+
+    // Shape assertions (who wins, roughly by how much).
+    let h = report.rows[0].measured;
+    let hail0 = report.rows[1].measured;
+    let hail3 = report.rows[4].measured;
+    let hpp1 = report.rows[6].measured;
+    assert!(
+        (hail0 / h) < 1.25,
+        "HAIL-0 should be close to Hadoop: {hail0:.0} vs {h:.0}"
+    );
+    assert!(
+        (hail3 / h) < 1.45,
+        "HAIL-3 overhead should stay modest: {hail3:.0} vs {h:.0}"
+    );
+    assert!(
+        hpp1 / hail3 > 2.0,
+        "Hadoop++ must be much slower than HAIL: {hpp1:.0} vs {hail3:.0}"
+    );
+    report.print();
+}

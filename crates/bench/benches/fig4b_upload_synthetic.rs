@@ -1,0 +1,64 @@
+//! Fig. 4(b): upload time for Synthetic (19 INT attributes) while
+//! varying the number of created indexes.
+//!
+//! Paper shape: binary PAX shrinks the integer-heavy data so much that
+//! HAIL beats Hadoop by ≈1.6× even while creating three indexes;
+//! Hadoop++ is 5.2×/8.2× slower than HAIL.
+
+use hail_bench::{
+    paper, setup_hadoop, setup_hail, setup_hpp, syn_testbed, ExperimentScale, Report,
+};
+use hail_sim::HardwareProfile;
+
+fn main() {
+    let scale = ExperimentScale::upload(10, 8000)
+        .with_blocks_per_node(hail_bench::setup::SYN_BLOCKS_PER_NODE);
+    let tb = syn_testbed(scale, HardwareProfile::physical());
+    let mut report = Report::new(
+        "Fig. 4(b)",
+        "Upload time, Synthetic, 10-node physical cluster",
+        "simulated s",
+    );
+
+    let hadoop = setup_hadoop(&tb).expect("hadoop upload");
+    report.row("Hadoop", Some(paper::fig4b::HADOOP), hadoop.upload_seconds);
+
+    for n in 0..=3usize {
+        let cols: Vec<usize> = (0..n).collect();
+        let hail = setup_hail(&tb, &cols).expect("hail upload");
+        report.row(
+            format!("HAIL {n} idx"),
+            Some(paper::fig4b::HAIL[n]),
+            hail.upload_seconds,
+        );
+    }
+
+    for (n, key) in [(0usize, None), (1, Some(0usize))] {
+        let (hpp, _) = setup_hpp(&tb, key).expect("hadoop++ upload");
+        report.row(
+            format!("Hadoop++ {n} idx"),
+            Some(paper::fig4b::HADOOP_PP[n]),
+            hpp.upload_seconds,
+        );
+    }
+
+    report.note(format!(
+        "materialized {} nodes x {} rows, scale factor {:.0}x",
+        scale.nodes, scale.rows_per_node, tb.spec.scale.0
+    ));
+
+    let h = report.rows[0].measured;
+    let hail3 = report.rows[4].measured;
+    let hpp0 = report.rows[5].measured;
+    assert!(
+        hail3 < h,
+        "HAIL with 3 indexes must beat Hadoop on integer data: {hail3:.0} vs {h:.0}"
+    );
+    assert!(
+        h / hail3 > 1.2,
+        "binary shrink should give a clear win: {:.2}x",
+        h / hail3
+    );
+    assert!(hpp0 > 2.0 * hail3, "Hadoop++ much slower: {hpp0:.0}");
+    report.print();
+}

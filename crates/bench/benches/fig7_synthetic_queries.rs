@@ -1,0 +1,118 @@
+//! Fig. 7 (and Table 1): the Synthetic query workload with HailSplitting
+//! disabled — (a) end-to-end runtimes, (b) record-reader times across
+//! selectivity × projectivity, (c) framework overhead.
+//!
+//! All six queries filter on the same attribute (@1), so HAIL cannot
+//! benefit from having *different* indexes — the setup isolates the
+//! effect of selectivity. Hadoop++ also indexes @1.
+//!
+//! Paper shape: end-to-end times are flat (overhead-dominated) for all
+//! systems; record-reader times fall with selectivity and projectivity;
+//! Hadoop++ slightly beats HAIL on the very selective Q2* because tuple
+//! reconstruction from PAX pays random I/O that its row layout avoids.
+
+use hail_bench::{
+    paper, run_query, setup_hadoop, setup_hail, setup_hpp, syn_testbed, ExperimentScale, Report,
+};
+use hail_sim::HardwareProfile;
+use hail_workloads::synthetic_queries;
+
+fn main() {
+    let scale = ExperimentScale::query(10, 15_000)
+        .with_blocks_per_node(hail_bench::setup::SYN_BLOCKS_PER_NODE);
+    let tb = syn_testbed(scale, HardwareProfile::physical());
+
+    let hadoop = setup_hadoop(&tb).expect("hadoop setup");
+    let (hpp, _) = setup_hpp(&tb, Some(0)).expect("hadoop++ setup");
+    let hail = setup_hail(&tb, &[0, 1, 2]).expect("hail setup");
+
+    // Print Table 1 first (the workload definition).
+    let mut table1 = Report::new("Table 1", "Synthetic queries", "selectivity");
+    for spec in synthetic_queries() {
+        let q = spec.to_query(&tb.schema).unwrap();
+        table1.row(
+            format!(
+                "{} ({} attrs projected)",
+                spec.id,
+                q.projected_columns(&tb.schema).len()
+            ),
+            Some(spec.paper_selectivity),
+            spec.paper_selectivity,
+        );
+    }
+    table1.print();
+
+    let mut e2e = Report::new("Fig. 7(a)", "End-to-end job runtime, Synthetic", "simulated s");
+    let mut rr = Report::new("Fig. 7(b)", "Average record-reader time, Synthetic", "simulated ms");
+    let mut overhead = Report::new("Fig. 7(c)", "Framework overhead, Synthetic", "simulated s");
+
+    let mut hail_rr = Vec::new();
+    for (qi, spec) in synthetic_queries().iter().enumerate() {
+        let q = spec.to_query(&tb.schema).expect(spec.id);
+        let rh = run_query(&hadoop, &tb.spec, &q, false).expect(spec.id);
+        let rp = run_query(&hpp, &tb.spec, &q, false).expect(spec.id);
+        let ra = run_query(&hail, &tb.spec, &q, false).expect(spec.id);
+
+        let norm = |rows: &[hail_types::Row]| {
+            let mut v: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&rh.output), norm(&ra.output), "{} diverges", spec.id);
+        assert_eq!(norm(&rh.output), norm(&rp.output), "{} diverges", spec.id);
+
+        e2e.row(
+            format!("{} Hadoop", spec.id),
+            Some(paper::fig7a::HADOOP[qi]),
+            rh.report.end_to_end_seconds,
+        );
+        e2e.row(
+            format!("{} Hadoop++", spec.id),
+            Some(paper::fig7a::HADOOP_PP[qi]),
+            rp.report.end_to_end_seconds,
+        );
+        e2e.row(
+            format!("{} HAIL", spec.id),
+            Some(paper::fig7a::HAIL[qi]),
+            ra.report.end_to_end_seconds,
+        );
+
+        rr.row(
+            format!("{} Hadoop", spec.id),
+            Some(paper::fig7b::HADOOP[qi]),
+            rh.report.avg_reader_seconds() * 1e3,
+        );
+        rr.row(
+            format!("{} Hadoop++", spec.id),
+            Some(paper::fig7b::HADOOP_PP[qi]),
+            rp.report.avg_reader_seconds() * 1e3,
+        );
+        rr.row(
+            format!("{} HAIL", spec.id),
+            Some(paper::fig7b::HAIL[qi]),
+            ra.report.avg_reader_seconds() * 1e3,
+        );
+        hail_rr.push(ra.report.avg_reader_seconds());
+
+        overhead.row(format!("{} Hadoop", spec.id), None, rh.report.overhead_seconds());
+        overhead.row(format!("{} Hadoop++", spec.id), None, rp.report.overhead_seconds());
+        overhead.row(format!("{} HAIL", spec.id), None, ra.report.overhead_seconds());
+
+        // Index scans beat full scans at the reader level.
+        assert!(
+            ra.report.avg_reader_seconds() < rh.report.avg_reader_seconds(),
+            "{}: HAIL RR must beat Hadoop RR",
+            spec.id
+        );
+    }
+
+    // Selectivity shape: Q2 (1%) readers are faster than Q1 (10%) at the
+    // same projectivity; projectivity shape: c < b < a within Q1.
+    assert!(hail_rr[3] < hail_rr[0], "Q2a < Q1a");
+    assert!(hail_rr[2] < hail_rr[1] && hail_rr[1] < hail_rr[0], "c < b < a");
+
+    e2e.note("all queries filter the same attribute; HailSplitting disabled");
+    e2e.print();
+    rr.print();
+    overhead.print();
+}

@@ -1,0 +1,94 @@
+//! Fig. 8: fault tolerance — kill a node after 50 % of work progress
+//! (expiry interval 30 s) and measure the slowdown
+//! `(T_f − T_b) / T_b × 100`.
+//!
+//! Systems: Hadoop; HAIL with three different indexes (a re-executed
+//! task may lose its matching index replica and fall back to scanning);
+//! HAIL-1Idx with the *same* index on all three replicas (re-executions
+//! keep index scans).
+//!
+//! Paper shape: Hadoop 10.3 %, HAIL 10.5 %, HAIL-1Idx 5.5 % — HAIL
+//! preserves Hadoop's failover behaviour, and the 1-index variant
+//! degrades less.
+
+use hail_bench::{
+    paper, run_query_with_failure, setup_hadoop, setup_hail, setup_hail_with_config, uv_testbed,
+    ExperimentScale, Report,
+};
+use hail_index::ReplicaIndexConfig;
+use hail_mr::FailureScenario;
+use hail_sim::HardwareProfile;
+use hail_workloads::bob_queries;
+
+fn main() {
+    let scale = ExperimentScale::query(10, 20_000);
+    let tb = uv_testbed(scale, HardwareProfile::physical());
+    let q1 = bob_queries()[0].to_query(&tb.schema).unwrap();
+    let scenario = FailureScenario::at_half(3);
+
+    let mut report = Report::new("Fig. 8", "Failover slowdown, Bob-Q1, node killed at 50%", "%");
+    let mut runtimes = Report::new("Fig. 8 runtimes", "Job runtime without failure", "simulated s");
+
+    // Hadoop.
+    let mut hadoop = setup_hadoop(&tb).expect("hadoop setup");
+    let rh = run_query_with_failure(&mut hadoop, &tb.spec, &q1, false, scenario).expect("hadoop");
+    report.row("Hadoop", Some(paper::fig8::HADOOP_SLOWDOWN), rh.slowdown_percent());
+    runtimes.row(
+        "Hadoop",
+        Some(paper::fig8::HADOOP_RUNTIME),
+        rh.baseline.end_to_end_seconds,
+    );
+
+    // HAIL with three different indexes.
+    let mut hail = setup_hail(&tb, &[2, 0, 3]).expect("hail setup");
+    let ra = run_query_with_failure(&mut hail, &tb.spec, &q1, false, scenario).expect("hail");
+    report.row("HAIL", Some(paper::fig8::HAIL_SLOWDOWN), ra.slowdown_percent());
+    runtimes.row("HAIL", Some(paper::fig8::HAIL_RUNTIME), ra.baseline.end_to_end_seconds);
+
+    // HAIL-1Idx: visitDate index on every replica.
+    let config = ReplicaIndexConfig::uniform(3, 2);
+    let mut hail1 = setup_hail_with_config(&tb, &config).expect("hail-1idx setup");
+    let r1 = run_query_with_failure(&mut hail1, &tb.spec, &q1, false, scenario).expect("hail1");
+    report.row(
+        "HAIL-1Idx",
+        Some(paper::fig8::HAIL_1IDX_SLOWDOWN),
+        r1.slowdown_percent(),
+    );
+    runtimes.row("HAIL-1Idx", None, r1.baseline.end_to_end_seconds);
+
+    // Shape assertions.
+    assert!(rh.slowdown_percent() > 0.0, "Hadoop must slow down");
+    assert!(ra.slowdown_percent() > 0.0, "HAIL must slow down");
+    assert!(
+        r1.slowdown_percent() <= ra.slowdown_percent() + 0.5,
+        "HAIL-1Idx ({:.1}%) should not degrade more than HAIL ({:.1}%)",
+        r1.slowdown_percent(),
+        ra.slowdown_percent()
+    );
+    // Fallbacks happened only where the matching index died.
+    let hail_fallbacks = ra
+        .with_failure
+        .tasks
+        .iter()
+        .filter(|t| t.rerun && t.stats.fell_back_to_scan)
+        .count();
+    let hail1_fallbacks = r1
+        .with_failure
+        .tasks
+        .iter()
+        .filter(|t| t.rerun && t.stats.fell_back_to_scan)
+        .count();
+    assert_eq!(
+        hail1_fallbacks, 0,
+        "HAIL-1Idx re-runs keep their index scans"
+    );
+    report.note(format!(
+        "HAIL reruns falling back to scan: {hail_fallbacks}; HAIL-1Idx: {hail1_fallbacks}"
+    ));
+    report.note(format!(
+        "reruns: Hadoop {}, HAIL {}, HAIL-1Idx {}",
+        rh.rerun_count, ra.rerun_count, r1.rerun_count
+    ));
+    report.print();
+    runtimes.print();
+}

@@ -1,0 +1,143 @@
+//! Fig. 9: the impact of the HailSplitting policy — (a) Bob queries,
+//! (b) Synthetic queries, (c) total workload runtimes.
+//!
+//! Identical setups to Fig. 6/7 but with HailSplitting **enabled** for
+//! HAIL: splits cover many blocks per index-holding datanode, shrinking
+//! 3,200 map tasks to ≈20 and eliminating the scheduling overhead that
+//! dominated Fig. 6(c)/7(c).
+//!
+//! Paper shape: HAIL ends up up to 68× faster than Hadoop on Bob's
+//! queries (26× on Synthetic); whole workloads run 39×/36× (Bob) and
+//! 9×/8× (Synthetic) faster than Hadoop/Hadoop++.
+
+use hail_bench::{
+    paper, run_query, setup_hadoop, setup_hail, setup_hpp, syn_testbed, uv_testbed,
+    ExperimentScale, Report,
+};
+use hail_sim::HardwareProfile;
+use hail_workloads::{bob_queries, synthetic_queries};
+
+fn main() {
+    // --- Bob / UserVisits ---
+    let tb = uv_testbed(ExperimentScale::query(10, 20_000), HardwareProfile::physical());
+    let hadoop = setup_hadoop(&tb).expect("hadoop");
+    let (hpp, _) = setup_hpp(&tb, Some(0)).expect("hadoop++");
+    let hail = setup_hail(&tb, &[2, 0, 3]).expect("hail");
+
+    let mut fig9a = Report::new(
+        "Fig. 9(a)",
+        "End-to-end runtime, Bob queries, HailSplitting on",
+        "simulated s",
+    );
+    let mut totals = [0.0f64; 3]; // Hadoop, H++, HAIL
+    let mut max_speedup: f64 = 0.0;
+    for (qi, spec) in bob_queries().iter().enumerate() {
+        let q = spec.to_query(&tb.schema).expect(spec.id);
+        let rh = run_query(&hadoop, &tb.spec, &q, false).expect(spec.id);
+        let rp = run_query(&hpp, &tb.spec, &q, false).expect(spec.id);
+        let ra = run_query(&hail, &tb.spec, &q, true).expect(spec.id);
+        assert_eq!(rh.output.len(), ra.output.len(), "{} diverges", spec.id);
+
+        fig9a.row(
+            format!("{} Hadoop", spec.id),
+            Some(paper::fig6a::HADOOP[qi]),
+            rh.report.end_to_end_seconds,
+        );
+        fig9a.row(
+            format!("{} Hadoop++", spec.id),
+            Some(paper::fig6a::HADOOP_PP[qi]),
+            rp.report.end_to_end_seconds,
+        );
+        fig9a.row(
+            format!("{} HAIL+split ({} tasks)", spec.id, ra.report.task_count()),
+            Some(paper::fig9::BOB_HAIL[qi]),
+            ra.report.end_to_end_seconds,
+        );
+        totals[0] += rh.report.end_to_end_seconds;
+        totals[1] += rp.report.end_to_end_seconds;
+        totals[2] += ra.report.end_to_end_seconds;
+        max_speedup =
+            max_speedup.max(rh.report.end_to_end_seconds / ra.report.end_to_end_seconds);
+        assert!(
+            ra.report.task_count() * 4 < rh.report.task_count(),
+            "{}: HailSplitting must collapse the task count",
+            spec.id
+        );
+    }
+    fig9a.note(format!(
+        "max end-to-end speedup vs Hadoop: {max_speedup:.0}x (paper: up to 68x)"
+    ));
+    assert!(
+        max_speedup > 8.0,
+        "HailSplitting should give an order-of-magnitude win, got {max_speedup:.1}x"
+    );
+    fig9a.print();
+
+    // --- Synthetic ---
+    let tbs = syn_testbed(
+        ExperimentScale::query(10, 15_000).with_blocks_per_node(hail_bench::setup::SYN_BLOCKS_PER_NODE),
+        HardwareProfile::physical(),
+    );
+    let hadoop_s = setup_hadoop(&tbs).expect("hadoop syn");
+    let (hpp_s, _) = setup_hpp(&tbs, Some(0)).expect("hadoop++ syn");
+    let hail_s = setup_hail(&tbs, &[0, 1, 2]).expect("hail syn");
+
+    let mut fig9b = Report::new(
+        "Fig. 9(b)",
+        "End-to-end runtime, Synthetic queries, HailSplitting on",
+        "simulated s",
+    );
+    let mut totals_syn = [0.0f64; 3];
+    for (qi, spec) in synthetic_queries().iter().enumerate() {
+        let q = spec.to_query(&tbs.schema).expect(spec.id);
+        let rh = run_query(&hadoop_s, &tbs.spec, &q, false).expect(spec.id);
+        let rp = run_query(&hpp_s, &tbs.spec, &q, false).expect(spec.id);
+        let ra = run_query(&hail_s, &tbs.spec, &q, true).expect(spec.id);
+
+        fig9b.row(
+            format!("{} Hadoop", spec.id),
+            Some(paper::fig7a::HADOOP[qi]),
+            rh.report.end_to_end_seconds,
+        );
+        fig9b.row(
+            format!("{} Hadoop++", spec.id),
+            Some(paper::fig7a::HADOOP_PP[qi]),
+            rp.report.end_to_end_seconds,
+        );
+        fig9b.row(
+            format!("{} HAIL+split", spec.id),
+            Some(paper::fig9::SYN_HAIL[qi]),
+            ra.report.end_to_end_seconds,
+        );
+        totals_syn[0] += rh.report.end_to_end_seconds;
+        totals_syn[1] += rp.report.end_to_end_seconds;
+        totals_syn[2] += ra.report.end_to_end_seconds;
+        assert!(ra.report.end_to_end_seconds < rh.report.end_to_end_seconds);
+    }
+    fig9b.print();
+
+    // --- Totals (Fig. 9(c)) ---
+    let mut fig9c = Report::new("Fig. 9(c)", "Total workload runtime", "simulated s");
+    for (i, sys) in ["Hadoop", "Hadoop++", "HAIL"].iter().enumerate() {
+        fig9c.row(
+            format!("Bob workload {sys}"),
+            Some(paper::fig9::BOB_TOTALS[i]),
+            totals[i],
+        );
+    }
+    for (i, sys) in ["Hadoop", "Hadoop++", "HAIL"].iter().enumerate() {
+        fig9c.row(
+            format!("Synthetic workload {sys}"),
+            Some(paper::fig9::SYN_TOTALS[i]),
+            totals_syn[i],
+        );
+    }
+    let bob_factor = totals[0] / totals[2];
+    let syn_factor = totals_syn[0] / totals_syn[2];
+    fig9c.note(format!(
+        "Bob workload speedup vs Hadoop: {bob_factor:.0}x (paper: 39x); Synthetic: {syn_factor:.0}x (paper: 9x)"
+    ));
+    assert!(bob_factor > 5.0, "Bob workload speedup too small: {bob_factor:.1}");
+    assert!(syn_factor > 2.0, "Synthetic workload speedup too small: {syn_factor:.1}");
+    fig9c.print();
+}

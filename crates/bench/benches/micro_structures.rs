@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks over the core data structures: PAX block
+//! encode/parse/reconstruct, in-memory block sorting (the upload-time
+//! CPU work the paper hides behind I/O), and clustered-index build +
+//! lookup.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hail_index::{ClusteredIndex, IndexedBlock, KeyBounds, SortOrder};
+use hail_pax::{blocks_from_text, sort_block, PaxBlock};
+use hail_types::{DataType, Field, Schema, StorageConfig, Value};
+use std::hint::black_box;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("ip", DataType::VarChar),
+        Field::new("visitDate", DataType::Date),
+        Field::new("revenue", DataType::Float),
+        Field::new("duration", DataType::Int),
+    ])
+    .unwrap()
+}
+
+fn sample_text(rows: usize) -> String {
+    (0..rows)
+        .map(|i| {
+            format!(
+                "10.{}.{}.{}|19{:02}-01-01|{}.25|{}\n",
+                i % 200,
+                (i * 7) % 250,
+                (i * 13) % 250,
+                70 + i % 30,
+                i % 500,
+                i % 10_000
+            )
+        })
+        .collect()
+}
+
+fn sample_block(rows: usize) -> PaxBlock {
+    blocks_from_text(&sample_text(rows), &schema(), &StorageConfig::test_scale(1 << 30))
+        .unwrap()
+        .pop()
+        .unwrap()
+}
+
+fn bench_pax(c: &mut Criterion) {
+    let text = sample_text(4096);
+    let s = schema();
+    let cfg = StorageConfig::test_scale(1 << 30);
+    c.bench_function("pax/build_4k_rows", |b| {
+        b.iter(|| blocks_from_text(black_box(&text), &s, &cfg).unwrap())
+    });
+
+    let block = sample_block(4096);
+    c.bench_function("pax/parse_header", |b| {
+        b.iter(|| PaxBlock::parse(black_box(block.bytes().clone())).unwrap())
+    });
+    c.bench_function("pax/reconstruct_row", |b| {
+        b.iter(|| block.reconstruct(black_box(2048), &[0, 2]).unwrap())
+    });
+    c.bench_function("pax/decode_column", |b| {
+        b.iter(|| block.decode_column(black_box(3)).unwrap())
+    });
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let block = sample_block(4096);
+    c.bench_function("sort/sort_block_4k_rows", |b| {
+        b.iter(|| sort_block(black_box(&block), 1).unwrap())
+    });
+    c.bench_function("sort/indexed_block_build", |b| {
+        b.iter_batched(
+            || block.clone(),
+            |blk| IndexedBlock::build(&blk, SortOrder::Clustered { column: 1 }).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_index(c: &mut Criterion) {
+    let keys: Vec<Value> = (0..1_000_000).map(Value::Int).collect();
+    c.bench_function("index/build_1M_keys", |b| {
+        b.iter(|| ClusteredIndex::build(0, DataType::Int, 1024, black_box(&keys)).unwrap())
+    });
+    let idx = ClusteredIndex::build(0, DataType::Int, 1024, &keys).unwrap();
+    let bounds = KeyBounds::between(Value::Int(250_000), Value::Int(250_900));
+    c.bench_function("index/range_lookup", |b| {
+        b.iter(|| idx.lookup(black_box(&bounds)))
+    });
+    let bytes = idx.to_bytes();
+    c.bench_function("index/deserialize", |b| {
+        b.iter(|| ClusteredIndex::from_bytes(black_box(&bytes)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pax, bench_sort, bench_index
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Table 2: cluster scale-up — upload times for UserVisits (a) and
+//! Synthetic (b) across node types, plus the System Speedup
+//! (Hadoop ÷ HAIL).
+//!
+//! Paper shape: better CPUs help HAIL (parsing/sorting) but barely help
+//! I/O-bound Hadoop, so the System Speedup improves monotonically from
+//! m1.large to cc1.4xlarge to the physical cluster: 0.54 → 0.87 on
+//! UserVisits, 1.15 → 1.58 on Synthetic.
+
+use hail_bench::{paper, setup_hadoop, setup_hail, syn_testbed, uv_testbed, ExperimentScale, Report};
+use hail_sim::HardwareProfile;
+
+fn profiles() -> Vec<HardwareProfile> {
+    vec![
+        HardwareProfile::ec2_large(),
+        HardwareProfile::ec2_xlarge(),
+        HardwareProfile::ec2_cc1_4xlarge(),
+        HardwareProfile::physical(),
+    ]
+}
+
+fn main() {
+    let mut uv = Report::new("Table 2(a)", "Scale-up upload, UserVisits", "simulated s");
+    let mut syn = Report::new("Table 2(b)", "Scale-up upload, Synthetic", "simulated s");
+    let mut speedups = Report::new(
+        "Table 2 speedup",
+        "System Speedup (Hadoop / HAIL-3idx)",
+        "x",
+    );
+
+    let mut uv_speedups = Vec::new();
+    let mut syn_speedups = Vec::new();
+    for (i, profile) in profiles().into_iter().enumerate() {
+        let name = profile.name.clone();
+
+        let tb = uv_testbed(ExperimentScale::upload(10, 4000), profile.clone());
+        let hadoop = setup_hadoop(&tb).expect("hadoop uv");
+        let hail = setup_hail(&tb, &[2, 0, 3]).expect("hail uv");
+        uv.row(
+            format!("{name} Hadoop"),
+            Some(paper::table2::UV_HADOOP[i]),
+            hadoop.upload_seconds,
+        );
+        uv.row(
+            format!("{name} HAIL"),
+            Some(paper::table2::UV_HAIL[i]),
+            hail.upload_seconds,
+        );
+        let uv_speedup = hadoop.upload_seconds / hail.upload_seconds;
+        uv_speedups.push(uv_speedup);
+        speedups.row(
+            format!("{name} UserVisits"),
+            Some(paper::table2::UV_HADOOP[i] / paper::table2::UV_HAIL[i]),
+            uv_speedup,
+        );
+
+        let tb = syn_testbed(
+            ExperimentScale::upload(10, 5000)
+                .with_blocks_per_node(hail_bench::setup::SYN_BLOCKS_PER_NODE),
+            profile,
+        );
+        let hadoop = setup_hadoop(&tb).expect("hadoop syn");
+        let hail = setup_hail(&tb, &[0, 1, 2]).expect("hail syn");
+        syn.row(
+            format!("{name} Hadoop"),
+            Some(paper::table2::SYN_HADOOP[i]),
+            hadoop.upload_seconds,
+        );
+        syn.row(
+            format!("{name} HAIL"),
+            Some(paper::table2::SYN_HAIL[i]),
+            hail.upload_seconds,
+        );
+        let syn_speedup = hadoop.upload_seconds / hail.upload_seconds;
+        syn_speedups.push(syn_speedup);
+        speedups.row(
+            format!("{name} Synthetic"),
+            Some(paper::table2::SYN_HADOOP[i] / paper::table2::SYN_HAIL[i]),
+            syn_speedup,
+        );
+    }
+
+    // Shape: the speedup must improve when scaling up CPU power
+    // (m1.large → cc1.4xlarge) on both datasets.
+    assert!(
+        uv_speedups[2] > uv_speedups[0],
+        "UV speedup should improve with better CPUs: {uv_speedups:?}"
+    );
+    assert!(
+        syn_speedups[2] > syn_speedups[0],
+        "Syn speedup should improve with better CPUs: {syn_speedups:?}"
+    );
+    // Synthetic favours HAIL more than UserVisits everywhere (binary
+    // shrink), as in the paper.
+    for (u, s) in uv_speedups.iter().zip(&syn_speedups) {
+        assert!(s > u, "Synthetic speedup {s:.2} should exceed UserVisits {u:.2}");
+    }
+
+    uv.print();
+    syn.print();
+    speedups.print();
+}

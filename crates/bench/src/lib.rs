@@ -1,0 +1,21 @@
+//! # hail-bench
+//!
+//! The experiment harness: every table and figure of the paper's §6 has
+//! a bench target under `benches/` that prints a paper-vs-measured
+//! report.
+//!
+//! - [`setup`] — scaled testbeds, per-system upload, query execution
+//! - [`report`] — table rendering
+//! - [`paper`] — the paper's reported numbers, transcribed
+
+#![forbid(unsafe_code)]
+
+pub mod paper;
+pub mod report;
+pub mod setup;
+
+pub use report::{Report, ReportRow};
+pub use setup::{
+    run_query, run_query_with_failure, setup_hadoop, setup_hail, setup_hail_with_config, setup_hpp, syn_testbed,
+    uv_testbed, ExperimentScale, SystemSetup, Testbed, LOGICAL_BLOCK,
+};

@@ -1,0 +1,133 @@
+//! Experiment report tables: paper-vs-measured rows printed by every
+//! bench target and collected into `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// One reported metric row.
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    pub label: String,
+    /// The paper's number, if it reports one for this cell.
+    pub paper: Option<f64>,
+    pub measured: f64,
+}
+
+/// A table of rows for one experiment (figure or table).
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub id: String,
+    pub title: String,
+    pub unit: String,
+    pub rows: Vec<ReportRow>,
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, unit: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            unit: unit.into(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a paper-vs-measured row.
+    pub fn row(&mut self, label: impl Into<String>, paper: Option<f64>, measured: f64) {
+        self.rows.push(ReportRow {
+            label: label.into(),
+            paper,
+            measured,
+        });
+    }
+
+    /// Adds a free-form note shown under the table.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} [{}] ==", self.id, self.title, self.unit);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(["series".len()])
+            .max()
+            .unwrap_or(10);
+        let _ = writeln!(
+            out,
+            "{:<label_w$}  {:>12}  {:>12}  {:>8}",
+            "series", "paper", "measured", "ratio"
+        );
+        for r in &self.rows {
+            let paper = r
+                .paper
+                .map(|p| format!("{p:.2}"))
+                .unwrap_or_else(|| "—".to_string());
+            let ratio = match r.paper {
+                Some(p) if p != 0.0 => format!("{:.2}", r.measured / p),
+                _ => "—".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<label_w$}  {:>12}  {:>12.2}  {:>8}",
+                r.label, paper, r.measured, ratio
+            );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Prints the table to stdout (what `cargo bench` shows).
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// The ratio of two measured rows (by label), used by shape
+    /// assertions inside bench targets.
+    pub fn measured_ratio(&self, numerator: &str, denominator: &str) -> Option<f64> {
+        let num = self.rows.iter().find(|r| r.label == numerator)?.measured;
+        let den = self.rows.iter().find(|r| r.label == denominator)?.measured;
+        (den != 0.0).then(|| num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_rows_and_ratio() {
+        let mut r = Report::new("Fig4a", "Upload", "s");
+        r.row("Hadoop", Some(1398.0), 1400.0);
+        r.row("HAIL-3idx", Some(1600.0), 1580.0);
+        r.note("scaled run");
+        let s = r.render();
+        assert!(s.contains("Fig4a"));
+        assert!(s.contains("Hadoop"));
+        assert!(s.contains("1.00"));
+        assert!(s.contains("note: scaled run"));
+    }
+
+    #[test]
+    fn missing_paper_number() {
+        let mut r = Report::new("x", "t", "s");
+        r.row("only-measured", None, 5.0);
+        assert!(r.render().contains("—"));
+    }
+
+    #[test]
+    fn measured_ratio() {
+        let mut r = Report::new("x", "t", "s");
+        r.row("a", None, 10.0);
+        r.row("b", None, 2.0);
+        assert_eq!(r.measured_ratio("a", "b"), Some(5.0));
+        assert_eq!(r.measured_ratio("a", "missing"), None);
+    }
+}

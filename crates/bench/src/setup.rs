@@ -1,0 +1,337 @@
+//! Shared experiment infrastructure: scaled testbeds, per-system setup
+//! (upload), and query execution.
+//!
+//! Experiments materialize real data at laptop scale. A testbed fixes
+//! the mapping: `blocks_per_node` determines the real block size, and
+//! the cost model's [`ScaleFactor`] maps each real block onto the
+//! paper's 64 MB logical block. Structural quantities — block counts,
+//! waves, seeks, packets-per-block — are preserved; byte-denominated
+//! quantities are scaled.
+
+use hail_core::{
+    upload_hadoop, upload_hadoop_plus_plus, upload_hail, upload_seconds, Dataset, DatasetFormat,
+    HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat, HailQuery, HppUploadReport,
+};
+use hail_dfs::DfsCluster;
+use hail_index::ReplicaIndexConfig;
+use hail_mr::{run_map_job, InputFormat, JobRun, MapJob};
+use hail_sim::{ClusterSpec, HardwareProfile, ScaleFactor};
+use hail_types::{DatanodeId, Result, Schema, StorageConfig};
+use hail_workloads::{SyntheticGenerator, UserVisitsGenerator};
+
+/// The paper's logical block size (64 MB).
+pub const LOGICAL_BLOCK: usize = 64 * 1024 * 1024;
+
+/// How an experiment materializes a dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    pub nodes: usize,
+    pub rows_per_node: usize,
+    /// Logical blocks each node's portion is cut into (block size
+    /// follows from the text volume).
+    pub blocks_per_node: usize,
+    /// Values per index partition at this scale (the paper's 1,024 per
+    /// 64 MB block ≈ 650 partitions; small blocks need proportionally
+    /// small partitions).
+    pub index_partition_size: usize,
+    pub replication: usize,
+}
+
+/// The paper's UserVisits volume: 20 GB/node ÷ 64 MB = 312 blocks/node.
+pub const UV_BLOCKS_PER_NODE: usize = 312;
+/// The paper's Synthetic volume: 13 GB/node ÷ 64 MB = 203 blocks/node.
+pub const SYN_BLOCKS_PER_NODE: usize = 203;
+
+impl ExperimentScale {
+    /// Upload-experiment default, structurally matching the paper's
+    /// UserVisits setup: every node holds 312 logical 64 MB blocks
+    /// (20 GB/node).
+    pub fn upload(nodes: usize, rows_per_node: usize) -> Self {
+        ExperimentScale {
+            nodes,
+            rows_per_node,
+            blocks_per_node: UV_BLOCKS_PER_NODE,
+            index_partition_size: 4,
+            replication: 3,
+        }
+    }
+
+    /// Query-experiment default: same block structure, so the task
+    /// count and wave structure match the paper's 3,200-task jobs.
+    pub fn query(nodes: usize, rows_per_node: usize) -> Self {
+        ExperimentScale {
+            nodes,
+            rows_per_node,
+            blocks_per_node: UV_BLOCKS_PER_NODE,
+            index_partition_size: 4,
+            replication: 3,
+        }
+    }
+
+    /// Builder override for the per-node block count (e.g. Synthetic's
+    /// 203 blocks/node).
+    pub fn with_blocks_per_node(mut self, blocks: usize) -> Self {
+        self.blocks_per_node = blocks;
+        self
+    }
+
+    /// Builder override for the index partition size.
+    pub fn with_partition_size(mut self, partition: usize) -> Self {
+        self.index_partition_size = partition;
+        self
+    }
+}
+
+/// A generated, scaled experiment environment.
+pub struct Testbed {
+    pub scale: ExperimentScale,
+    pub schema: Schema,
+    pub texts: Vec<(DatanodeId, String)>,
+    pub storage: StorageConfig,
+    pub spec: ClusterSpec,
+}
+
+fn build_testbed(
+    scale: ExperimentScale,
+    profile: HardwareProfile,
+    schema: Schema,
+    texts: Vec<(DatanodeId, String)>,
+) -> Testbed {
+    let per_node_bytes = texts.first().map(|(_, t)| t.len()).unwrap_or(1);
+    let real_block = (per_node_bytes / scale.blocks_per_node).max(1);
+    let storage = StorageConfig {
+        block_size: real_block,
+        replication: scale.replication,
+        delimiter: '|',
+        index_partition_size: scale.index_partition_size,
+    };
+    let spec = ClusterSpec::new(scale.nodes, profile)
+        .with_scale(ScaleFactor::from_block_sizes(real_block, LOGICAL_BLOCK));
+    Testbed {
+        scale,
+        schema,
+        texts,
+        storage,
+        spec,
+    }
+}
+
+/// UserVisits testbed.
+pub fn uv_testbed(scale: ExperimentScale, profile: HardwareProfile) -> Testbed {
+    let generator = UserVisitsGenerator::default();
+    build_testbed(
+        scale,
+        profile,
+        hail_workloads::bob_schema(),
+        generator.generate(scale.nodes, scale.rows_per_node),
+    )
+}
+
+/// Synthetic testbed.
+pub fn syn_testbed(scale: ExperimentScale, profile: HardwareProfile) -> Testbed {
+    let generator = SyntheticGenerator::default();
+    build_testbed(
+        scale,
+        profile,
+        hail_workloads::synthetic_schema(),
+        generator.generate(scale.nodes, scale.rows_per_node),
+    )
+}
+
+/// One uploaded system: its cluster state, dataset handle, and simulated
+/// upload time.
+pub struct SystemSetup {
+    pub cluster: DfsCluster,
+    pub dataset: Dataset,
+    pub upload_seconds: f64,
+}
+
+
+/// Interleaves a dataset's blocks round-robin across the uploading
+/// nodes. A real multi-node parallel upload allocates block ids
+/// interleaved across writers; our in-process upload is sequential per
+/// node, which would otherwise correlate job progress with writer
+/// identity (and distort failover experiments).
+fn interleave_blocks(blocks: Vec<hail_types::BlockId>, nodes: usize) -> Vec<hail_types::BlockId> {
+    if nodes <= 1 || blocks.is_empty() {
+        return blocks;
+    }
+    let per = blocks.len().div_ceil(nodes);
+    let mut out = Vec::with_capacity(blocks.len());
+    for i in 0..per {
+        for n in 0..nodes {
+            if let Some(&b) = blocks.get(n * per + i) {
+                out.push(b);
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), blocks.len());
+    out
+}
+
+/// Standard Hadoop: text upload.
+pub fn setup_hadoop(tb: &Testbed) -> Result<SystemSetup> {
+    let mut cluster = DfsCluster::new(tb.scale.nodes, tb.storage.clone());
+    let mut dataset = upload_hadoop(&mut cluster, &tb.schema, "dataset", &tb.texts)?;
+    dataset.blocks = interleave_blocks(dataset.blocks, tb.scale.nodes);
+    let t = upload_seconds(&cluster, &tb.spec);
+    Ok(SystemSetup {
+        cluster,
+        dataset,
+        upload_seconds: t,
+    })
+}
+
+/// HAIL with clustered indexes on `index_columns[i]` for replica `i`
+/// (missing entries stay unsorted).
+pub fn setup_hail(tb: &Testbed, index_columns: &[usize]) -> Result<SystemSetup> {
+    let mut cluster = DfsCluster::new(tb.scale.nodes, tb.storage.clone());
+    let config = ReplicaIndexConfig::first_indexed(tb.scale.replication, index_columns);
+    let mut dataset = upload_hail(&mut cluster, &tb.schema, "dataset", &tb.texts, &config)?;
+    dataset.blocks = interleave_blocks(dataset.blocks, tb.scale.nodes);
+    let t = upload_seconds(&cluster, &tb.spec);
+    Ok(SystemSetup {
+        cluster,
+        dataset,
+        upload_seconds: t,
+    })
+}
+
+/// HAIL with an explicit replica index configuration (e.g. HAIL-1Idx).
+pub fn setup_hail_with_config(tb: &Testbed, config: &ReplicaIndexConfig) -> Result<SystemSetup> {
+    let mut cluster = DfsCluster::new(tb.scale.nodes, tb.storage.clone());
+    let mut dataset = upload_hail(&mut cluster, &tb.schema, "dataset", &tb.texts, config)?;
+    dataset.blocks = interleave_blocks(dataset.blocks, tb.scale.nodes);
+    let t = upload_seconds(&cluster, &tb.spec);
+    Ok(SystemSetup {
+        cluster,
+        dataset,
+        upload_seconds: t,
+    })
+}
+
+/// Hadoop++ with a trojan index on `key_column` (None = binary
+/// conversion only).
+pub fn setup_hpp(tb: &Testbed, key_column: Option<usize>) -> Result<(SystemSetup, HppUploadReport)> {
+    let mut cluster = DfsCluster::new(tb.scale.nodes, tb.storage.clone());
+    let (mut dataset, report) = upload_hadoop_plus_plus(
+        &mut cluster,
+        &tb.spec,
+        &tb.schema,
+        "dataset",
+        &tb.texts,
+        key_column,
+    )?;
+    dataset.blocks = interleave_blocks(dataset.blocks, tb.scale.nodes);
+    let t = report.total_seconds();
+    Ok((
+        SystemSetup {
+            cluster,
+            dataset,
+            upload_seconds: t,
+        },
+        report,
+    ))
+}
+
+/// Builds the matching input format for a dataset and runs the query as
+/// a map-only job, collecting output.
+pub fn run_query(
+    setup: &SystemSetup,
+    spec: &ClusterSpec,
+    query: &HailQuery,
+    hail_splitting: bool,
+) -> Result<JobRun> {
+    let format = make_format(setup, spec, query, hail_splitting);
+    let job = MapJob::collecting("query", setup.dataset.blocks.clone(), format.as_ref());
+    run_map_job(&setup.cluster, spec, &job)
+}
+
+/// Builds the input format for a dataset (shared by the two runners).
+fn make_format(
+    setup: &SystemSetup,
+    spec: &ClusterSpec,
+    query: &HailQuery,
+    hail_splitting: bool,
+) -> Box<dyn InputFormat> {
+    match setup.dataset.format {
+        DatasetFormat::HadoopText => Box::new(HadoopInputFormat::new(
+            setup.dataset.clone(),
+            query.clone(),
+        )),
+        DatasetFormat::HailPax => {
+            let mut f = HailInputFormat::new(setup.dataset.clone(), query.clone());
+            f.splitting = hail_splitting;
+            f.map_slots = spec.profile.map_slots;
+            Box::new(f)
+        }
+        DatasetFormat::HadoopPlusPlus => Box::new(HadoopPlusPlusInputFormat::new(
+            setup.dataset.clone(),
+            query.clone(),
+        )),
+    }
+}
+
+/// Runs a query under a staged node failure (§6.4.3). The cluster's
+/// failed node stays dead afterwards.
+pub fn run_query_with_failure(
+    setup: &mut SystemSetup,
+    spec: &ClusterSpec,
+    query: &HailQuery,
+    hail_splitting: bool,
+    scenario: hail_mr::FailureScenario,
+) -> Result<hail_mr::FailoverRun> {
+    let format = make_format(setup, spec, query, hail_splitting);
+    let job = MapJob::collecting("query", setup.dataset.blocks.clone(), format.as_ref());
+    hail_mr::run_map_job_with_failure(&mut setup.cluster, spec, &job, scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hail_workloads::{bob_queries, canonical, oracle_eval};
+
+    #[test]
+    fn three_systems_agree_on_bob_q1() {
+        let scale = ExperimentScale::query(4, 1500);
+        let tb = uv_testbed(scale, HardwareProfile::physical());
+        let q = bob_queries()[0].to_query(&tb.schema).unwrap();
+
+        let hadoop = setup_hadoop(&tb).unwrap();
+        let hail = setup_hail(&tb, &[2, 0, 3]).unwrap();
+        let (hpp, _) = setup_hpp(&tb, Some(0)).unwrap();
+
+        let r_hadoop = run_query(&hadoop, &tb.spec, &q, false).unwrap();
+        let r_hail = run_query(&hail, &tb.spec, &q, true).unwrap();
+        let r_hpp = run_query(&hpp, &tb.spec, &q, false).unwrap();
+
+        let expected = canonical(&oracle_eval(&tb.texts, &tb.schema, &q));
+        assert_eq!(canonical(&r_hadoop.output), expected);
+        assert_eq!(canonical(&r_hail.output), expected);
+        assert_eq!(canonical(&r_hpp.output), expected);
+        assert!(!expected.is_empty());
+    }
+
+    #[test]
+    fn scale_factor_derivation() {
+        let scale = ExperimentScale::upload(2, 500);
+        let tb = uv_testbed(scale, HardwareProfile::physical());
+        // Block size ≈ per-node text / blocks_per_node.
+        let per_node = tb.texts[0].1.len();
+        let expected = per_node / tb.scale.blocks_per_node;
+        assert!((tb.storage.block_size as i64 - expected as i64).abs() < 2);
+        assert!(tb.spec.scale.0 > 1.0);
+    }
+
+    #[test]
+    fn hail_splitting_reduces_tasks() {
+        let scale = ExperimentScale::query(4, 2000);
+        let tb = uv_testbed(scale, HardwareProfile::physical());
+        let q = bob_queries()[0].to_query(&tb.schema).unwrap();
+        let hail = setup_hail(&tb, &[2, 0, 3]).unwrap();
+        let with = run_query(&hail, &tb.spec, &q, true).unwrap();
+        let without = run_query(&hail, &tb.spec, &q, false).unwrap();
+        assert!(with.report.task_count() * 4 < without.report.task_count());
+        assert!(with.report.end_to_end_seconds < without.report.end_to_end_seconds);
+    }
+}

@@ -1,0 +1,8 @@
+//! Baseline systems the paper compares against.
+//!
+//! The standard *Hadoop* baseline is split across
+//! [`crate::upload::upload_hadoop`] (text upload) and
+//! [`crate::input_format::HadoopInputFormat`] (full-scan query path);
+//! *Hadoop++* lives in [`hadoop_plus_plus`].
+
+pub mod hadoop_plus_plus;

@@ -1,0 +1,61 @@
+//! Dataset handles: what an upload returns and what a job consumes.
+
+use hail_types::{BlockId, Schema};
+
+/// The physical format a dataset was uploaded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetFormat {
+    /// Raw text lines, byte-split blocks, identical replicas (standard
+    /// Hadoop/HDFS).
+    HadoopText,
+    /// Binary PAX with per-replica sort orders and clustered indexes
+    /// (HAIL).
+    HailPax,
+    /// Binary row layout with one trojan index per logical block,
+    /// identical replicas (Hadoop++).
+    HadoopPlusPlus,
+}
+
+/// A handle on an uploaded dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub name: String,
+    pub schema: Schema,
+    pub blocks: Vec<BlockId>,
+    pub format: DatasetFormat,
+}
+
+impl Dataset {
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        blocks: Vec<BlockId>,
+        format: DatasetFormat,
+    ) -> Self {
+        Dataset {
+            name: name.into(),
+            schema,
+            blocks,
+            format,
+        }
+    }
+
+    /// Number of logical blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hail_types::{DataType, Field};
+
+    #[test]
+    fn construction() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]).unwrap();
+        let d = Dataset::new("uv", schema, vec![1, 2, 3], DatasetFormat::HailPax);
+        assert_eq!(d.block_count(), 3);
+        assert_eq!(d.format, DatasetFormat::HailPax);
+    }
+}

@@ -1,0 +1,188 @@
+//! The three `InputFormat` implementations the experiments compare:
+//! `HailInputFormat`, the standard Hadoop text format, and Hadoop++'s
+//! trojan-indexed format.
+
+use crate::annotation::HailQuery;
+use crate::baselines::hadoop_plus_plus::{read_hpp_block, trojan_header_bytes};
+use crate::dataset::Dataset;
+use crate::record_reader::{read_hail_block, read_hadoop_text_block};
+use crate::splitting::{default_splits, hail_splits};
+#[allow(unused_imports)]
+use crate::splitting::index_aware_default_splits;
+use hail_dfs::DfsCluster;
+use hail_mr::{InputFormat, InputSplit, MapRecord, SplitPlan, TaskStats};
+use hail_types::{BlockId, DatanodeId, Result};
+
+/// HAIL's input format: `HailSplitting` + `HailRecordReader`.
+///
+/// Set `splitting` to false to reproduce the paper's §6.4 configuration
+/// (per-replica indexes but default Hadoop splitting) and true for §6.5.
+pub struct HailInputFormat {
+    pub dataset: Dataset,
+    pub query: HailQuery,
+    pub splitting: bool,
+    /// Map slots per TaskTracker, used by `HailSplitting`.
+    pub map_slots: usize,
+}
+
+impl HailInputFormat {
+    pub fn new(dataset: Dataset, query: HailQuery) -> Self {
+        HailInputFormat {
+            dataset,
+            query,
+            splitting: true,
+            map_slots: 2,
+        }
+    }
+
+    /// Disables `HailSplitting` (the §6.4 configuration).
+    pub fn without_splitting(mut self) -> Self {
+        self.splitting = false;
+        self
+    }
+}
+
+impl InputFormat for HailInputFormat {
+    fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan> {
+        // HAIL computes splits from the namenode's main-memory Dir_rep —
+        // no block header reads, so client_cost stays zero (§6.4.1).
+        if self.splitting {
+            hail_splits(cluster, input, &self.query, self.map_slots)
+        } else {
+            // Default (per-block) splitting, but still scheduling toward
+            // the replica with the matching index.
+            crate::splitting::index_aware_default_splits(cluster, input, &self.query)
+        }
+    }
+
+    fn read_split(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        task_node: DatanodeId,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        let mut total = TaskStats::default();
+        for &block in &split.blocks {
+            let stats = read_hail_block(
+                cluster,
+                block,
+                task_node,
+                &self.dataset.schema,
+                &self.query,
+                emit,
+            )?;
+            total.merge(&stats);
+        }
+        Ok(total)
+    }
+
+    fn name(&self) -> &str {
+        "HAIL"
+    }
+}
+
+/// The standard Hadoop text input format: per-block splits, full-scan
+/// record reader, filtering in the map function.
+pub struct HadoopInputFormat {
+    pub dataset: Dataset,
+    pub query: HailQuery,
+    pub delimiter: char,
+}
+
+impl HadoopInputFormat {
+    pub fn new(dataset: Dataset, query: HailQuery) -> Self {
+        HadoopInputFormat {
+            dataset,
+            query,
+            delimiter: '|',
+        }
+    }
+}
+
+impl InputFormat for HadoopInputFormat {
+    fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan> {
+        default_splits(cluster, input)
+    }
+
+    fn read_split(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        task_node: DatanodeId,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        let mut total = TaskStats::default();
+        for &block in &split.blocks {
+            let stats = read_hadoop_text_block(
+                cluster,
+                block,
+                task_node,
+                &self.dataset.schema,
+                &self.query,
+                self.delimiter,
+                emit,
+            )?;
+            total.merge(&stats);
+        }
+        Ok(total)
+    }
+
+    fn name(&self) -> &str {
+        "Hadoop"
+    }
+}
+
+/// Hadoop++: per-block splits whose computation must read every block's
+/// trojan-index header (the cost HAIL avoids, §6.4.1), then an
+/// index-or-scan reader over the binary row layout.
+pub struct HadoopPlusPlusInputFormat {
+    pub dataset: Dataset,
+    pub query: HailQuery,
+}
+
+impl HadoopPlusPlusInputFormat {
+    pub fn new(dataset: Dataset, query: HailQuery) -> Self {
+        HadoopPlusPlusInputFormat { dataset, query }
+    }
+}
+
+impl InputFormat for HadoopPlusPlusInputFormat {
+    fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan> {
+        let mut plan = default_splits(cluster, input)?;
+        // The JobClient fetches each block's header (trojan index
+        // directory) before it can build splits.
+        for &b in input {
+            let header = trojan_header_bytes(cluster, b)?;
+            plan.client_cost.seeks += 1;
+            plan.client_cost.disk_read += header as u64;
+        }
+        Ok(plan)
+    }
+
+    fn read_split(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        task_node: DatanodeId,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        let mut total = TaskStats::default();
+        for &block in &split.blocks {
+            let stats = read_hpp_block(
+                cluster,
+                block,
+                task_node,
+                &self.dataset.schema,
+                &self.query,
+                emit,
+            )?;
+            total.merge(&stats);
+        }
+        Ok(total)
+    }
+
+    fn name(&self) -> &str {
+        "Hadoop++"
+    }
+}

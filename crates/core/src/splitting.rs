@@ -1,0 +1,229 @@
+//! Splitting policies: default Hadoop splitting and `HailSplitting`
+//! (§4.3).
+//!
+//! Default Hadoop creates one input split per block — 3,200 blocks means
+//! 3,200 map tasks, each paying seconds of scheduling overhead.
+//!
+//! `HailSplitting`, used when a job performs an index scan, first
+//! clusters the input blocks by the datanode holding the suitable index
+//! replica, then creates *as many input splits per datanode collection
+//! as the TaskTracker has map slots*. A 10-node cluster with 2 slots per
+//! node thus runs the whole job in ~20 map tasks, one wave, eliminating
+//! almost all scheduling overhead — the mechanism behind the 68×
+//! end-to-end result. Jobs that full-scan keep default splitting, so
+//! their failover granularity is unchanged.
+
+use crate::annotation::HailQuery;
+use hail_dfs::DfsCluster;
+use hail_mr::{InputSplit, SplitPlan};
+use hail_types::{BlockId, DatanodeId, Result};
+use std::collections::BTreeMap;
+
+/// Default Hadoop splitting: one split per block, located at the
+/// block's replica holders.
+pub fn default_splits(cluster: &DfsCluster, blocks: &[BlockId]) -> Result<SplitPlan> {
+    let mut splits = Vec::with_capacity(blocks.len());
+    for &b in blocks {
+        let hosts = cluster.namenode().get_hosts(b)?;
+        splits.push(InputSplit::for_block(b, hosts));
+    }
+    Ok(SplitPlan {
+        splits,
+        client_cost: Default::default(),
+    })
+}
+
+/// For each block, the datanode whose replica carries an index usable by
+/// the query (first matching filter column wins), or `None`.
+fn index_host_for(
+    cluster: &DfsCluster,
+    block: BlockId,
+    query: &HailQuery,
+) -> Result<Option<DatanodeId>> {
+    for column in query.filter_columns() {
+        let hosts = cluster.namenode().get_hosts_with_index(block, column)?;
+        if let Some(&h) = hosts.first() {
+            return Ok(Some(h));
+        }
+    }
+    Ok(None)
+}
+
+/// Per-block splits whose location lists put the matching-index replica
+/// first — the §6.4 configuration: HailSplitting disabled, but the
+/// JobTracker still schedules map tasks "to the replicas having the
+/// matching index" and `getHostsWithIndex` picks the right stream.
+pub fn index_aware_default_splits(
+    cluster: &DfsCluster,
+    blocks: &[BlockId],
+    query: &HailQuery,
+) -> Result<SplitPlan> {
+    let mut splits = Vec::with_capacity(blocks.len());
+    for &b in blocks {
+        let hosts = cluster.namenode().get_hosts(b)?;
+        let mut locations = Vec::with_capacity(hosts.len());
+        if let Some(primary) = index_host_for(cluster, b, query)? {
+            locations.push(primary);
+        }
+        for h in hosts {
+            if !locations.contains(&h) {
+                locations.push(h);
+            }
+        }
+        splits.push(InputSplit::for_block(b, locations));
+    }
+    Ok(SplitPlan {
+        splits,
+        client_cost: Default::default(),
+    })
+}
+
+/// `HailSplitting`: cluster blocks by index-holding datanode, then cut
+/// each collection into `map_slots` splits.
+///
+/// Blocks with no usable index keep per-block default splits (they will
+/// be full-scanned, and their failover behaviour must stay Hadoop's).
+pub fn hail_splits(
+    cluster: &DfsCluster,
+    blocks: &[BlockId],
+    query: &HailQuery,
+    map_slots: usize,
+) -> Result<SplitPlan> {
+    if query.filter_columns().is_empty() {
+        return default_splits(cluster, blocks);
+    }
+    let mut by_node: BTreeMap<DatanodeId, Vec<BlockId>> = BTreeMap::new();
+    let mut unindexed: Vec<BlockId> = Vec::new();
+    for &b in blocks {
+        match index_host_for(cluster, b, query)? {
+            Some(node) => by_node.entry(node).or_default().push(b),
+            None => unindexed.push(b),
+        }
+    }
+
+    let mut splits = Vec::new();
+    for (node, collection) in by_node {
+        // As many splits per collection as the TaskTracker has map slots,
+        // so every slot of the node gets one task.
+        let n_splits = map_slots.max(1).min(collection.len());
+        let per = collection.len().div_ceil(n_splits);
+        for chunk in collection.chunks(per) {
+            splits.push(InputSplit::new(chunk.to_vec(), vec![node]));
+        }
+    }
+    // Fallback blocks: default splitting.
+    for b in unindexed {
+        let hosts = cluster.namenode().get_hosts(b)?;
+        splits.push(InputSplit::for_block(b, hosts));
+    }
+    Ok(SplitPlan {
+        splits,
+        client_cost: Default::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upload::upload_hail;
+    use hail_index::ReplicaIndexConfig;
+    use hail_types::{DataType, Field, Schema, StorageConfig};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::VarChar),
+        ])
+        .unwrap()
+    }
+
+    fn setup(nodes: usize, rows_per_node: usize) -> (DfsCluster, Vec<BlockId>) {
+        let mut c = DfsCluster::new(nodes, StorageConfig::test_scale(512));
+        let cfg = ReplicaIndexConfig::first_indexed(3, &[0, 1]);
+        let texts: Vec<(usize, String)> = (0..nodes)
+            .map(|n| {
+                (
+                    n,
+                    (0..rows_per_node)
+                        .map(|i| format!("{}|w{}\n", i * 3 + n, i))
+                        .collect(),
+                )
+            })
+            .collect();
+        let ds = upload_hail(&mut c, &schema(), "t", &texts, &cfg).unwrap();
+        (c, ds.blocks)
+    }
+
+    #[test]
+    fn default_one_split_per_block() {
+        let (c, blocks) = setup(4, 60);
+        let plan = default_splits(&c, &blocks).unwrap();
+        assert_eq!(plan.splits.len(), blocks.len());
+        for s in &plan.splits {
+            assert_eq!(s.blocks.len(), 1);
+            assert_eq!(s.locations.len(), 3);
+        }
+    }
+
+    #[test]
+    fn hail_splitting_collapses_task_count() {
+        let (c, blocks) = setup(4, 500);
+        assert!(blocks.len() > 16, "need many blocks, got {}", blocks.len());
+        let q = HailQuery::parse("@1 between(5, 50)", "", &schema()).unwrap();
+        let plan = hail_splits(&c, &blocks, &q, 2).unwrap();
+        // At most map_slots × nodes splits — far fewer than blocks.
+        assert!(
+            plan.splits.len() <= 2 * 4,
+            "{} splits for {} blocks",
+            plan.splits.len(),
+            blocks.len()
+        );
+        // Every block appears exactly once.
+        let mut seen: Vec<BlockId> = plan.splits.iter().flat_map(|s| s.blocks.clone()).collect();
+        seen.sort_unstable();
+        let mut expected = blocks.clone();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+        // Splits are single-located at the index holder.
+        for s in &plan.splits {
+            assert_eq!(s.locations.len(), 1);
+        }
+    }
+
+    #[test]
+    fn full_scan_keeps_default_splitting() {
+        let (c, blocks) = setup(4, 100);
+        let q = HailQuery::full_scan();
+        let plan = hail_splits(&c, &blocks, &q, 2).unwrap();
+        assert_eq!(plan.splits.len(), blocks.len());
+    }
+
+    #[test]
+    fn dead_index_nodes_fall_back_to_default_splits() {
+        let (mut c, blocks) = setup(4, 100);
+        let q = HailQuery::parse("@1 = 7", "", &schema()).unwrap();
+        // Kill every node holding a column-0 index.
+        let mut killers = std::collections::BTreeSet::new();
+        for &b in &blocks {
+            for h in c.namenode().get_hosts_with_index(b, 0).unwrap() {
+                killers.insert(h);
+            }
+        }
+        for k in killers {
+            c.kill_node(k).unwrap();
+        }
+        let plan = hail_splits(&c, &blocks, &q, 2).unwrap();
+        // Blocks may still be readable; none has an index host, so all
+        // fall back to per-block splits.
+        assert_eq!(plan.splits.len(), blocks.len());
+    }
+
+    #[test]
+    fn no_silent_block_loss_in_mixed_plans() {
+        let (c, blocks) = setup(4, 150);
+        let q = HailQuery::parse("@2 = 'w3'", "", &schema()).unwrap();
+        let plan = hail_splits(&c, &blocks, &q, 2).unwrap();
+        let total: usize = plan.splits.iter().map(|s| s.blocks.len()).sum();
+        assert_eq!(total, blocks.len());
+    }
+}

@@ -1,0 +1,29 @@
+//! # hail-dfs
+//!
+//! An HDFS-like replicated block store rebuilt from scratch, with HAIL's
+//! modifications:
+//!
+//! - [`namenode`] — `Dir_block` plus HAIL's per-replica `Dir_rep` (§3.3)
+//! - [`datanode`] — data + checksum files on cost-accounted in-memory disks
+//! - [`placement`] — writer-local, round-robin replica placement
+//! - [`pipeline`] — the HDFS and HAIL upload pipelines (Fig. 1)
+//! - [`cluster`] — the assembled DFS with per-node cost ledgers
+//! - [`failure`] — node death, recovery, and replica-equivalence checks
+
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod datanode;
+pub mod failure;
+pub mod namenode;
+pub mod pipeline;
+pub mod placement;
+
+pub use cluster::DfsCluster;
+pub use datanode::Datanode;
+pub use failure::{
+    blocks_affected_by, recover_logical_rows, verify_replica_equivalence, EXPIRY_INTERVAL_S,
+};
+pub use namenode::Namenode;
+pub use pipeline::{hail_upload_block, hdfs_upload_block, store_transformed_block, FaultPlan};
+pub use placement::PlacementPolicy;

@@ -1,0 +1,250 @@
+//! The HDFS namenode, extended with HAIL's per-replica directory (§3.3).
+//!
+//! Standard HDFS keeps `Dir_block: blockID → {datanodes}` and treats all
+//! replicas of a block as byte-equivalent. HAIL adds
+//! `Dir_rep: (blockID, datanode) → HailBlockReplicaInfo` so the scheduler
+//! can route map tasks to the replica carrying a suitable clustered
+//! index — the `get_hosts_with_index` path the `HailRecordReader` uses.
+
+use hail_index::{HailBlockReplicaInfo, IndexMetadata};
+use hail_types::{BlockId, DatanodeId, HailError, Result};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The central namenode directory.
+///
+/// Uses `BTreeMap` so iteration order — and therefore split order and
+/// scheduling — is deterministic across runs.
+#[derive(Debug, Default)]
+pub struct Namenode {
+    /// `Dir_block`: logical block → datanodes holding a replica.
+    dir_block: BTreeMap<BlockId, Vec<DatanodeId>>,
+    /// `Dir_rep`: (block, datanode) → replica details (HAIL extension).
+    dir_rep: BTreeMap<(BlockId, DatanodeId), HailBlockReplicaInfo>,
+    /// Datanodes declared dead (expired heartbeats).
+    dead: BTreeSet<DatanodeId>,
+    next_block: BlockId,
+}
+
+impl Namenode {
+    pub fn new() -> Self {
+        Namenode::default()
+    }
+
+    /// Allocates a fresh block id and records the planned replica
+    /// locations (what the client obtains before streaming, Fig. 1 step 3).
+    pub fn allocate_block(&mut self, datanodes: Vec<DatanodeId>) -> Result<BlockId> {
+        if datanodes.is_empty() {
+            return Err(HailError::InsufficientReplication { wanted: 1, alive: 0 });
+        }
+        let id = self.next_block;
+        self.next_block += 1;
+        self.dir_block.insert(id, datanodes);
+        Ok(id)
+    }
+
+    /// Registers a completed replica — each datanode reports its own
+    /// replica including its HAIL block size, index and sort order
+    /// (Fig. 1 steps 11/14).
+    pub fn register_replica(&mut self, info: HailBlockReplicaInfo) -> Result<()> {
+        let hosts = self
+            .dir_block
+            .get(&info.block)
+            .ok_or(HailError::UnknownBlock(info.block))?;
+        if !hosts.contains(&info.datanode) {
+            return Err(HailError::Pipeline(format!(
+                "datanode DN{} registered a replica of block {} it was never assigned",
+                info.datanode + 1,
+                info.block
+            )));
+        }
+        self.dir_rep.insert((info.block, info.datanode), info);
+        Ok(())
+    }
+
+    /// Abandons a block whose upload failed: removes it (and any
+    /// partially registered replicas) from both directories, as the
+    /// HDFS client does when the pipeline errors out.
+    pub fn abandon_block(&mut self, block: BlockId) {
+        self.dir_block.remove(&block);
+        self.dir_rep.retain(|(b, _), _| *b != block);
+    }
+
+    /// All block ids, in allocation order.
+    pub fn blocks(&self) -> Vec<BlockId> {
+        self.dir_block.keys().copied().collect()
+    }
+
+    /// Number of known blocks.
+    pub fn block_count(&self) -> usize {
+        self.dir_block.len()
+    }
+
+    /// `getHosts`: live datanodes holding a replica of the block.
+    pub fn get_hosts(&self, block: BlockId) -> Result<Vec<DatanodeId>> {
+        let hosts = self
+            .dir_block
+            .get(&block)
+            .ok_or(HailError::UnknownBlock(block))?;
+        Ok(hosts
+            .iter()
+            .copied()
+            .filter(|d| !self.dead.contains(d))
+            .collect())
+    }
+
+    /// `getHostsWithIndex`: live datanodes whose replica of the block
+    /// carries an index on the given 0-based column (the HAIL extension
+    /// to `BlockLocation`, §4.3).
+    pub fn get_hosts_with_index(&self, block: BlockId, column: usize) -> Result<Vec<DatanodeId>> {
+        let hosts = self.get_hosts(block)?;
+        Ok(hosts
+            .into_iter()
+            .filter(|&d| {
+                self.dir_rep
+                    .get(&(block, d))
+                    .is_some_and(|info| info.index.serves_column(column))
+            })
+            .collect())
+    }
+
+    /// Detailed replica info (one main-memory lookup per replica, §3.3).
+    pub fn replica_info(&self, block: BlockId, datanode: DatanodeId) -> Result<&HailBlockReplicaInfo> {
+        self.dir_rep
+            .get(&(block, datanode))
+            .ok_or(HailError::UnknownBlock(block))
+    }
+
+    /// Index metadata of a replica, if registered.
+    pub fn replica_index(&self, block: BlockId, datanode: DatanodeId) -> Option<&IndexMetadata> {
+        self.dir_rep.get(&(block, datanode)).map(|i| &i.index)
+    }
+
+    /// Marks a datanode dead (heartbeat expiry). Its replicas stop being
+    /// returned by `get_hosts*`.
+    pub fn mark_dead(&mut self, datanode: DatanodeId) {
+        self.dead.insert(datanode);
+    }
+
+    /// True if the datanode has been marked dead.
+    pub fn is_dead(&self, datanode: DatanodeId) -> bool {
+        self.dead.contains(&datanode)
+    }
+
+    /// Replicas registered for a block (live datanodes only).
+    pub fn live_replicas(&self, block: BlockId) -> Vec<&HailBlockReplicaInfo> {
+        self.dir_rep
+            .range((block, 0)..(block + 1, 0))
+            .filter(|((_, d), _)| !self.dead.contains(d))
+            .map(|(_, info)| info)
+            .collect()
+    }
+
+    /// Total physical bytes stored across all live replicas — the disk
+    /// footprint the replication experiment (Fig. 4c) reports.
+    pub fn total_replica_bytes(&self) -> u64 {
+        self.dir_rep
+            .iter()
+            .filter(|((_, d), _)| !self.dead.contains(d))
+            .map(|(_, info)| info.replica_bytes as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hail_index::{IndexKind, IndexMetadata};
+
+    fn meta_on(col: usize) -> IndexMetadata {
+        IndexMetadata {
+            kind: IndexKind::Clustered,
+            key_column: Some(col),
+            index_bytes: 128,
+            index_offset: 1000,
+        }
+    }
+
+    fn setup() -> (Namenode, BlockId) {
+        let mut nn = Namenode::new();
+        let b = nn.allocate_block(vec![0, 1, 2]).unwrap();
+        for (dn, col) in [(0usize, 0usize), (1, 1), (2, 2)] {
+            nn.register_replica(HailBlockReplicaInfo::new(b, dn, meta_on(col), 5000 + dn))
+                .unwrap();
+        }
+        (nn, b)
+    }
+
+    #[test]
+    fn allocate_and_get_hosts() {
+        let (nn, b) = setup();
+        assert_eq!(nn.get_hosts(b).unwrap(), vec![0, 1, 2]);
+        assert!(nn.get_hosts(b + 1).is_err());
+        assert_eq!(nn.block_count(), 1);
+    }
+
+    #[test]
+    fn hosts_with_index_filters_by_column() {
+        let (nn, b) = setup();
+        assert_eq!(nn.get_hosts_with_index(b, 1).unwrap(), vec![1]);
+        assert_eq!(nn.get_hosts_with_index(b, 9).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn dead_nodes_filtered_everywhere() {
+        let (mut nn, b) = setup();
+        nn.mark_dead(1);
+        assert_eq!(nn.get_hosts(b).unwrap(), vec![0, 2]);
+        assert!(nn.get_hosts_with_index(b, 1).unwrap().is_empty());
+        assert_eq!(nn.live_replicas(b).len(), 2);
+        assert!(nn.is_dead(1));
+    }
+
+    #[test]
+    fn register_requires_assignment() {
+        let (mut nn, b) = setup();
+        let err = nn.register_replica(HailBlockReplicaInfo::new(b, 7, meta_on(0), 100));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn replica_info_lookup() {
+        let (nn, b) = setup();
+        let info = nn.replica_info(b, 2).unwrap();
+        assert_eq!(info.index.key_column, Some(2));
+        assert_eq!(info.replica_bytes, 5002);
+        assert!(nn.replica_index(b, 9).is_none());
+    }
+
+    #[test]
+    fn footprint_sums_live_replicas() {
+        let (mut nn, b) = setup();
+        assert_eq!(nn.total_replica_bytes(), 5000 + 5001 + 5002);
+        nn.mark_dead(0);
+        assert_eq!(nn.total_replica_bytes(), 5001 + 5002);
+        let _ = b;
+    }
+
+    #[test]
+    fn abandon_removes_block_and_replicas() {
+        let (mut nn, b) = setup();
+        nn.abandon_block(b);
+        assert!(nn.get_hosts(b).is_err());
+        assert_eq!(nn.block_count(), 0);
+        assert!(nn.replica_info(b, 0).is_err());
+    }
+
+    #[test]
+    fn block_ids_monotonic() {
+        let mut nn = Namenode::new();
+        let a = nn.allocate_block(vec![0]).unwrap();
+        let b = nn.allocate_block(vec![1]).unwrap();
+        assert!(b > a);
+        assert_eq!(nn.blocks(), vec![a, b]);
+    }
+
+    #[test]
+    fn empty_placement_rejected() {
+        let mut nn = Namenode::new();
+        assert!(nn.allocate_block(vec![]).is_err());
+    }
+}

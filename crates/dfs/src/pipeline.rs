@@ -1,0 +1,529 @@
+//! The upload pipelines (Fig. 1).
+//!
+//! [`hdfs_upload_block`] is the standard HDFS path: the client streams a
+//! block's raw bytes as packets through the chain DN1 → DN2 → DN3; every
+//! datanode flushes chunk data and checksums *as packets arrive*; only
+//! the chain tail verifies checksums; ACKs flow back through the chain
+//! and must arrive in order.
+//!
+//! [`hail_upload_block`] is the HAIL path: the client ships an (already
+//! binary PAX) block through the same chain, but datanodes buffer packets
+//! in main memory instead of flushing, reassemble the block, sort it in
+//! their replica-specific order, build the clustered index, recompute
+//! *their own* checksums (each replica's bytes differ!), and only then
+//! flush both files. The ACK semantics change from "received, validated,
+//! and flushed" to "received and validated" — except the block's last
+//! packet, which is only acknowledged after the flush completes.
+
+use crate::cluster::DfsCluster;
+use bytes::Bytes;
+use hail_index::{HailBlockReplicaInfo, IndexMetadata, IndexedBlock, SortOrder};
+use hail_pax::checksum::{chunk_checksums, packetize, reassemble, Packet};
+use hail_pax::PaxBlock;
+use hail_types::{BlockId, DatanodeId, HailError, Result};
+
+/// Fault-injection plan for upload tests.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Flip a byte of packet `seqno`'s payload after it leaves hop
+    /// `hop` (0 = client → DN1). The chain tail must catch it.
+    pub corrupt_after_hop: Option<(usize, u32)>,
+    /// Deliver ACKs out of order — the client must fail the upload.
+    pub reorder_acks: bool,
+    /// Kill this datanode mid-stream, after it has received the given
+    /// packet.
+    pub kill_datanode_at: Option<(DatanodeId, u32)>,
+}
+
+impl FaultPlan {
+    /// No injected faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+}
+
+/// Streams packets through the replica chain, applying faults, charging
+/// network hops, and verifying checksums at the tail. Returns each
+/// datanode's received packet list.
+fn stream_chain(
+    cluster: &mut DfsCluster,
+    writer: DatanodeId,
+    chain: &[DatanodeId],
+    packets: Vec<Packet>,
+    fault: &FaultPlan,
+) -> Result<Vec<Vec<Packet>>> {
+    let mut received: Vec<Vec<Packet>> = vec![Vec::with_capacity(packets.len()); chain.len()];
+    for packet in packets {
+        let mut current = packet;
+        for (hop, &dn) in chain.iter().enumerate() {
+            // Charge the sender of this hop.
+            let from_node = if hop == 0 { writer } else { chain[hop - 1] };
+            if from_node != dn {
+                let wire = current.wire_bytes() as u64;
+                if hop == 0 {
+                    cluster.client_ledger_mut(from_node).net_sent += wire;
+                } else {
+                    cluster.datanode_net(from_node, wire)?;
+                }
+            }
+            // Fault: corrupt the payload after it leaves `hop`.
+            if let Some((at_hop, seqno)) = fault.corrupt_after_hop {
+                if at_hop == hop && current.seqno == seqno && !current.data.is_empty() {
+                    current.data[0] ^= 0xFF;
+                }
+            }
+            // Fault: the datanode dies mid-stream.
+            if let Some((dead_dn, at_seqno)) = fault.kill_datanode_at {
+                if dead_dn == dn && current.seqno == at_seqno {
+                    cluster.kill_node(dn)?;
+                }
+            }
+            if !cluster.datanode(dn)?.is_alive() {
+                return Err(HailError::DeadDatanode(dn));
+            }
+            // The chain tail verifies every chunk checksum (§3.2): DN2
+            // believes DN3, DN1 believes DN2, CL believes DN1.
+            if hop + 1 == chain.len() {
+                current.verify()?;
+            }
+            received[hop].push(current.clone());
+        }
+    }
+    // ACK chain: the client checks that ACKs arrive in order. We model
+    // the ACK stream as the sequence of packet seqnos echoed back.
+    let mut acks: Vec<u32> = received
+        .last()
+        .map(|p| p.iter().map(|p| p.seqno).collect())
+        .unwrap_or_default();
+    if fault.reorder_acks && acks.len() >= 2 {
+        acks.swap(0, 1);
+    }
+    for (i, &seq) in acks.iter().enumerate() {
+        if seq as usize != i {
+            return Err(HailError::Pipeline(format!(
+                "ACK {seq} arrived out of order (expected {i}); upload failed"
+            )));
+        }
+    }
+    Ok(received)
+}
+
+impl DfsCluster {
+    /// Charges network bytes to a datanode's upload ledger.
+    fn datanode_net(&mut self, node: DatanodeId, bytes: u64) -> Result<()> {
+        // Datanode stores its ledger privately; route through a small
+        // internal API.
+        self.datanode_mut(node)?.add_net_sent(bytes);
+        Ok(())
+    }
+}
+
+/// Uploads one block the standard HDFS way: identical replicas, flushed
+/// as received, no transformation. `raw` is whatever the file contains
+/// (text lines for the Hadoop baseline).
+pub fn hdfs_upload_block(
+    cluster: &mut DfsCluster,
+    writer: DatanodeId,
+    raw: Bytes,
+    fault: &FaultPlan,
+) -> Result<BlockId> {
+    let replication = cluster.config().replication;
+    let (block, chain) = cluster.allocate(writer, replication)?;
+
+    // The client reads the source file from local disk.
+    cluster.client_ledger_mut(writer).disk_read += raw.len() as u64;
+    cluster.client_ledger_mut(writer).seeks += 1;
+
+    let packets = packetize(&raw);
+    let received = match stream_chain(cluster, writer, &chain, packets, fault) {
+        Ok(r) => r,
+        Err(e) => {
+            // Failed uploads abandon the block, as the HDFS client does.
+            cluster.namenode_mut().abandon_block(block);
+            return Err(e);
+        }
+    };
+
+    for (dn, packets) in chain.iter().zip(received) {
+        // HDFS datanodes flush chunk data and checksums as packets
+        // arrive; the net effect is one data file + one checksum file.
+        let data = reassemble(&packets)?;
+        let checksums: Vec<u32> = packets.iter().flat_map(|p| p.checksums.clone()).collect();
+        cluster
+            .datanode_mut(*dn)?
+            .write_replica(block, Bytes::from(data), checksums)?;
+        let replica_bytes = cluster.datanode(*dn)?.replica_len(block)?;
+        cluster.namenode_mut().register_replica(HailBlockReplicaInfo::new(
+            block,
+            *dn,
+            IndexMetadata::none(),
+            replica_bytes,
+        ))?;
+    }
+    Ok(block)
+}
+
+/// Uploads one block the HAIL way (Fig. 1): the client ships the binary
+/// PAX block; each datanode buffers, sorts in its own order, indexes,
+/// re-checksums, flushes, and registers its replica with the namenode.
+///
+/// `orders[i]` is the sort order for the replica at chain position `i`;
+/// its length must equal the replication factor.
+pub fn hail_upload_block(
+    cluster: &mut DfsCluster,
+    writer: DatanodeId,
+    pax: &PaxBlock,
+    orders: &[SortOrder],
+    fault: &FaultPlan,
+) -> Result<BlockId> {
+    let replication = cluster.config().replication;
+    if orders.len() != replication {
+        return Err(HailError::Job(format!(
+            "{} sort orders for replication factor {replication}",
+            orders.len()
+        )));
+    }
+    let (block, chain) = cluster.allocate(writer, replication)?;
+
+    // Client: cut the PAX block into packets (checksums computed here are
+    // reused on the wire, §3.2 step 4).
+    let packets = packetize(pax.bytes());
+    let received = match stream_chain(cluster, writer, &chain, packets, fault) {
+        Ok(r) => r,
+        Err(e) => {
+            cluster.namenode_mut().abandon_block(block);
+            return Err(e);
+        }
+    };
+
+    for ((dn, order), packets) in chain.iter().zip(orders).zip(received) {
+        // Step 6: reassemble the block in main memory — nothing flushed
+        // yet.
+        let data = reassemble(&packets)?;
+        let pax_block = PaxBlock::parse(Bytes::from(data))?;
+
+        // Step 7: sort + index in memory, forming the HAIL block. This is
+        // pure CPU; charge the binary block size (sort + permute +
+        // index build all stream over it).
+        let indexed = IndexedBlock::build(&pax_block, *order)?;
+        if order.column().is_some() {
+            cluster
+                .datanode_mut(*dn)?
+                .add_sort_cpu(pax_block.byte_len() as u64);
+        }
+
+        // Recompute checksums over this replica's (unique) bytes and
+        // flush data + checksum files.
+        let checksums = chunk_checksums(indexed.bytes());
+        let meta = indexed.metadata().clone();
+        let replica_bytes = indexed.byte_len();
+        cluster
+            .datanode_mut(*dn)?
+            .write_replica(block, indexed.bytes().clone(), checksums)?;
+
+        // Steps 11/14: each datanode informs the namenode about its new
+        // replica — size, index, sort order.
+        cluster.namenode_mut().register_replica(HailBlockReplicaInfo::new(
+            block,
+            *dn,
+            meta,
+            replica_bytes,
+        ))?;
+    }
+    Ok(block)
+}
+
+/// Stores a block whose per-replica payloads were produced elsewhere
+/// (the Hadoop++ post-upload indexing jobs use this to rewrite data as
+/// binary-with-trojan-index; all replicas are identical).
+pub fn store_transformed_block(
+    cluster: &mut DfsCluster,
+    writer: DatanodeId,
+    payload: Bytes,
+    meta: IndexMetadata,
+) -> Result<BlockId> {
+    let replication = cluster.config().replication;
+    let (block, chain) = cluster.allocate(writer, replication)?;
+    let packets = packetize(&payload);
+    let received = match stream_chain(cluster, writer, &chain, packets, &FaultPlan::none()) {
+        Ok(r) => r,
+        Err(e) => {
+            cluster.namenode_mut().abandon_block(block);
+            return Err(e);
+        }
+    };
+    for (dn, packets) in chain.iter().zip(received) {
+        let data = reassemble(&packets)?;
+        let checksums: Vec<u32> = packets.iter().flat_map(|p| p.checksums.clone()).collect();
+        let len = data.len();
+        cluster
+            .datanode_mut(*dn)?
+            .write_replica(block, Bytes::from(data), checksums)?;
+        cluster.namenode_mut().register_replica(HailBlockReplicaInfo::new(
+            block,
+            *dn,
+            meta.clone(),
+            len,
+        ))?;
+    }
+    Ok(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hail_index::ReplicaIndexConfig;
+    use hail_pax::blocks_from_text;
+    use hail_types::{DataType, Field, Schema, StorageConfig, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("name", DataType::VarChar),
+        ])
+        .unwrap()
+    }
+
+    fn pax_block() -> PaxBlock {
+        let text: String = [5, 3, 9, 1, 7, 2, 8]
+            .iter()
+            .map(|i| format!("{i}|name{i}\n"))
+            .collect();
+        blocks_from_text(&text, &schema(), &StorageConfig::test_scale(1 << 20))
+            .unwrap()
+            .pop()
+            .unwrap()
+    }
+
+    fn cluster() -> DfsCluster {
+        DfsCluster::new(4, StorageConfig::test_scale(1 << 20))
+    }
+
+    #[test]
+    fn hdfs_upload_stores_identical_replicas() {
+        let mut c = cluster();
+        let raw = Bytes::from_static(b"1|a\n2|b\n3|c\n");
+        let block = hdfs_upload_block(&mut c, 0, raw.clone(), &FaultPlan::none()).unwrap();
+        let hosts = c.namenode().get_hosts(block).unwrap();
+        assert_eq!(hosts.len(), 3);
+        let mut ledger = hail_sim::CostLedger::new();
+        for &dn in &hosts {
+            let data = c.datanode(dn).unwrap().read_replica(block, &mut ledger).unwrap();
+            assert_eq!(data, raw);
+        }
+        // Client read the file once from local disk.
+        assert_eq!(c.client_ledger(0).disk_read, raw.len() as u64);
+    }
+
+    #[test]
+    fn hail_upload_creates_divergent_sorted_replicas() {
+        let mut c = cluster();
+        let pax = pax_block();
+        let orders = ReplicaIndexConfig::first_indexed(3, &[0, 1]);
+        let block =
+            hail_upload_block(&mut c, 1, &pax, orders.orders(), &FaultPlan::none()).unwrap();
+
+        let hosts = c.namenode().get_hosts(block).unwrap();
+        assert_eq!(hosts[0], 1, "writer holds the first replica");
+
+        // Replica 0: clustered on column 0.
+        let mut ledger = hail_sim::CostLedger::new();
+        let r0 = c
+            .datanode(hosts[0])
+            .unwrap()
+            .read_replica(block, &mut ledger)
+            .unwrap();
+        let b0 = IndexedBlock::parse(r0).unwrap();
+        assert_eq!(b0.sort_order(), SortOrder::Clustered { column: 0 });
+        assert_eq!(b0.pax().value(0, 0).unwrap(), Value::Int(1));
+        assert!(b0.index().is_some());
+
+        // Replica 1: clustered on column 1 (names).
+        let r1 = c
+            .datanode(hosts[1])
+            .unwrap()
+            .read_replica(block, &mut ledger)
+            .unwrap();
+        let b1 = IndexedBlock::parse(r1).unwrap();
+        assert_eq!(b1.sort_order(), SortOrder::Clustered { column: 1 });
+
+        // Replica 2: unsorted.
+        let r2 = c
+            .datanode(hosts[2])
+            .unwrap()
+            .read_replica(block, &mut ledger)
+            .unwrap();
+        let b2 = IndexedBlock::parse(r2).unwrap();
+        assert_eq!(b2.sort_order(), SortOrder::Unsorted);
+        assert_eq!(b2.pax().value(0, 0).unwrap(), Value::Int(5));
+
+        // Namenode knows who has which index.
+        assert_eq!(
+            c.namenode().get_hosts_with_index(block, 0).unwrap(),
+            vec![hosts[0]]
+        );
+        assert_eq!(
+            c.namenode().get_hosts_with_index(block, 1).unwrap(),
+            vec![hosts[1]]
+        );
+    }
+
+    #[test]
+    fn hail_checksums_differ_across_replicas() {
+        let mut c = cluster();
+        let pax = pax_block();
+        let orders = ReplicaIndexConfig::first_indexed(3, &[0, 1]);
+        let block =
+            hail_upload_block(&mut c, 0, &pax, orders.orders(), &FaultPlan::none()).unwrap();
+        let hosts = c.namenode().get_hosts(block).unwrap();
+        let mut ledger = hail_sim::CostLedger::new();
+        let bytes: Vec<Bytes> = hosts
+            .iter()
+            .map(|&d| c.datanode(d).unwrap().read_replica(block, &mut ledger).unwrap())
+            .collect();
+        assert_ne!(bytes[0], bytes[1]);
+        assert_ne!(bytes[1], bytes[2]);
+    }
+
+    #[test]
+    fn corruption_in_chain_fails_upload() {
+        let mut c = cluster();
+        let pax = pax_block();
+        let orders = ReplicaIndexConfig::unindexed(3);
+        let fault = FaultPlan {
+            corrupt_after_hop: Some((1, 0)),
+            ..Default::default()
+        };
+        let err = hail_upload_block(&mut c, 0, &pax, orders.orders(), &fault).unwrap_err();
+        assert!(matches!(err, HailError::ChecksumMismatch { .. }));
+        // The failed block was abandoned: the namenode has no trace of
+        // it, and a subsequent clean upload succeeds.
+        assert_eq!(c.namenode().block_count(), 0);
+        let ok = hail_upload_block(&mut c, 0, &pax, orders.orders(), &FaultPlan::none());
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn reordered_acks_fail_upload() {
+        let mut c = DfsCluster::new(4, StorageConfig::test_scale(256));
+        // Enough data for ≥2 packets would need 64 KB; instead rely on a
+        // larger block.
+        let text: String = (0..20_000).map(|i| format!("{i}|n{i}\n")).collect();
+        let pax = blocks_from_text(&text, &schema(), &StorageConfig::test_scale(1 << 30))
+            .unwrap()
+            .pop()
+            .unwrap();
+        let fault = FaultPlan {
+            reorder_acks: true,
+            ..Default::default()
+        };
+        let err = hail_upload_block(
+            &mut c,
+            0,
+            &pax,
+            ReplicaIndexConfig::unindexed(3).orders(),
+            &fault,
+        )
+        .unwrap_err();
+        assert!(matches!(err, HailError::Pipeline(_)));
+    }
+
+    #[test]
+    fn datanode_death_mid_stream_fails_upload() {
+        let mut c = cluster();
+        let pax = pax_block();
+        let fault = FaultPlan {
+            kill_datanode_at: Some((1, 0)),
+            ..Default::default()
+        };
+        // Writer 1 is the first replica target; killing it mid-stream
+        // aborts.
+        let err = hail_upload_block(
+            &mut c,
+            1,
+            &pax,
+            ReplicaIndexConfig::unindexed(3).orders(),
+            &fault,
+        )
+        .unwrap_err();
+        assert!(matches!(err, HailError::DeadDatanode(1)));
+    }
+
+    #[test]
+    fn network_charged_for_remote_hops_only() {
+        let mut c = cluster();
+        let pax = pax_block();
+        hail_upload_block(
+            &mut c,
+            0,
+            &pax,
+            ReplicaIndexConfig::unindexed(3).orders(),
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        // Writer-local first hop is free; the client sent nothing.
+        assert_eq!(c.client_ledger(0).net_sent, 0);
+        // DN chain hops were charged to the forwarding datanodes.
+        let ledgers = c.upload_ledgers();
+        let total_net: u64 = ledgers.iter().map(|l| l.net_sent).sum();
+        assert!(total_net > 0);
+    }
+
+    #[test]
+    fn sort_cpu_charged_per_indexed_replica() {
+        let mut c = cluster();
+        let pax = pax_block();
+        hail_upload_block(
+            &mut c,
+            0,
+            &pax,
+            ReplicaIndexConfig::first_indexed(3, &[0, 1, 0]).orders(),
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        let total_sort: u64 = c.upload_ledgers().iter().map(|l| l.sort_cpu).sum();
+        assert_eq!(total_sort, 3 * pax.byte_len() as u64);
+
+        let mut c2 = cluster();
+        hail_upload_block(
+            &mut c2,
+            0,
+            &pax,
+            ReplicaIndexConfig::unindexed(3).orders(),
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        let no_sort: u64 = c2.upload_ledgers().iter().map(|l| l.sort_cpu).sum();
+        assert_eq!(no_sort, 0);
+    }
+
+    #[test]
+    fn wrong_order_count_rejected() {
+        let mut c = cluster();
+        let pax = pax_block();
+        let err = hail_upload_block(
+            &mut c,
+            0,
+            &pax,
+            ReplicaIndexConfig::unindexed(2).orders(),
+            &FaultPlan::none(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn transformed_block_round_trip() {
+        let mut c = cluster();
+        let payload = Bytes::from(vec![7u8; 5000]);
+        let meta = IndexMetadata::none();
+        let block = store_transformed_block(&mut c, 2, payload.clone(), meta).unwrap();
+        let hosts = c.namenode().get_hosts(block).unwrap();
+        let mut ledger = hail_sim::CostLedger::new();
+        for &d in &hosts {
+            assert_eq!(
+                c.datanode(d).unwrap().read_replica(block, &mut ledger).unwrap(),
+                payload
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Replica placement: choosing datanodes for a new block.
+//!
+//! Mirrors HDFS's default policy at the granularity this simulation
+//! needs: the first replica lands on the writer's local node, the
+//! remaining replicas spread across other nodes, with a rotating start so
+//! storage load balances across the cluster.
+
+use hail_types::{DatanodeId, HailError, Result};
+
+/// Round-robin placement with writer locality.
+#[derive(Debug, Clone)]
+pub struct PlacementPolicy {
+    nodes: usize,
+    /// Rotates per allocation to spread non-local replicas.
+    cursor: usize,
+}
+
+impl PlacementPolicy {
+    pub fn new(nodes: usize) -> Self {
+        PlacementPolicy { nodes, cursor: 0 }
+    }
+
+    /// Picks `replication` distinct datanodes for a block written by
+    /// `writer`, excluding dead nodes. The writer (if alive) always gets
+    /// the first replica — HDFS's write-locality rule.
+    pub fn place(
+        &mut self,
+        writer: DatanodeId,
+        replication: usize,
+        is_alive: impl Fn(DatanodeId) -> bool,
+    ) -> Result<Vec<DatanodeId>> {
+        let alive: Vec<DatanodeId> = (0..self.nodes).filter(|&d| is_alive(d)).collect();
+        if alive.len() < replication {
+            return Err(HailError::InsufficientReplication {
+                wanted: replication,
+                alive: alive.len(),
+            });
+        }
+        let mut chosen = Vec::with_capacity(replication);
+        if is_alive(writer) {
+            chosen.push(writer);
+        }
+        // Walk the alive list starting at a rotating cursor; advance the
+        // cursor past everything consumed so consecutive allocations use
+        // different non-local targets.
+        let start = self.cursor % alive.len();
+        let mut i = 0;
+        while chosen.len() < replication {
+            let candidate = alive[(start + i) % alive.len()];
+            i += 1;
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+            if i > 2 * alive.len() {
+                return Err(HailError::Internal("placement loop".into()));
+            }
+        }
+        self.cursor = self.cursor.wrapping_add(i.max(1));
+        Ok(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_gets_first_replica() {
+        let mut p = PlacementPolicy::new(5);
+        let placed = p.place(3, 3, |_| true).unwrap();
+        assert_eq!(placed[0], 3);
+        assert_eq!(placed.len(), 3);
+        // All distinct.
+        let mut sorted = placed.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn rotation_spreads_replicas() {
+        let mut p = PlacementPolicy::new(6);
+        let a = p.place(0, 3, |_| true).unwrap();
+        let b = p.place(0, 3, |_| true).unwrap();
+        // The non-local replicas differ between consecutive allocations.
+        assert_ne!(a[1..], b[1..]);
+    }
+
+    #[test]
+    fn dead_nodes_skipped() {
+        let mut p = PlacementPolicy::new(4);
+        let placed = p.place(0, 3, |d| d != 2).unwrap();
+        assert!(!placed.contains(&2));
+    }
+
+    #[test]
+    fn dead_writer_still_places() {
+        let mut p = PlacementPolicy::new(4);
+        let placed = p.place(1, 3, |d| d != 1).unwrap();
+        assert!(!placed.contains(&1));
+        assert_eq!(placed.len(), 3);
+    }
+
+    #[test]
+    fn insufficient_nodes_error() {
+        let mut p = PlacementPolicy::new(3);
+        let err = p.place(0, 3, |d| d == 0).unwrap_err();
+        assert!(matches!(
+            err,
+            HailError::InsufficientReplication { wanted: 3, alive: 1 }
+        ));
+    }
+
+    #[test]
+    fn replication_equal_to_cluster() {
+        let mut p = PlacementPolicy::new(3);
+        let placed = p.place(2, 3, |_| true).unwrap();
+        let mut sorted = placed;
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,254 @@
+//! The HAIL block container: PAX data + embedded index + index metadata.
+//!
+//! This is the physical file each datanode flushes for one replica
+//! (Fig. 1's *HAIL Block*): the (sorted) PAX block, followed by the
+//! serialized clustered index, followed by a fixed-size trailer holding
+//! the index metadata and layout offsets.
+//!
+//! ```text
+//! ┌──────────────────────────────┐
+//! │ PAX block (sorted or not)    │
+//! ├──────────────────────────────┤
+//! │ index bytes (may be empty)   │
+//! ├──────────────────────────────┤
+//! │ IndexMetadata (16 B)         │
+//! │ pax_len u32 · index_len u32  │
+//! │ trailer magic u32            │
+//! └──────────────────────────────┘
+//! ```
+
+use crate::clustered::ClusteredIndex;
+use crate::metadata::{IndexKind, IndexMetadata};
+use crate::sort::SortOrder;
+use bytes::Bytes;
+use hail_pax::{sort_block, PaxBlock};
+use hail_types::{HailError, Result};
+
+/// Trailer magic ("LIAH").
+pub const TRAILER_MAGIC: u32 = 0x4841_494C;
+/// Fixed trailer size: 16-byte metadata + two u32 lengths + magic.
+pub const TRAILER_LEN: usize = 16 + 4 + 4 + 4;
+
+/// A replica's physical content, parsed: the PAX data plus its optional
+/// clustered index.
+#[derive(Debug, Clone)]
+pub struct IndexedBlock {
+    pax: PaxBlock,
+    index: Option<ClusteredIndex>,
+    meta: IndexMetadata,
+    bytes: Bytes,
+}
+
+impl IndexedBlock {
+    /// Builds a replica's content from an *unsorted* PAX block and the
+    /// replica's sort order: sorts (if requested), builds the clustered
+    /// index over the sorted key column, and serializes the container.
+    ///
+    /// This is exactly the per-datanode work of upload step 7.
+    pub fn build(block: &PaxBlock, order: SortOrder) -> Result<IndexedBlock> {
+        match order {
+            SortOrder::Unsorted => Self::assemble(block.clone(), None),
+            SortOrder::Clustered { column } => {
+                let (sorted, _perm) = sort_block(block, column)?;
+                let col = sorted.decode_column(column)?;
+                let keys: Vec<_> = (0..col.len()).map(|i| col.value(i)).collect();
+                let key_type = sorted.schema().field(column)?.data_type;
+                let index = ClusteredIndex::build(
+                    column,
+                    key_type,
+                    sorted.partition_size(),
+                    &keys,
+                )?;
+                Self::assemble(sorted, Some(index))
+            }
+        }
+    }
+
+    /// Serializes a (pax, index) pair into the container format.
+    pub fn assemble(pax: PaxBlock, index: Option<ClusteredIndex>) -> Result<IndexedBlock> {
+        let index_bytes = index.as_ref().map(ClusteredIndex::to_bytes).unwrap_or_default();
+        let meta = match &index {
+            Some(idx) => IndexMetadata {
+                kind: IndexKind::Clustered,
+                key_column: Some(idx.key_column()),
+                index_bytes: index_bytes.len(),
+                index_offset: pax.byte_len(),
+            },
+            None => IndexMetadata::none(),
+        };
+        let mut buf = Vec::with_capacity(pax.byte_len() + index_bytes.len() + TRAILER_LEN);
+        buf.extend_from_slice(pax.bytes());
+        buf.extend_from_slice(&index_bytes);
+        buf.extend_from_slice(&meta.to_bytes());
+        buf.extend_from_slice(&(pax.byte_len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(index_bytes.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&TRAILER_MAGIC.to_le_bytes());
+        Ok(IndexedBlock {
+            pax,
+            index,
+            meta,
+            bytes: Bytes::from(buf),
+        })
+    }
+
+    /// Parses a serialized HAIL block.
+    pub fn parse(bytes: Bytes) -> Result<IndexedBlock> {
+        if bytes.len() < TRAILER_LEN {
+            return Err(HailError::Corrupt(format!(
+                "block of {} bytes is smaller than the trailer",
+                bytes.len()
+            )));
+        }
+        let t = bytes.len() - TRAILER_LEN;
+        let meta = IndexMetadata::from_bytes(&bytes[t..t + 16])?;
+        let pax_len =
+            u32::from_le_bytes(bytes[t + 16..t + 20].try_into().unwrap()) as usize;
+        let index_len =
+            u32::from_le_bytes(bytes[t + 20..t + 24].try_into().unwrap()) as usize;
+        let magic = u32::from_le_bytes(bytes[t + 24..t + 28].try_into().unwrap());
+        if magic != TRAILER_MAGIC {
+            return Err(HailError::Corrupt(format!(
+                "bad trailer magic {magic:#010x}"
+            )));
+        }
+        if pax_len + index_len + TRAILER_LEN != bytes.len() {
+            return Err(HailError::Corrupt(format!(
+                "trailer lengths ({pax_len} + {index_len}) inconsistent with block of {} bytes",
+                bytes.len()
+            )));
+        }
+        let pax = PaxBlock::parse(bytes.slice(0..pax_len))?;
+        let index = if meta.kind == IndexKind::Clustered && index_len > 0 {
+            Some(ClusteredIndex::from_bytes(
+                &bytes[pax_len..pax_len + index_len],
+            )?)
+        } else {
+            None
+        };
+        Ok(IndexedBlock {
+            pax,
+            index,
+            meta,
+            bytes,
+        })
+    }
+
+    /// The PAX data of this replica.
+    pub fn pax(&self) -> &PaxBlock {
+        &self.pax
+    }
+
+    /// The clustered index, if the replica has one.
+    pub fn index(&self) -> Option<&ClusteredIndex> {
+        self.index.as_ref()
+    }
+
+    /// The replica's index metadata.
+    pub fn metadata(&self) -> &IndexMetadata {
+        &self.meta
+    }
+
+    /// The full serialized file content.
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// Physical file size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The sort order of this replica.
+    pub fn sort_order(&self) -> SortOrder {
+        self.meta.sort_order()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hail_pax::blocks_from_text;
+    use hail_types::{DataType, Field, Schema, StorageConfig, Value};
+
+    fn pax_block() -> PaxBlock {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::VarChar),
+        ])
+        .unwrap();
+        let text = "5|five\n3|three\n9|nine\n1|one\n7|seven\n";
+        blocks_from_text(text, &schema, &StorageConfig::test_scale(1 << 20))
+            .unwrap()
+            .pop()
+            .unwrap()
+    }
+
+    #[test]
+    fn unsorted_replica_round_trip() {
+        let b = IndexedBlock::build(&pax_block(), SortOrder::Unsorted).unwrap();
+        assert!(b.index().is_none());
+        assert_eq!(b.metadata().kind, IndexKind::None);
+        let parsed = IndexedBlock::parse(b.bytes().clone()).unwrap();
+        assert_eq!(parsed.pax().row_count(), 5);
+        // Upload order preserved.
+        assert_eq!(parsed.pax().value(0, 0).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn clustered_replica_sorts_and_indexes() {
+        let b = IndexedBlock::build(&pax_block(), SortOrder::Clustered { column: 0 }).unwrap();
+        let idx = b.index().expect("index");
+        assert_eq!(idx.key_column(), 0);
+        assert_eq!(idx.row_count(), 5);
+        assert_eq!(b.metadata().kind, IndexKind::Clustered);
+        assert_eq!(b.metadata().key_column, Some(0));
+        assert_eq!(b.pax().value(0, 0).unwrap(), Value::Int(1));
+        assert_eq!(b.pax().value(1, 0).unwrap(), Value::Str("one".into()));
+        assert_eq!(b.pax().value(0, 4).unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn parse_round_trip_with_index() {
+        let b = IndexedBlock::build(&pax_block(), SortOrder::Clustered { column: 0 }).unwrap();
+        let parsed = IndexedBlock::parse(b.bytes().clone()).unwrap();
+        assert_eq!(parsed.index().unwrap(), b.index().unwrap());
+        assert_eq!(parsed.metadata(), b.metadata());
+        assert_eq!(parsed.sort_order(), SortOrder::Clustered { column: 0 });
+    }
+
+    #[test]
+    fn replicas_differ_physically() {
+        let pax = pax_block();
+        let r0 = IndexedBlock::build(&pax, SortOrder::Clustered { column: 0 }).unwrap();
+        let r1 = IndexedBlock::build(&pax, SortOrder::Clustered { column: 1 }).unwrap();
+        let r2 = IndexedBlock::build(&pax, SortOrder::Unsorted).unwrap();
+        assert_ne!(r0.bytes(), r1.bytes());
+        assert_ne!(r0.bytes(), r2.bytes());
+        // ...but all recover the same logical rows (failover property).
+        let mut rows0: Vec<String> = (0..5)
+            .map(|r| r0.pax().reconstruct_full(r).unwrap().to_string())
+            .collect();
+        let mut rows1: Vec<String> = (0..5)
+            .map(|r| r1.pax().reconstruct_full(r).unwrap().to_string())
+            .collect();
+        rows0.sort();
+        rows1.sort();
+        assert_eq!(rows0, rows1);
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_trailer() {
+        let b = IndexedBlock::build(&pax_block(), SortOrder::Unsorted).unwrap();
+        let mut raw = b.bytes().to_vec();
+        let n = raw.len();
+        raw[n - 1] ^= 0xFF; // clobber magic
+        assert!(IndexedBlock::parse(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_truncation() {
+        let b = IndexedBlock::build(&pax_block(), SortOrder::Clustered { column: 0 }).unwrap();
+        let raw = b.bytes().to_vec();
+        assert!(IndexedBlock::parse(Bytes::from(raw[..10].to_vec())).is_err());
+    }
+}

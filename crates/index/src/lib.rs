@@ -1,0 +1,35 @@
+//! # hail-index
+//!
+//! Indexing structures for HAIL block replicas:
+//!
+//! - [`clustered`] — the paper's sparse clustered index (Fig. 2)
+//! - [`sort`] — per-replica sort orders and the upload index configuration
+//! - [`indexed`] — the HAIL block container (PAX data + index + metadata)
+//! - [`metadata`] — index metadata and the namenode's per-replica info
+//! - [`trojan`] — the Hadoop++ trojan-index baseline
+//! - [`unclustered`] — dense unclustered index (ablation only)
+//! - [`selection`] — which attribute to index on which replica (§3.4)
+//! - [`bitmap`], [`inverted`] — the paper's §3.5 extension indexes:
+//!   bitmaps for low-cardinality domains, inverted lists for bad records
+
+#![forbid(unsafe_code)]
+
+pub mod bitmap;
+pub mod clustered;
+pub mod indexed;
+pub mod inverted;
+pub mod metadata;
+pub mod selection;
+pub mod sort;
+pub mod trojan;
+pub mod unclustered;
+
+pub use bitmap::{BitmapIndex, DEFAULT_CARDINALITY_LIMIT};
+pub use clustered::{ClusteredIndex, KeyBounds};
+pub use inverted::{tokenize, InvertedList};
+pub use indexed::{IndexedBlock, TRAILER_LEN, TRAILER_MAGIC};
+pub use metadata::{HailBlockReplicaInfo, IndexKind, IndexMetadata};
+pub use selection::{select_for_workload, select_manual, WorkloadFilter};
+pub use sort::{ReplicaIndexConfig, SortOrder};
+pub use trojan::{TrojanIndex, TROJAN_GRANULARITY};
+pub use unclustered::UnclusteredIndex;

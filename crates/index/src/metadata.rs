@@ -1,0 +1,198 @@
+//! Index metadata: what each replica carries with its block and what the
+//! namenode keeps in `Dir_rep` (§3.3).
+
+use crate::sort::SortOrder;
+use hail_types::bytes_util::{put_u32, ByteReader};
+use hail_types::{BlockId, DatanodeId, HailError, Result};
+use std::fmt;
+
+/// The kind of index a replica carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// No index: plain (possibly still PAX) data.
+    None,
+    /// HAIL sparse clustered index over sorted data.
+    Clustered,
+    /// Hadoop++-style trojan index (per logical block, dense directory).
+    Trojan,
+    /// Unclustered rowid index (ablation only).
+    Unclustered,
+}
+
+impl IndexKind {
+    fn tag(self) -> u8 {
+        match self {
+            IndexKind::None => 0,
+            IndexKind::Clustered => 1,
+            IndexKind::Trojan => 2,
+            IndexKind::Unclustered => 3,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self> {
+        Ok(match t {
+            0 => IndexKind::None,
+            1 => IndexKind::Clustered,
+            2 => IndexKind::Trojan,
+            3 => IndexKind::Unclustered,
+            other => return Err(HailError::Corrupt(format!("unknown index kind {other}"))),
+        })
+    }
+}
+
+impl fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IndexKind::None => "none",
+            IndexKind::Clustered => "clustered",
+            IndexKind::Trojan => "trojan",
+            IndexKind::Unclustered => "unclustered",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-replica index description: stored inside the HAIL block (the
+/// *Index Metadata* of Fig. 1) and mirrored in the namenode's `Dir_rep`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexMetadata {
+    /// What kind of index the replica carries.
+    pub kind: IndexKind,
+    /// 0-based key column, when indexed.
+    pub key_column: Option<usize>,
+    /// Serialized index size in bytes (0 when unindexed).
+    pub index_bytes: usize,
+    /// Byte offset of the index region within the replica's file.
+    pub index_offset: usize,
+}
+
+impl IndexMetadata {
+    /// Metadata for an unindexed replica.
+    pub fn none() -> Self {
+        IndexMetadata {
+            kind: IndexKind::None,
+            key_column: None,
+            index_bytes: 0,
+            index_offset: 0,
+        }
+    }
+
+    /// The sort order this metadata implies.
+    pub fn sort_order(&self) -> SortOrder {
+        match (self.kind, self.key_column) {
+            (IndexKind::Clustered, Some(c)) => SortOrder::Clustered { column: c },
+            _ => SortOrder::Unsorted,
+        }
+    }
+
+    /// True if this replica can serve an index scan on `column`.
+    pub fn serves_column(&self, column: usize) -> bool {
+        self.kind != IndexKind::None && self.key_column == Some(column)
+    }
+
+    /// Fixed-size binary encoding (16 bytes) embedded in block trailers.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16);
+        buf.push(self.kind.tag());
+        buf.push(self.key_column.is_some() as u8);
+        buf.extend_from_slice(&[0u8; 2]); // padding
+        put_u32(&mut buf, self.key_column.unwrap_or(0) as u32);
+        put_u32(&mut buf, self.index_bytes as u32);
+        put_u32(&mut buf, self.index_offset as u32);
+        buf
+    }
+
+    /// Parses the 16-byte encoding.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let kind = IndexKind::from_tag(r.u8()?)?;
+        let has_col = r.u8()? != 0;
+        r.u8()?;
+        r.u8()?;
+        let col = r.u32()? as usize;
+        let index_bytes = r.u32()? as usize;
+        let index_offset = r.u32()? as usize;
+        Ok(IndexMetadata {
+            kind,
+            key_column: has_col.then_some(col),
+            index_bytes,
+            index_offset,
+        })
+    }
+}
+
+/// What the namenode stores per `(blockID, datanode)` in `Dir_rep`:
+/// "detailed information about the types of available indexes for a
+/// replica, i.e. indexing key, index type, size, start offsets, and so
+/// on" (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HailBlockReplicaInfo {
+    pub block: BlockId,
+    pub datanode: DatanodeId,
+    pub index: IndexMetadata,
+    /// Physical size of this replica's data file — replicas of the same
+    /// logical block differ in size once indexes are embedded.
+    pub replica_bytes: usize,
+}
+
+impl HailBlockReplicaInfo {
+    pub fn new(
+        block: BlockId,
+        datanode: DatanodeId,
+        index: IndexMetadata,
+        replica_bytes: usize,
+    ) -> Self {
+        HailBlockReplicaInfo {
+            block,
+            datanode,
+            index,
+            replica_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_round_trip() {
+        let m = IndexMetadata {
+            kind: IndexKind::Clustered,
+            key_column: Some(3),
+            index_bytes: 2048,
+            index_offset: 123_456,
+        };
+        let bytes = m.to_bytes();
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(IndexMetadata::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn none_round_trip() {
+        let m = IndexMetadata::none();
+        assert_eq!(IndexMetadata::from_bytes(&m.to_bytes()).unwrap(), m);
+        assert_eq!(m.sort_order(), SortOrder::Unsorted);
+        assert!(!m.serves_column(0));
+    }
+
+    #[test]
+    fn serves_column() {
+        let m = IndexMetadata {
+            kind: IndexKind::Clustered,
+            key_column: Some(2),
+            index_bytes: 10,
+            index_offset: 0,
+        };
+        assert!(m.serves_column(2));
+        assert!(!m.serves_column(1));
+        assert_eq!(m.sort_order(), SortOrder::Clustered { column: 2 });
+    }
+
+    #[test]
+    fn bad_kind_tag_rejected() {
+        let mut bytes = IndexMetadata::none().to_bytes();
+        bytes[0] = 9;
+        assert!(IndexMetadata::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Index selection: which attribute to cluster each replica on (§3.4).
+//!
+//! Bob's web log has few attributes, so he "simply creates indexes on all
+//! of them". When a dataset has more attributes than replicas the choice
+//! matters; the paper defers a full per-replica physical-design algorithm
+//! to future work but sketches the requirements. We provide:
+//!
+//! - [`select_manual`] — Bob's configuration-file path;
+//! - [`select_for_workload`] — a greedy advisor that ranks attributes by
+//!   the aggregate selectivity-weighted frequency with which a workload
+//!   filters on them, and assigns the top-k to the k replicas. This is
+//!   the natural first instantiation of the paper's "extend Trojan
+//!   Layouts \[21\] to compute clustered indexes per replica".
+
+use crate::sort::{ReplicaIndexConfig, SortOrder};
+use hail_types::{Result, Schema};
+
+/// One workload entry for the advisor: a query filters on `column` with
+/// the given estimated `selectivity` (fraction of rows qualifying) and
+/// occurs with relative `frequency`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadFilter {
+    pub column: usize,
+    pub selectivity: f64,
+    pub frequency: f64,
+}
+
+impl WorkloadFilter {
+    pub fn new(column: usize, selectivity: f64, frequency: f64) -> Self {
+        WorkloadFilter {
+            column,
+            selectivity,
+            frequency,
+        }
+    }
+
+    /// Benefit of having a clustered index on this filter's column: an
+    /// index scan reads ≈`selectivity` of the block instead of all of it,
+    /// so the saved fraction — weighted by how often the query runs — is
+    /// `frequency × (1 − selectivity)`.
+    fn benefit(&self) -> f64 {
+        self.frequency * (1.0 - self.selectivity.clamp(0.0, 1.0))
+    }
+}
+
+/// Manual selection: cluster replica `i` on `columns[i]`; extra replicas
+/// stay unsorted, extra columns are ignored.
+pub fn select_manual(
+    schema: &Schema,
+    replication: usize,
+    columns: &[usize],
+) -> Result<ReplicaIndexConfig> {
+    let config = ReplicaIndexConfig::first_indexed(replication, columns);
+    config.validate(schema)?;
+    Ok(config)
+}
+
+/// Greedy workload-driven selection: rank columns by total benefit and
+/// assign the best `replication` distinct columns to the replicas.
+///
+/// If fewer distinct filtered columns exist than replicas, the remaining
+/// replicas duplicate the top column (an extra copy of the most useful
+/// index also helps failover, cf. HAIL-1Idx in §6.4.3).
+pub fn select_for_workload(
+    schema: &Schema,
+    replication: usize,
+    workload: &[WorkloadFilter],
+) -> Result<ReplicaIndexConfig> {
+    let mut benefit = vec![0.0f64; schema.len()];
+    for f in workload {
+        schema.field(f.column)?;
+        benefit[f.column] += f.benefit();
+    }
+    let mut ranked: Vec<usize> = (0..schema.len()).filter(|&c| benefit[c] > 0.0).collect();
+    ranked.sort_by(|&a, &b| {
+        benefit[b]
+            .partial_cmp(&benefit[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    if ranked.is_empty() {
+        return Ok(ReplicaIndexConfig::unindexed(replication));
+    }
+    let mut orders = Vec::with_capacity(replication);
+    for i in 0..replication {
+        let column = *ranked.get(i).unwrap_or(&ranked[0]);
+        orders.push(SortOrder::Clustered { column });
+    }
+    Ok(ReplicaIndexConfig::new(orders))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hail_types::{DataType, Field};
+
+    fn schema(n: usize) -> Schema {
+        Schema::new(
+            (0..n)
+                .map(|i| Field::new(format!("a{i}"), DataType::Int))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn manual_selection() {
+        let c = select_manual(&schema(5), 3, &[2, 0, 4]).unwrap();
+        assert_eq!(c.orders()[0], SortOrder::Clustered { column: 2 });
+        assert_eq!(c.orders()[2], SortOrder::Clustered { column: 4 });
+        assert!(select_manual(&schema(2), 3, &[7]).is_err());
+    }
+
+    #[test]
+    fn workload_ranks_by_benefit() {
+        // Column 1: frequent + selective → best. Column 3: frequent but
+        // unselective → less benefit. Column 0: rare.
+        let w = vec![
+            WorkloadFilter::new(1, 0.001, 10.0),
+            WorkloadFilter::new(3, 0.5, 10.0),
+            WorkloadFilter::new(0, 0.001, 1.0),
+        ];
+        let c = select_for_workload(&schema(5), 3, &w).unwrap();
+        assert_eq!(c.orders()[0], SortOrder::Clustered { column: 1 });
+        assert_eq!(c.orders()[1], SortOrder::Clustered { column: 3 });
+        assert_eq!(c.orders()[2], SortOrder::Clustered { column: 0 });
+    }
+
+    #[test]
+    fn workload_duplicates_top_when_short() {
+        let w = vec![WorkloadFilter::new(2, 0.01, 1.0)];
+        let c = select_for_workload(&schema(5), 3, &w).unwrap();
+        assert_eq!(c.index_count(), 3);
+        assert!(c.orders().iter().all(|o| o.column() == Some(2)));
+    }
+
+    #[test]
+    fn empty_workload_gives_unindexed() {
+        let c = select_for_workload(&schema(3), 3, &[]).unwrap();
+        assert_eq!(c.index_count(), 0);
+    }
+
+    #[test]
+    fn repeated_filters_accumulate() {
+        // Two medium queries on column 0 beat one on column 1.
+        let w = vec![
+            WorkloadFilter::new(0, 0.1, 1.0),
+            WorkloadFilter::new(0, 0.1, 1.0),
+            WorkloadFilter::new(1, 0.1, 1.5),
+        ];
+        let c = select_for_workload(&schema(3), 1, &w).unwrap();
+        assert_eq!(c.orders()[0], SortOrder::Clustered { column: 0 });
+    }
+
+    #[test]
+    fn invalid_column_errors() {
+        let w = vec![WorkloadFilter::new(9, 0.1, 1.0)];
+        assert!(select_for_workload(&schema(3), 3, &w).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Sort orders: which attribute each replica is clustered on.
+
+use hail_types::{Result, Schema};
+use std::fmt;
+
+/// The sort order of one block replica: the 0-based column it is sorted
+/// and clustered on, or `None` for an unsorted (HDFS-equivalent) replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortOrder {
+    /// Replica keeps upload order (no index).
+    Unsorted,
+    /// Replica is sorted ascending on the given 0-based column.
+    Clustered { column: usize },
+}
+
+impl SortOrder {
+    /// The clustered column, if any.
+    pub fn column(&self) -> Option<usize> {
+        match self {
+            SortOrder::Unsorted => None,
+            SortOrder::Clustered { column } => Some(*column),
+        }
+    }
+
+    /// Validates the sort order against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        if let SortOrder::Clustered { column } = self {
+            schema.field(*column)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SortOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortOrder::Unsorted => f.write_str("unsorted"),
+            SortOrder::Clustered { column } => write!(f, "clustered(@{})", column + 1),
+        }
+    }
+}
+
+/// The per-replica index configuration for an upload: `orders[i]` is the
+/// sort order of replica `i`. Its length must equal the replication
+/// factor.
+///
+/// This is the paper's "configuration file" through which Bob (or a
+/// physical-design algorithm, see [`crate::selection`]) tells HAIL which
+/// clustered index to create on each replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaIndexConfig {
+    orders: Vec<SortOrder>,
+}
+
+impl ReplicaIndexConfig {
+    pub fn new(orders: Vec<SortOrder>) -> Self {
+        ReplicaIndexConfig { orders }
+    }
+
+    /// All replicas unsorted (HAIL upload with zero indexes — still PAX,
+    /// still binary, but no sorting).
+    pub fn unindexed(replication: usize) -> Self {
+        ReplicaIndexConfig {
+            orders: vec![SortOrder::Unsorted; replication],
+        }
+    }
+
+    /// Clusters the first `columns.len()` replicas on the given columns,
+    /// remaining replicas unsorted. This mirrors the experiments that vary
+    /// "number of created indexes" from 0 to the replication factor.
+    pub fn first_indexed(replication: usize, columns: &[usize]) -> Self {
+        let mut orders = Vec::with_capacity(replication);
+        for i in 0..replication {
+            orders.push(match columns.get(i) {
+                Some(&c) => SortOrder::Clustered { column: c },
+                None => SortOrder::Unsorted,
+            });
+        }
+        ReplicaIndexConfig { orders }
+    }
+
+    /// The same clustered index on every replica (the paper's HAIL-1Idx
+    /// failover variant).
+    pub fn uniform(replication: usize, column: usize) -> Self {
+        ReplicaIndexConfig {
+            orders: vec![SortOrder::Clustered { column }; replication],
+        }
+    }
+
+    pub fn orders(&self) -> &[SortOrder] {
+        &self.orders
+    }
+
+    /// Replication factor implied by this configuration.
+    pub fn replication(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// Number of replicas that carry a clustered index.
+    pub fn index_count(&self) -> usize {
+        self.orders
+            .iter()
+            .filter(|o| matches!(o, SortOrder::Clustered { .. }))
+            .count()
+    }
+
+    /// Validates all orders against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        for o in &self.orders {
+            o.validate(schema)?;
+        }
+        Ok(())
+    }
+
+    /// Replica indexes (positions in the chain) clustered on `column`.
+    pub fn replicas_with_index(&self, column: usize) -> Vec<usize> {
+        self.orders
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| (o.column() == Some(column)).then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hail_types::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::VarChar),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn unindexed_config() {
+        let c = ReplicaIndexConfig::unindexed(3);
+        assert_eq!(c.replication(), 3);
+        assert_eq!(c.index_count(), 0);
+        assert!(c.validate(&schema()).is_ok());
+    }
+
+    #[test]
+    fn first_indexed_pads_with_unsorted() {
+        let c = ReplicaIndexConfig::first_indexed(3, &[1]);
+        assert_eq!(c.index_count(), 1);
+        assert_eq!(c.orders()[0], SortOrder::Clustered { column: 1 });
+        assert_eq!(c.orders()[1], SortOrder::Unsorted);
+    }
+
+    #[test]
+    fn uniform_config() {
+        let c = ReplicaIndexConfig::uniform(3, 0);
+        assert_eq!(c.index_count(), 3);
+        assert_eq!(c.replicas_with_index(0), vec![0, 1, 2]);
+        assert_eq!(c.replicas_with_index(1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn validate_rejects_bad_column() {
+        let c = ReplicaIndexConfig::uniform(3, 7);
+        assert!(c.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SortOrder::Clustered { column: 2 }.to_string(), "clustered(@3)");
+        assert_eq!(SortOrder::Unsorted.to_string(), "unsorted");
+    }
+}

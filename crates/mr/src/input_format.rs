@@ -1,0 +1,92 @@
+//! The `InputFormat` abstraction: how a job's input is cut into splits
+//! and how one split is read on a worker.
+//!
+//! Hadoop's `InputFormat`/`RecordReader` UDFs are the paper's integration
+//! point: HAIL ships `HailInputFormat` + `HailRecordReader` and changes
+//! nothing else in the engine (§4.3). The engine in this crate likewise
+//! only sees this trait; the Hadoop, Hadoop++ and HAIL behaviours live in
+//! `hail-core`.
+
+use crate::job::{MapRecord, TaskStats};
+use hail_dfs::DfsCluster;
+use hail_sim::CostLedger;
+use hail_types::{BlockId, DatanodeId, Result};
+
+/// A logical input split: one map task's input.
+///
+/// Default Hadoop splitting maps one split to one block; HAIL's
+/// `HailSplitting` maps one split to *many* blocks colocated on one
+/// datanode (§4.3), shrinking the task count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputSplit {
+    /// Blocks this split covers.
+    pub blocks: Vec<BlockId>,
+    /// Preferred nodes to schedule the task on (split locations).
+    pub locations: Vec<DatanodeId>,
+}
+
+impl InputSplit {
+    pub fn new(blocks: Vec<BlockId>, locations: Vec<DatanodeId>) -> Self {
+        InputSplit { blocks, locations }
+    }
+
+    /// Single-block split (default Hadoop splitting).
+    pub fn for_block(block: BlockId, locations: Vec<DatanodeId>) -> Self {
+        InputSplit {
+            blocks: vec![block],
+            locations,
+        }
+    }
+}
+
+/// The split plan returned by an `InputFormat`: the splits plus the
+/// physical cost the JobClient paid computing them (namenode lookups are
+/// free main-memory operations; Hadoop++ additionally reads a block
+/// header per block here).
+#[derive(Debug, Clone, Default)]
+pub struct SplitPlan {
+    pub splits: Vec<InputSplit>,
+    pub client_cost: CostLedger,
+}
+
+/// How a job's input is split and read. Implemented by the Hadoop
+/// baseline, Hadoop++, and HAIL in `hail-core`.
+pub trait InputFormat {
+    /// Computes input splits for the given input blocks.
+    fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan>;
+
+    /// Reads one split on behalf of a map task running on `task_node`,
+    /// emitting each record to `emit`. Returns the task's physical
+    /// statistics.
+    fn read_split(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        task_node: DatanodeId,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats>;
+
+    /// A short name for reports ("Hadoop", "Hadoop++", "HAIL").
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_constructors() {
+        let s = InputSplit::for_block(7, vec![1, 2]);
+        assert_eq!(s.blocks, vec![7]);
+        let m = InputSplit::new(vec![1, 2, 3], vec![0]);
+        assert_eq!(m.blocks.len(), 3);
+        assert_eq!(m.locations, vec![0]);
+    }
+
+    #[test]
+    fn default_split_plan_is_empty() {
+        let p = SplitPlan::default();
+        assert!(p.splits.is_empty());
+        assert_eq!(p.client_cost.disk_read, 0);
+    }
+}

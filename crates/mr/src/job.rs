@@ -1,0 +1,228 @@
+//! Job-level types: records, task statistics, job reports.
+
+use hail_sim::{CostLedger, HardwareProfile, ScaleFactor};
+use hail_types::{DatanodeId, Row};
+
+/// One record handed to the map function.
+///
+/// Mirrors the `HailRecord` of §4.1: a (possibly projected) row plus a
+/// flag marking bad records, which HAIL passes through to the map
+/// function untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapRecord {
+    pub row: Row,
+    /// True if this record came from the block's bad-record section; the
+    /// row then holds a single string value with the raw line.
+    pub bad: bool,
+}
+
+impl MapRecord {
+    pub fn good(row: Row) -> Self {
+        MapRecord { row, bad: false }
+    }
+
+    pub fn bad(line: String) -> Self {
+        MapRecord {
+            row: Row::new(vec![hail_types::Value::Str(line)]),
+            bad: true,
+        }
+    }
+}
+
+/// What one map task's record reader did, as reported by the
+/// `InputFormat`.
+#[derive(Debug, Clone, Default)]
+pub struct TaskStats {
+    /// Physical activity of the read (disk, seeks, CPU, remote bytes).
+    pub ledger: CostLedger,
+    /// True if the access pattern is latency-bound (index lookup: read
+    /// index, seek, read partitions, post-filter) rather than a streaming
+    /// scan; priced serially instead of pipelined.
+    pub serial_pricing: bool,
+    /// Records emitted to the map function.
+    pub records: u64,
+    /// True if this task had to fall back to a full scan because no
+    /// replica with a matching index was reachable.
+    pub fell_back_to_scan: bool,
+}
+
+impl TaskStats {
+    /// The record-reader time of this task on the given hardware.
+    pub fn reader_seconds(&self, hw: &HardwareProfile, scale: ScaleFactor) -> f64 {
+        if self.serial_pricing {
+            self.ledger.serial_seconds(hw, scale)
+        } else {
+            self.ledger.pipelined_seconds(hw, scale)
+        }
+    }
+
+    /// Merges another task's stats into this one (multi-block splits).
+    pub fn merge(&mut self, other: &TaskStats) {
+        self.ledger.add(&other.ledger);
+        self.serial_pricing |= other.serial_pricing;
+        self.records += other.records;
+        self.fell_back_to_scan |= other.fell_back_to_scan;
+    }
+}
+
+/// Per-task outcome recorded by the scheduler.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// Index of the split this task processed.
+    pub split: usize,
+    /// Node the task ran on.
+    pub node: DatanodeId,
+    /// Simulated start/end times (seconds from job submission).
+    pub start: f64,
+    pub end: f64,
+    /// Record-reader seconds within the task.
+    pub reader_seconds: f64,
+    /// True if the task is a re-execution after a failure.
+    pub rerun: bool,
+    pub stats: TaskStats,
+}
+
+/// The full accounting of one job execution.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    pub job_name: String,
+    /// Fixed job startup (JobClient staging etc.).
+    pub startup_seconds: f64,
+    /// Time the JobClient spent computing splits (Hadoop++ pays header
+    /// reads here).
+    pub split_phase_seconds: f64,
+    /// Scheduled map tasks (including re-executions).
+    pub tasks: Vec<TaskReport>,
+    /// Number of input splits.
+    pub split_count: usize,
+    /// Total cluster map slots used for scheduling.
+    pub total_slots: usize,
+    /// End-to-end simulated job runtime.
+    pub end_to_end_seconds: f64,
+}
+
+impl JobReport {
+    /// Average record-reader time across tasks (the paper's Fig. 6b/7b
+    /// metric), in seconds.
+    pub fn avg_reader_seconds(&self) -> f64 {
+        if self.tasks.is_empty() {
+            return 0.0;
+        }
+        self.tasks.iter().map(|t| t.reader_seconds).sum::<f64>() / self.tasks.len() as f64
+    }
+
+    /// The paper's ideal execution time (§6.4.1):
+    /// `#MapTasks / #ParallelMapTasks × Avg(T_RecordReader)`.
+    pub fn ideal_seconds(&self) -> f64 {
+        if self.total_slots == 0 {
+            return 0.0;
+        }
+        let waves = self.tasks.len() as f64 / self.total_slots as f64;
+        waves * self.avg_reader_seconds()
+    }
+
+    /// The paper's framework overhead: `T_end-to-end − T_ideal`.
+    pub fn overhead_seconds(&self) -> f64 {
+        (self.end_to_end_seconds - self.ideal_seconds()).max(0.0)
+    }
+
+    /// Number of map tasks (including reruns).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Tasks that fell back to a full scan.
+    pub fn fallback_count(&self) -> usize {
+        self.tasks.iter().filter(|t| t.stats.fell_back_to_scan).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hail_types::Value;
+
+    fn report_with(reader_times: &[f64], slots: usize) -> JobReport {
+        JobReport {
+            job_name: "t".into(),
+            startup_seconds: 5.0,
+            split_phase_seconds: 1.0,
+            tasks: reader_times
+                .iter()
+                .enumerate()
+                .map(|(i, &rr)| TaskReport {
+                    split: i,
+                    node: 0,
+                    start: 0.0,
+                    end: rr,
+                    reader_seconds: rr,
+                    rerun: false,
+                    stats: TaskStats::default(),
+                })
+                .collect(),
+            split_count: reader_times.len(),
+            total_slots: slots,
+            end_to_end_seconds: 100.0,
+        }
+    }
+
+    #[test]
+    fn ideal_formula() {
+        let r = report_with(&[2.0, 4.0], 2);
+        // avg rr = 3, waves = 1 → ideal = 3.
+        assert!((r.ideal_seconds() - 3.0).abs() < 1e-12);
+        assert!((r.overhead_seconds() - 97.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = report_with(&[], 2);
+        assert_eq!(r.avg_reader_seconds(), 0.0);
+        assert_eq!(r.ideal_seconds(), 0.0);
+        assert_eq!(r.task_count(), 0);
+    }
+
+    #[test]
+    fn map_record_constructors() {
+        let g = MapRecord::good(Row::new(vec![Value::Int(1)]));
+        assert!(!g.bad);
+        let b = MapRecord::bad("broken line".into());
+        assert!(b.bad);
+        assert_eq!(b.row.get(0).unwrap().as_str(), Some("broken line"));
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = TaskStats {
+            records: 3,
+            ..Default::default()
+        };
+        let b = TaskStats {
+            records: 4,
+            serial_pricing: true,
+            fell_back_to_scan: true,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.records, 7);
+        assert!(a.serial_pricing);
+        assert!(a.fell_back_to_scan);
+    }
+
+    #[test]
+    fn reader_seconds_pricing_modes() {
+        use hail_sim::HardwareProfile;
+        let mut stats = TaskStats::default();
+        stats.ledger.disk_read = 50_000_000;
+        stats.ledger.scan_cpu = 50_000_000;
+        let hw = HardwareProfile::physical();
+        let serial = TaskStats {
+            serial_pricing: true,
+            ..stats.clone()
+        };
+        assert!(
+            serial.reader_seconds(&hw, ScaleFactor::unit())
+                > stats.reader_seconds(&hw, ScaleFactor::unit())
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # hail-mr
+//!
+//! A deterministic Hadoop-MapReduce-like execution engine:
+//!
+//! - [`input_format`] — the `InputFormat` UDF surface (splits + readers)
+//! - [`job`] — records, task statistics, job reports (T_ideal, overhead)
+//! - [`scheduler`] — locality-aware wave scheduling with Hadoop's
+//!   per-task overhead model
+//! - [`shuffle`] — grouped reduce with costed shuffle
+//! - [`failover`] — mid-job node death, task re-execution, slowdown
+
+#![forbid(unsafe_code)]
+
+pub mod failover;
+pub mod input_format;
+pub mod job;
+pub mod scheduler;
+pub mod shuffle;
+
+pub use failover::{run_map_job_with_failure, FailoverRun, FailureScenario};
+pub use input_format::{InputFormat, InputSplit, SplitPlan};
+pub use job::{JobReport, MapRecord, TaskReport, TaskStats};
+pub use scheduler::{run_map_job, JobRun, MapJob};
+pub use shuffle::{run_map_reduce_job, MapReduceJob, MapReduceRun};

@@ -1,0 +1,195 @@
+//! Shuffle + reduce: grouping map output by key and applying a reduce
+//! function.
+//!
+//! The paper's benchmark jobs are map-only, but real MapReduce programs
+//! (and two of our examples) aggregate. This module provides a
+//! deterministic shuffle (BTreeMap grouping) with cost accounting for
+//! the network transfer and merge-sort the shuffle performs.
+
+use crate::job::MapRecord;
+use crate::scheduler::{run_map_job, JobRun, MapJob};
+use hail_dfs::DfsCluster;
+use hail_sim::{ClusterSpec, CostLedger};
+use hail_types::{BlockId, Result, Row, Value};
+use std::collections::BTreeMap;
+
+/// A map-reduce job: `map` emits `(key, value-row)` pairs, `reduce`
+/// folds each key's rows into output rows.
+pub struct MapReduceJob<'a> {
+    pub name: String,
+    pub input: Vec<BlockId>,
+    pub format: &'a dyn crate::input_format::InputFormat,
+    #[allow(clippy::type_complexity)]
+    pub map: Box<dyn Fn(&MapRecord, &mut Vec<(Value, Row)>) + 'a>,
+    #[allow(clippy::type_complexity)]
+    pub reduce: Box<dyn Fn(&Value, &[Row], &mut Vec<Row>) + 'a>,
+    /// Number of reduce tasks (≥1).
+    pub reducers: usize,
+}
+
+/// Result of a map-reduce job: reduced output plus the map-phase report
+/// and the shuffle/reduce simulated seconds.
+#[derive(Debug)]
+pub struct MapReduceRun {
+    pub output: Vec<Row>,
+    pub map_run: JobRun,
+    pub shuffle_seconds: f64,
+    pub reduce_seconds: f64,
+    pub end_to_end_seconds: f64,
+}
+
+/// Runs a map-reduce job: map phase via the scheduler, then a
+/// deterministic grouped reduce with costed shuffle.
+pub fn run_map_reduce_job(
+    cluster: &DfsCluster,
+    spec: &ClusterSpec,
+    job: &MapReduceJob<'_>,
+) -> Result<MapReduceRun> {
+    // Map phase: collect (key, row) pairs from the user's map function.
+    let pairs_cell: std::cell::RefCell<Vec<(Value, Row)>> = std::cell::RefCell::new(Vec::new());
+    let map_run = {
+        let map_job = MapJob {
+            name: job.name.clone(),
+            input: job.input.clone(),
+            format: job.format,
+            map: Box::new(|rec, _out| {
+                let mut emitted = Vec::new();
+                (job.map)(rec, &mut emitted);
+                pairs_cell.borrow_mut().append(&mut emitted);
+            }),
+        };
+        run_map_job(cluster, spec, &map_job)?
+    };
+    let mut pairs = pairs_cell.into_inner();
+    {
+
+        // Shuffle: group by key. Cost: map output crosses the network
+        // once and is merge-sorted.
+        let hw = &spec.profile;
+        let shuffle_bytes: u64 = pairs
+            .iter()
+            .map(|(k, r)| (k.encoded_len() + r.encoded_len()) as u64)
+            .sum();
+        let mut shuffle_ledger = CostLedger::new();
+        shuffle_ledger.net_sent = shuffle_bytes;
+        shuffle_ledger.sort_cpu = shuffle_bytes;
+        let shuffle_seconds = shuffle_ledger.pipelined_seconds(hw, spec.scale);
+
+        let mut groups: BTreeMap<Value, Vec<Row>> = BTreeMap::new();
+        for (k, row) in pairs.drain(..) {
+            groups.entry(k).or_default().push(row);
+        }
+
+        // Reduce: partitions of the key space run in parallel across
+        // `reducers` tasks; each key is processed once.
+        let reducers = job.reducers.max(1);
+        let mut output = Vec::new();
+        let mut reduce_ledger = CostLedger::new();
+        for (key, rows) in &groups {
+            reduce_ledger.scan_cpu += rows.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
+            (job.reduce)(key, rows, &mut output);
+        }
+        let reduce_seconds = reduce_ledger.pipelined_seconds(hw, spec.scale) / reducers as f64
+            + hw.task_overhead_s;
+
+        let end_to_end_seconds =
+            map_run.report.end_to_end_seconds + shuffle_seconds + reduce_seconds;
+        Ok(MapReduceRun {
+            output,
+            map_run,
+            shuffle_seconds,
+            reduce_seconds,
+            end_to_end_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_format::{InputFormat, InputSplit, SplitPlan};
+    use crate::job::TaskStats;
+    use hail_sim::HardwareProfile;
+    use hail_types::{DatanodeId, StorageConfig};
+
+    /// Emits `block_id % 3` as a one-column row per block.
+    struct ModFormat;
+
+    impl InputFormat for ModFormat {
+        fn splits(&self, _cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan> {
+            Ok(SplitPlan {
+                splits: input
+                    .iter()
+                    .map(|&b| InputSplit::for_block(b, vec![0]))
+                    .collect(),
+                client_cost: Default::default(),
+            })
+        }
+
+        fn read_split(
+            &self,
+            _cluster: &DfsCluster,
+            split: &InputSplit,
+            _task_node: DatanodeId,
+            emit: &mut dyn FnMut(MapRecord),
+        ) -> Result<TaskStats> {
+            emit(MapRecord::good(Row::new(vec![Value::Long(
+                (split.blocks[0] % 3) as i64,
+            )])));
+            Ok(TaskStats {
+                records: 1,
+                ..Default::default()
+            })
+        }
+
+        fn name(&self) -> &str {
+            "mod"
+        }
+    }
+
+    #[test]
+    fn group_count() {
+        let cluster = DfsCluster::new(2, StorageConfig::default());
+        let spec = ClusterSpec::new(2, HardwareProfile::physical());
+        let job = MapReduceJob {
+            name: "count".into(),
+            input: (0..9).collect(),
+            format: &ModFormat,
+            map: Box::new(|rec, out| {
+                out.push((rec.row.get(0).unwrap().clone(), rec.row.clone()));
+            }),
+            reduce: Box::new(|key, rows, out| {
+                out.push(Row::new(vec![key.clone(), Value::Long(rows.len() as i64)]));
+            }),
+            reducers: 1,
+        };
+        let run = run_map_reduce_job(&cluster, &spec, &job).unwrap();
+        // Keys 0,1,2 each appear 3 times.
+        assert_eq!(run.output.len(), 3);
+        for row in &run.output {
+            assert_eq!(row.get(1).unwrap(), &Value::Long(3));
+        }
+        // Keys arrive in deterministic (sorted) order.
+        assert_eq!(run.output[0].get(0).unwrap(), &Value::Long(0));
+        assert!(run.end_to_end_seconds > run.map_run.report.end_to_end_seconds);
+    }
+
+    #[test]
+    fn more_reducers_cut_reduce_time() {
+        let cluster = DfsCluster::new(2, StorageConfig::default());
+        let spec = ClusterSpec::new(2, HardwareProfile::physical());
+        let mk = |reducers| MapReduceJob {
+            name: "r".into(),
+            input: (0..30).collect(),
+            format: &ModFormat,
+            map: Box::new(|rec: &MapRecord, out: &mut Vec<(Value, Row)>| {
+                out.push((rec.row.get(0).unwrap().clone(), rec.row.clone()));
+            }),
+            reduce: Box::new(|_k: &Value, _rows: &[Row], _out: &mut Vec<Row>| {}),
+            reducers,
+        };
+        let one = run_map_reduce_job(&cluster, &spec, &mk(1)).unwrap();
+        let four = run_map_reduce_job(&cluster, &spec, &mk(4)).unwrap();
+        assert!(four.reduce_seconds <= one.reduce_seconds);
+    }
+}

@@ -1,0 +1,27 @@
+//! # hail-pax
+//!
+//! The PAX storage layout for HAIL blocks plus the HDFS chunk/packet
+//! checksum machinery.
+//!
+//! - [`block`] — the serialized PAX block format and its reader
+//! - [`builder`] — content-aware block building (never split a row)
+//! - [`column`](mod@column) — decoded, typed column vectors used for sorting
+//! - [`reorg`] — sort permutations and per-replica block rewriting
+//! - [`checksum`] — CRC-32 chunks, packets, and checksum files
+
+#![forbid(unsafe_code)]
+
+pub mod block;
+pub mod builder;
+pub mod checksum;
+pub mod column;
+pub mod reorg;
+
+pub use block::{encode_block, PaxBlock, PAX_MAGIC, PAX_VERSION};
+pub use builder::{blocks_from_text, PaxBlockBuilder};
+pub use checksum::{
+    checksums_from_bytes, checksums_to_bytes, chunk_checksums, crc32, packetize, reassemble,
+    verify_chunks, Packet, CHUNKS_PER_PACKET,
+};
+pub use column::ColumnData;
+pub use reorg::{is_sorted_on, sort_block, sort_permutation};

@@ -1,0 +1,158 @@
+//! Block reorganization: computing sort permutations and rewriting a PAX
+//! block in a new sort order.
+//!
+//! This is the in-memory work each datanode performs during upload
+//! (§3.5): sort the key column, derive a *sort index* (permutation), apply
+//! it to every other minipage, and re-encode. Data is only ever
+//! reorganized *within* a block, never across blocks — the property that
+//! keeps HAIL's failover identical to HDFS's.
+
+use crate::block::{encode_block, PaxBlock};
+use crate::column::ColumnData;
+use hail_types::{HailError, Result};
+
+/// Computes the permutation that stably sorts the given column ascending.
+///
+/// `perm[i]` is the input row index that lands at output position `i`.
+/// Floats use total ordering; the sort is stable so ties keep upload
+/// order, which makes re-uploads deterministic.
+pub fn sort_permutation(column: &ColumnData) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..column.len()).collect();
+    match column {
+        ColumnData::Int(v) | ColumnData::Date(v) => {
+            perm.sort_by_key(|&i| v[i]);
+        }
+        ColumnData::Long(v) => perm.sort_by_key(|&i| v[i]),
+        ColumnData::Float(v) => perm.sort_by(|&a, &b| v[a].total_cmp(&v[b])),
+        ColumnData::Str(v) => perm.sort_by(|&a, &b| v[a].cmp(&v[b])),
+    }
+    perm
+}
+
+/// Rewrites a block with its rows sorted on the given 0-based column.
+///
+/// Returns the re-encoded block and the permutation that was applied (the
+/// clustered-index builder needs the sorted key column, which it can now
+/// read from the new block directly). Bad records are carried over
+/// verbatim — they have no sort key.
+pub fn sort_block(block: &PaxBlock, sort_column: usize) -> Result<(PaxBlock, Vec<usize>)> {
+    if sort_column >= block.schema().len() {
+        return Err(HailError::UnknownAttribute(sort_column + 1));
+    }
+    let columns = block.decode_all_columns()?;
+    let perm = sort_permutation(&columns[sort_column]);
+    let sorted: Vec<ColumnData> = columns.iter().map(|c| c.permute(&perm)).collect();
+    let bad = block.bad_records()?;
+    let bytes = encode_block(block.schema(), &sorted, &bad, block.partition_size())?;
+    Ok((PaxBlock::parse(bytes)?, perm))
+}
+
+/// Verifies that a block is sorted ascending on the given column.
+/// Used in tests and by the (debug-only) upload pipeline assertions.
+pub fn is_sorted_on(block: &PaxBlock, column: usize) -> Result<bool> {
+    let col = block.decode_column(column)?;
+    for i in 1..col.len() {
+        if col.value(i - 1) > col.value(i) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::blocks_from_text;
+    use hail_types::{DataType, Field, Schema, StorageConfig, Value};
+
+    fn block() -> PaxBlock {
+        let schema = Schema::new(vec![
+            Field::new("name", DataType::VarChar),
+            Field::new("score", DataType::Int),
+            Field::new("weight", DataType::Float),
+        ])
+        .unwrap();
+        let text = "carol|3|0.3\nalice|1|0.1\neve|5|0.5\nbob|2|0.2\ndave|4|0.4\n";
+        blocks_from_text(text, &schema, &StorageConfig::test_scale(1 << 20))
+            .unwrap()
+            .pop()
+            .unwrap()
+    }
+
+    #[test]
+    fn permutation_sorts() {
+        let c = ColumnData::Int(vec![3, 1, 5, 2, 4]);
+        assert_eq!(sort_permutation(&c), vec![1, 3, 0, 4, 2]);
+    }
+
+    #[test]
+    fn permutation_is_stable() {
+        let c = ColumnData::Int(vec![2, 1, 2, 1]);
+        assert_eq!(sort_permutation(&c), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn sort_block_reorders_all_columns() {
+        let b = block();
+        let (sorted, perm) = sort_block(&b, 1).unwrap();
+        assert_eq!(perm, vec![1, 3, 0, 4, 2]);
+        assert!(is_sorted_on(&sorted, 1).unwrap());
+        // Row integrity: name/score/weight stay together.
+        for r in 0..sorted.row_count() {
+            let score = match sorted.value(1, r).unwrap() {
+                Value::Int(v) => v,
+                _ => unreachable!(),
+            };
+            let name = sorted.value(0, r).unwrap().to_string();
+            let expected = ["alice", "bob", "carol", "dave", "eve"][(score - 1) as usize];
+            assert_eq!(name, expected);
+            let w = sorted.value(2, r).unwrap().as_f64().unwrap();
+            assert!((w - score as f64 / 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sort_on_varchar() {
+        let b = block();
+        let (sorted, _) = sort_block(&b, 0).unwrap();
+        assert!(is_sorted_on(&sorted, 0).unwrap());
+        assert_eq!(sorted.value(0, 0).unwrap(), Value::Str("alice".into()));
+        assert_eq!(sorted.value(0, 4).unwrap(), Value::Str("eve".into()));
+    }
+
+    #[test]
+    fn sort_on_float_total_order() {
+        let b = block();
+        let (sorted, _) = sort_block(&b, 2).unwrap();
+        assert!(is_sorted_on(&sorted, 2).unwrap());
+    }
+
+    #[test]
+    fn sort_preserves_bad_records() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Int),
+        ])
+        .unwrap();
+        let text = "3|30\nnot-a-row\n1|10\n2|20\n";
+        let b = blocks_from_text(text, &schema, &StorageConfig::test_scale(1 << 20))
+            .unwrap()
+            .pop()
+            .unwrap();
+        let (sorted, _) = sort_block(&b, 0).unwrap();
+        assert_eq!(sorted.bad_records().unwrap(), vec!["not-a-row".to_string()]);
+        assert!(is_sorted_on(&sorted, 0).unwrap());
+    }
+
+    #[test]
+    fn sort_unknown_column_errors() {
+        let b = block();
+        assert!(sort_block(&b, 9).is_err());
+    }
+
+    #[test]
+    fn unsorted_detected() {
+        let b = block();
+        assert!(!is_sorted_on(&b, 1).unwrap());
+    }
+}

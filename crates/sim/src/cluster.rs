@@ -1,0 +1,76 @@
+//! Cluster specifications: node count, hardware profile, data scaling.
+
+use crate::cost::ScaleFactor;
+use crate::profile::HardwareProfile;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous cluster of worker nodes plus dedicated master nodes
+/// (namenode and JobTracker run off the worker count, as the paper's EC2
+/// setups allocate extra nodes for them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of worker nodes (each runs a datanode + TaskTracker).
+    pub nodes: usize,
+    /// Hardware of every worker node.
+    pub profile: HardwareProfile,
+    /// Logical-vs-materialized data scaling for experiments.
+    pub scale: ScaleFactor,
+    /// Delay-scheduling window (Zaharia et al. \[34\], referenced in
+    /// §4.3): a task waits up to this many seconds for a slot on a
+    /// preferred node before accepting a non-local one. `f64::INFINITY`
+    /// (the default) means strict locality — always wait for a
+    /// preferred node.
+    pub locality_delay_s: f64,
+}
+
+impl ClusterSpec {
+    pub fn new(nodes: usize, profile: HardwareProfile) -> Self {
+        ClusterSpec {
+            nodes,
+            profile,
+            scale: ScaleFactor::unit(),
+            locality_delay_s: f64::INFINITY,
+        }
+    }
+
+    /// Builder-style delay-scheduling override (seconds a task waits
+    /// for a local slot before going remote; 0 = pure earliest-slot).
+    pub fn with_locality_delay(mut self, seconds: f64) -> Self {
+        self.locality_delay_s = seconds;
+        self
+    }
+
+    /// Builder-style scale override.
+    pub fn with_scale(mut self, scale: ScaleFactor) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// The paper's 10-node physical cluster.
+    pub fn physical_10() -> Self {
+        ClusterSpec::new(10, HardwareProfile::physical())
+    }
+
+    /// Total map slots across the cluster.
+    pub fn total_map_slots(&self) -> usize {
+        self.nodes * self.profile.map_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_cluster() {
+        let c = ClusterSpec::physical_10();
+        assert_eq!(c.nodes, 10);
+        assert_eq!(c.total_map_slots(), 20);
+    }
+
+    #[test]
+    fn scale_override() {
+        let c = ClusterSpec::physical_10().with_scale(ScaleFactor(64.0));
+        assert_eq!(c.scale.0, 64.0);
+    }
+}

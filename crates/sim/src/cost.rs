@@ -1,0 +1,216 @@
+//! Cost accounting: translating physical activity (bytes, seeks, events)
+//! into simulated seconds.
+//!
+//! Components never measure wall-clock time. Instead they record what
+//! they did into a [`CostLedger`]; the models here convert ledgers into
+//! seconds using a [`HardwareProfile`] and a [`ScaleFactor`].
+//!
+//! The central combinator is [`pipelined`]: the HDFS/HAIL upload and the
+//! MapReduce scan are staged pipelines (disk → CPU → network → disk …),
+//! so the elapsed time of a long transfer is the *bottleneck* stage plus
+//! a small leak from imperfect overlap. The leak constant models the
+//! synchronization stalls real pipelines exhibit (packet round trips,
+//! buffer flushes, JVM pauses) and is shared by every system we compare.
+
+use crate::profile::HardwareProfile;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the non-bottleneck stage time that leaks into the elapsed
+/// time of a pipelined transfer.
+pub const PIPELINE_LEAK: f64 = 0.12;
+
+/// Logical-bytes-per-real-byte multiplier.
+///
+/// Experiments materialize real data at laptop scale (e.g. 256 KB blocks
+/// instead of 64 MB); the cost model multiplies measured byte counts by
+/// the scale factor so simulated times correspond to paper-scale data.
+/// Event counts (seeks, tasks, packets-per-block round trips) are *not*
+/// scaled — they are structural.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleFactor(pub f64);
+
+impl ScaleFactor {
+    /// Identity scaling (real bytes are logical bytes).
+    pub fn unit() -> Self {
+        ScaleFactor(1.0)
+    }
+
+    /// Scale such that `real_block` bytes of materialized data stand in
+    /// for `logical_block` bytes (e.g. 256 KB → 64 MB gives 256×).
+    pub fn from_block_sizes(real_block: usize, logical_block: usize) -> Self {
+        ScaleFactor(logical_block as f64 / real_block as f64)
+    }
+
+    /// Logical bytes represented by `real` materialized bytes.
+    pub fn bytes(&self, real: u64) -> f64 {
+        real as f64 * self.0
+    }
+
+    /// Logical megabytes (decimal) represented by `real` bytes.
+    pub fn mb(&self, real: u64) -> f64 {
+        self.bytes(real) / 1e6
+    }
+}
+
+/// Elapsed time of a staged pipeline: bottleneck + leak × rest.
+pub fn pipelined(stage_seconds: &[f64]) -> f64 {
+    pipelined_with_leak(stage_seconds, PIPELINE_LEAK)
+}
+
+/// [`pipelined`] with an explicit leak constant (ablations).
+pub fn pipelined_with_leak(stage_seconds: &[f64], leak: f64) -> f64 {
+    let max = stage_seconds.iter().copied().fold(0.0, f64::max);
+    let sum: f64 = stage_seconds.iter().sum();
+    max + leak * (sum - max)
+}
+
+/// Accumulated physical activity of one node (or one task — ledgers
+/// compose by addition).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostLedger {
+    /// Bytes read sequentially from local disk.
+    pub disk_read: u64,
+    /// Bytes written sequentially to local disk.
+    pub disk_write: u64,
+    /// Bytes sent over the network (each hop counted once at the sender).
+    pub net_sent: u64,
+    /// Bytes of input text parsed to binary (upload-time CPU).
+    pub parse_cpu: u64,
+    /// Bytes of binary block data sorted + indexed (upload-time CPU).
+    pub sort_cpu: u64,
+    /// Bytes of record data processed at query time (string splitting,
+    /// predicate evaluation, tuple reconstruction).
+    pub scan_cpu: u64,
+    /// Random disk seeks performed.
+    pub seeks: u64,
+}
+
+impl CostLedger {
+    /// A fresh, empty ledger.
+    pub fn new() -> Self {
+        CostLedger::default()
+    }
+
+    /// Component-wise sum, for aggregating subtask ledgers.
+    pub fn add(&mut self, other: &CostLedger) {
+        self.disk_read += other.disk_read;
+        self.disk_write += other.disk_write;
+        self.net_sent += other.net_sent;
+        self.parse_cpu += other.parse_cpu;
+        self.sort_cpu += other.sort_cpu;
+        self.scan_cpu += other.scan_cpu;
+        self.seeks += other.seeks;
+    }
+
+    /// Per-stage seconds of this ledger on the given hardware, scaled.
+    /// Order: disk read, disk write, network, parse CPU, sort CPU, scan
+    /// CPU. Seek time is returned separately by [`CostLedger::seek_s`].
+    pub fn stage_seconds(&self, hw: &HardwareProfile, scale: ScaleFactor) -> [f64; 6] {
+        [
+            scale.mb(self.disk_read) / hw.disk_read_mb_s,
+            scale.mb(self.disk_write) / hw.disk_write_mb_s,
+            scale.mb(self.net_sent) / hw.net_mb_s,
+            scale.mb(self.parse_cpu) / hw.parse_rate_total(),
+            scale.mb(self.sort_cpu) / hw.sort_rate_total(),
+            scale.mb(self.scan_cpu) / hw.scan_cpu_mb_s,
+        ]
+    }
+
+    /// Seconds spent seeking (events, unscaled).
+    pub fn seek_s(&self, hw: &HardwareProfile) -> f64 {
+        self.seeks as f64 * hw.seek_s
+    }
+
+    /// Elapsed seconds assuming the stages overlap as a pipeline — the
+    /// model for bulk transfers (upload, full scans).
+    pub fn pipelined_seconds(&self, hw: &HardwareProfile, scale: ScaleFactor) -> f64 {
+        pipelined(&self.stage_seconds(hw, scale)) + self.seek_s(hw)
+    }
+
+    /// Elapsed seconds assuming the stages run back to back — the model
+    /// for small, latency-bound operations (an index lookup reads the
+    /// index, then seeks, then reads partitions, then post-filters).
+    pub fn serial_seconds(&self, hw: &HardwareProfile, scale: ScaleFactor) -> f64 {
+        self.stage_seconds(hw, scale).iter().sum::<f64>() + self.seek_s(hw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HardwareProfile {
+        HardwareProfile::physical()
+    }
+
+    #[test]
+    fn scale_factor_math() {
+        let s = ScaleFactor::from_block_sizes(256 * 1024, 64 * 1024 * 1024);
+        assert_eq!(s.0, 256.0);
+        assert_eq!(s.bytes(1000), 256_000.0);
+        assert!((ScaleFactor::unit().mb(5_000_000) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_is_max_plus_leak() {
+        let t = pipelined(&[10.0, 2.0, 3.0]);
+        assert!((t - (10.0 + PIPELINE_LEAK * 5.0)).abs() < 1e-9);
+        assert_eq!(pipelined(&[]), 0.0);
+        assert_eq!(pipelined_with_leak(&[4.0], 0.5), 4.0);
+    }
+
+    #[test]
+    fn ledger_addition() {
+        let mut a = CostLedger {
+            disk_read: 10,
+            seeks: 1,
+            ..Default::default()
+        };
+        let b = CostLedger {
+            disk_read: 5,
+            net_sent: 7,
+            seeks: 2,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.disk_read, 15);
+        assert_eq!(a.net_sent, 7);
+        assert_eq!(a.seeks, 3);
+    }
+
+    #[test]
+    fn stage_seconds_use_rates() {
+        let l = CostLedger {
+            disk_read: 95_000_000, // 95 MB at 95 MB/s = 1 s
+            ..Default::default()
+        };
+        let s = l.stage_seconds(&hw(), ScaleFactor::unit());
+        assert!((s[0] - 1.0).abs() < 1e-9);
+        assert_eq!(s[1], 0.0);
+    }
+
+    #[test]
+    fn serial_exceeds_pipelined() {
+        let l = CostLedger {
+            disk_read: 50_000_000,
+            scan_cpu: 50_000_000,
+            seeks: 10,
+            ..Default::default()
+        };
+        let p = l.pipelined_seconds(&hw(), ScaleFactor::unit());
+        let s = l.serial_seconds(&hw(), ScaleFactor::unit());
+        assert!(s > p);
+        assert!(p > l.seek_s(&hw()));
+    }
+
+    #[test]
+    fn seek_time_unscaled() {
+        let l = CostLedger {
+            seeks: 200,
+            ..Default::default()
+        };
+        // 200 seeks × 5 ms = 1 s regardless of scale.
+        let big = ScaleFactor(1000.0);
+        assert!((l.pipelined_seconds(&hw(), big) - 1.0).abs() < 1e-9);
+    }
+}

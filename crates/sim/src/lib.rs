@@ -1,0 +1,24 @@
+//! # hail-sim
+//!
+//! The cluster hardware simulator: named hardware profiles for the
+//! paper's six clusters, a cost ledger that components fill with physical
+//! activity (bytes moved, seeks, CPU work), and the models that convert
+//! ledgers into simulated seconds.
+//!
+//! Design rule: *components never measure wall-clock time.* The
+//! functional code path (real parsing, sorting, indexing, querying on
+//! materialized data) reports what it did; this crate prices it.
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod cluster;
+pub mod cost;
+pub mod profile;
+pub mod variance;
+
+pub use clock::SlotPool;
+pub use cluster::ClusterSpec;
+pub use cost::{pipelined, pipelined_with_leak, CostLedger, ScaleFactor, PIPELINE_LEAK};
+pub use profile::HardwareProfile;
+pub use variance::Jitter;

@@ -1,0 +1,108 @@
+//! Deterministic runtime-variance jitter.
+//!
+//! The paper observes substantial runtime variance on EC2 (\[30\], §6.3.4)
+//! and chooses cc1.4xlarge nodes partly for their lower variability.
+//! Experiments here apply a small multiplicative jitter to node-level
+//! times so variance-sensitive comparisons (error behaviour, scale-out
+//! stability) are visible — but deterministically, seeded per experiment,
+//! so every run of the harness reproduces the same numbers.
+
+/// A tiny splitmix64-based generator: enough quality for jitter, zero
+/// dependencies, fully deterministic.
+#[derive(Debug, Clone)]
+pub struct Jitter {
+    state: u64,
+    /// Relative magnitude (e.g. 0.10 → ±10 %).
+    magnitude: f64,
+}
+
+impl Jitter {
+    /// Creates a jitter source with the given seed and magnitude.
+    pub fn new(seed: u64, magnitude: f64) -> Self {
+        Jitter {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            magnitude: magnitude.clamp(0.0, 0.9),
+        }
+    }
+
+    /// A jitter source that never perturbs anything.
+    pub fn none() -> Self {
+        Jitter::new(0, 0.0)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[-1, 1]`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+
+    /// Multiplies `seconds` by a factor in `[1 − m, 1 + m]`.
+    pub fn apply(&mut self, seconds: f64) -> f64 {
+        seconds * (1.0 + self.magnitude * self.unit())
+    }
+
+    /// Relative spread of `n` samples of a nominal time — used by the
+    /// scale-out experiment to report variability.
+    pub fn spread(&mut self, nominal: f64, n: usize) -> f64 {
+        if n == 0 || nominal == 0.0 {
+            return 0.0;
+        }
+        let samples: Vec<f64> = (0..n).map(|_| self.apply(nominal)).collect();
+        let max = samples.iter().copied().fold(f64::MIN, f64::max);
+        let min = samples.iter().copied().fold(f64::MAX, f64::min);
+        (max - min) / nominal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Jitter::new(42, 0.1);
+        let mut b = Jitter::new(42, 0.1);
+        for _ in 0..10 {
+            assert_eq!(a.apply(100.0), b.apply(100.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Jitter::new(1, 0.1);
+        let mut b = Jitter::new(2, 0.1);
+        let va: Vec<f64> = (0..5).map(|_| a.apply(100.0)).collect();
+        let vb: Vec<f64> = (0..5).map(|_| b.apply(100.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn magnitude_bounds_respected() {
+        let mut j = Jitter::new(7, 0.1);
+        for _ in 0..1000 {
+            let t = j.apply(100.0);
+            assert!((90.0..=110.0).contains(&t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn zero_magnitude_is_identity() {
+        let mut j = Jitter::none();
+        assert_eq!(j.apply(123.0), 123.0);
+    }
+
+    #[test]
+    fn spread_grows_with_magnitude() {
+        let mut low = Jitter::new(3, 0.02);
+        let mut high = Jitter::new(3, 0.2);
+        assert!(high.spread(100.0, 50) > low.spread(100.0, 50));
+        assert_eq!(Jitter::none().spread(100.0, 0), 0.0);
+    }
+}

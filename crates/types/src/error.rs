@@ -1,0 +1,115 @@
+//! Error types shared by every crate in the HAIL workspace.
+
+use std::fmt;
+
+/// The unified error type for HAIL operations.
+///
+/// The variants mirror the failure domains of the system: schema/parse
+/// problems at upload time, storage-layer failures (checksums, missing
+/// blocks, dead datanodes), and query-pipeline misuse (bad annotations,
+/// missing indexes when one was required).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HailError {
+    /// A row of input text did not match the user-declared schema.
+    ///
+    /// Bad records are normally routed to the bad-record section of a PAX
+    /// block rather than surfaced as errors; this variant is used when a
+    /// caller explicitly requested strict parsing.
+    BadRecord { line: String, reason: String },
+    /// A schema was declared or used inconsistently (duplicate field name,
+    /// attribute position out of range, type mismatch).
+    Schema(String),
+    /// Block-format corruption: bad magic, truncated header, impossible
+    /// offsets.
+    Corrupt(String),
+    /// A CRC mismatch was detected while verifying a chunk.
+    ChecksumMismatch {
+        chunk_index: usize,
+        expected: u32,
+        actual: u32,
+    },
+    /// A packet-level protocol violation in the upload pipeline
+    /// (out-of-order ACK, wrong sequence number, duplicate last packet).
+    Pipeline(String),
+    /// The namenode has no record of the requested block.
+    UnknownBlock(u64),
+    /// The requested datanode does not exist or has been declared dead.
+    DeadDatanode(usize),
+    /// Not enough live datanodes to satisfy the requested replication.
+    InsufficientReplication { wanted: usize, alive: usize },
+    /// A `@HailQuery` annotation could not be parsed.
+    Annotation(String),
+    /// A query referenced an attribute that does not exist in the schema.
+    UnknownAttribute(usize),
+    /// A MapReduce job configuration problem.
+    Job(String),
+    /// An internal invariant was violated. Indicates a bug.
+    Internal(String),
+}
+
+impl fmt::Display for HailError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HailError::BadRecord { line, reason } => {
+                write!(f, "bad record ({reason}): {line:?}")
+            }
+            HailError::Schema(msg) => write!(f, "schema error: {msg}"),
+            HailError::Corrupt(msg) => write!(f, "corrupt block: {msg}"),
+            HailError::ChecksumMismatch {
+                chunk_index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch on chunk {chunk_index}: expected {expected:#010x}, got {actual:#010x}"
+            ),
+            HailError::Pipeline(msg) => write!(f, "upload pipeline error: {msg}"),
+            HailError::UnknownBlock(id) => write!(f, "unknown block {id}"),
+            HailError::DeadDatanode(id) => write!(f, "datanode DN{id} is dead"),
+            HailError::InsufficientReplication { wanted, alive } => write!(
+                f,
+                "cannot place {wanted} replicas: only {alive} datanodes alive"
+            ),
+            HailError::Annotation(msg) => write!(f, "invalid HailQuery annotation: {msg}"),
+            HailError::UnknownAttribute(pos) => {
+                write!(f, "attribute @{pos} does not exist in the schema")
+            }
+            HailError::Job(msg) => write!(f, "job error: {msg}"),
+            HailError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HailError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, HailError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HailError::ChecksumMismatch {
+            chunk_index: 7,
+            expected: 0xDEADBEEF,
+            actual: 0x12345678,
+        };
+        let s = e.to_string();
+        assert!(s.contains("chunk 7"));
+        assert!(s.contains("0xdeadbeef"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(HailError::UnknownBlock(3), HailError::UnknownBlock(3));
+        assert_ne!(HailError::UnknownBlock(3), HailError::UnknownBlock(4));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(HailError::Schema("dup".into()));
+        assert!(e.to_string().contains("dup"));
+    }
+}

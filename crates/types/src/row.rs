@@ -1,0 +1,238 @@
+//! Rows and text-line parsing.
+//!
+//! The HAIL client parses each uploaded line against the user-declared
+//! schema (§3.1). Lines that do not match are *bad records*: they are not
+//! dropped but routed to a dedicated section of the block, and at query
+//! time handed to the map function with a bad-record flag.
+
+use crate::error::{HailError, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A parsed row: one [`Value`] per schema attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at 0-based column index.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Value addressed by the paper's 1-based `@pos` convention.
+    pub fn get_position(&self, pos: usize) -> Result<&Value> {
+        if pos == 0 {
+            return Err(HailError::UnknownAttribute(0));
+        }
+        self.values
+            .get(pos - 1)
+            .ok_or(HailError::UnknownAttribute(pos))
+    }
+
+    /// Projects the row to the given 0-based column indexes.
+    pub fn project(&self, indexes: &[usize]) -> Row {
+        Row::new(indexes.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Total binary encoding size of the row in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.values.iter().map(Value::encoded_len).sum()
+    }
+
+    /// Size of the row as a delimiter-separated text line including the
+    /// trailing newline, as it would appear in the original upload.
+    pub fn text_len(&self) -> usize {
+        let seps = self.values.len().saturating_sub(1);
+        self.values.iter().map(Value::text_len).sum::<usize>() + seps + 1
+    }
+
+    /// Renders the row as a delimited text line (no trailing newline).
+    pub fn to_line(&self, delimiter: char) -> String {
+        let mut out = String::with_capacity(self.text_len());
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(delimiter);
+            }
+            // Avoid format! allocation per field.
+            use std::fmt::Write as _;
+            let _ = write!(out, "{v}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_line('|'))
+    }
+}
+
+/// The outcome of parsing one text line: a good row or a bad record
+/// carrying the raw line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedRecord {
+    Good(Row),
+    /// The raw line plus the reason it failed to parse. HAIL stores these
+    /// verbatim in the bad-record section of the block.
+    Bad { line: String, reason: String },
+}
+
+impl ParsedRecord {
+    pub fn is_good(&self) -> bool {
+        matches!(self, ParsedRecord::Good(_))
+    }
+
+    pub fn into_row(self) -> Option<Row> {
+        match self {
+            ParsedRecord::Good(r) => Some(r),
+            ParsedRecord::Bad { .. } => None,
+        }
+    }
+}
+
+/// Parses one delimited text line against a schema.
+///
+/// Field-count mismatches and per-field parse failures both yield
+/// [`ParsedRecord::Bad`]; this function never errors, mirroring HAIL's
+/// upload path which must ingest arbitrary files.
+pub fn parse_line(line: &str, schema: &Schema, delimiter: char) -> ParsedRecord {
+    let mut values = Vec::with_capacity(schema.len());
+    let mut fields = line.split(delimiter);
+    for field_def in schema.fields() {
+        let Some(token) = fields.next() else {
+            return ParsedRecord::Bad {
+                line: line.to_string(),
+                reason: format!(
+                    "expected {} fields, found {}",
+                    schema.len(),
+                    values.len()
+                ),
+            };
+        };
+        match Value::parse(token, field_def.data_type) {
+            Ok(v) => values.push(v),
+            Err(e) => {
+                return ParsedRecord::Bad {
+                    line: line.to_string(),
+                    reason: e.to_string(),
+                }
+            }
+        }
+    }
+    if fields.next().is_some() {
+        return ParsedRecord::Bad {
+            line: line.to_string(),
+            reason: format!("more than {} fields", schema.len()),
+        };
+    }
+    ParsedRecord::Good(Row::new(values))
+}
+
+/// Strict variant of [`parse_line`] for callers that must not see bad
+/// records (e.g. tests and oracle evaluators).
+pub fn parse_line_strict(line: &str, schema: &Schema, delimiter: char) -> Result<Row> {
+    match parse_line(line, schema, delimiter) {
+        ParsedRecord::Good(r) => Ok(r),
+        ParsedRecord::Bad { line, reason } => Err(HailError::BadRecord { line, reason }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("ip", DataType::VarChar),
+            Field::new("visitDate", DataType::Date),
+            Field::new("revenue", DataType::Float),
+            Field::new("duration", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_good_line() {
+        let r = parse_line("1.2.3.4|1999-06-01|3.5|12", &schema(), '|');
+        let row = r.into_row().expect("good row");
+        assert_eq!(row.get(0).unwrap().as_str(), Some("1.2.3.4"));
+        assert_eq!(row.get(3).unwrap().as_i32(), Some(12));
+    }
+
+    #[test]
+    fn too_few_fields_is_bad() {
+        let r = parse_line("1.2.3.4|1999-06-01", &schema(), '|');
+        assert!(!r.is_good());
+    }
+
+    #[test]
+    fn too_many_fields_is_bad() {
+        let r = parse_line("a|1999-06-01|1.0|2|extra", &schema(), '|');
+        assert!(!r.is_good());
+    }
+
+    #[test]
+    fn type_mismatch_is_bad() {
+        let r = parse_line("a|not-a-date|1.0|2", &schema(), '|');
+        match r {
+            ParsedRecord::Bad { reason, .. } => assert!(reason.contains("DATE")),
+            _ => panic!("expected bad record"),
+        }
+    }
+
+    #[test]
+    fn strict_parse_errors() {
+        assert!(parse_line_strict("x", &schema(), '|').is_err());
+        assert!(parse_line_strict("a|1999-06-01|1.0|2", &schema(), '|').is_ok());
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let line = "1.2.3.4|1999-06-01|3.5|12";
+        let row = parse_line_strict(line, &schema(), '|').unwrap();
+        assert_eq!(row.to_line('|'), line);
+    }
+
+    #[test]
+    fn projection() {
+        let row = parse_line_strict("a|1999-06-01|1.5|9", &schema(), '|').unwrap();
+        let p = row.project(&[3, 0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(0).unwrap().as_i32(), Some(9));
+        assert_eq!(p.get(1).unwrap().as_str(), Some("a"));
+    }
+
+    #[test]
+    fn one_based_get() {
+        let row = parse_line_strict("a|1999-06-01|1.5|9", &schema(), '|').unwrap();
+        assert_eq!(row.get_position(1).unwrap().as_str(), Some("a"));
+        assert!(row.get_position(0).is_err());
+        assert!(row.get_position(5).is_err());
+    }
+
+    #[test]
+    fn text_len_matches_rendered() {
+        let row = parse_line_strict("abc|1999-06-01|1.5|9", &schema(), '|').unwrap();
+        assert_eq!(row.text_len(), row.to_line('|').len() + 1);
+    }
+}

@@ -1,0 +1,373 @@
+//! Typed values and their text/binary encodings.
+
+use crate::error::{HailError, Result};
+use crate::schema::DataType;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Days between 1970-01-01 and year 1 (proleptic Gregorian), used by the
+/// date codec below.
+const DAYS_FROM_CE_TO_EPOCH: i64 = 719_162;
+
+/// A single typed value.
+///
+/// `Float` wraps an `f64` but the type implements total ordering (via
+/// `f64::total_cmp`) and `Eq`/`Hash` so values can be used as sort keys —
+/// a requirement for building clustered indexes on `adRevenue`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Int(i32),
+    Long(i64),
+    Float(f64),
+    /// Days since the Unix epoch.
+    Date(i32),
+    Str(String),
+}
+
+impl Value {
+    /// The [`DataType`] of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Long(_) => DataType::Long,
+            Value::Float(_) => DataType::Float,
+            Value::Date(_) => DataType::Date,
+            Value::Str(_) => DataType::VarChar,
+        }
+    }
+
+    /// Parses a text token into a value of the requested type.
+    ///
+    /// This is the parser the HAIL client runs while converting uploaded
+    /// text to binary PAX; a failure here makes the whole row a *bad
+    /// record*.
+    pub fn parse(token: &str, data_type: DataType) -> Result<Value> {
+        let bad = |reason: &str| HailError::BadRecord {
+            line: token.to_string(),
+            reason: reason.to_string(),
+        };
+        match data_type {
+            DataType::Int => token
+                .trim()
+                .parse::<i32>()
+                .map(Value::Int)
+                .map_err(|_| bad("not an INT")),
+            DataType::Long => token
+                .trim()
+                .parse::<i64>()
+                .map(Value::Long)
+                .map_err(|_| bad("not a LONG")),
+            DataType::Float => token
+                .trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|f| f.is_finite())
+                .map(Value::Float)
+                .ok_or_else(|| bad("not a finite FLOAT")),
+            DataType::Date => parse_date(token.trim())
+                .map(Value::Date)
+                .ok_or_else(|| bad("not a DATE (expected YYYY-MM-DD)")),
+            DataType::VarChar => {
+                if token.bytes().any(|b| b == 0) {
+                    Err(bad("VARCHAR may not contain NUL"))
+                } else {
+                    Ok(Value::Str(token.to_string()))
+                }
+            }
+        }
+    }
+
+    /// The integer form used by fixed-width codecs. Panics on `Str`.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v as i64,
+            Value::Long(v) => *v,
+            Value::Float(v) => v.to_bits() as i64,
+            Value::Date(v) => *v as i64,
+            Value::Str(_) => panic!("as_i64 on VarChar value"),
+        }
+    }
+
+    /// The i32 payload of `Int`/`Date` values.
+    pub fn as_i32(&self) -> Option<i32> {
+        match self {
+            Value::Int(v) | Value::Date(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The f64 payload of `Float` values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload of `Str` values.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Size of the binary encoding in bytes (varchar: bytes + NUL).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Date(_) => 4,
+            Value::Long(_) | Value::Float(_) => 8,
+            Value::Str(s) => s.len() + 1,
+        }
+    }
+
+    /// Size of the text encoding in bytes (what the value occupies in the
+    /// original CSV line). Used by the cost model.
+    pub fn text_len(&self) -> usize {
+        self.to_string().len()
+    }
+
+    /// Total-order comparison. Values of different types order by type tag
+    /// — comparisons across types only occur in corrupted inputs and must
+    /// still be deterministic.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Long(a), Long(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            // Cross-type: compare numeric families loosely, else by tag.
+            (Int(a), Long(b)) => (*a as i64).cmp(b),
+            (Long(a), Int(b)) => a.cmp(&(*b as i64)),
+            _ => self.data_type().tag().cmp(&other.data_type().tag()),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data_type().tag().hash(state);
+        match self {
+            Value::Int(v) => v.hash(state),
+            Value::Long(v) => v.hash(state),
+            Value::Float(v) => v.to_bits().hash(state),
+            Value::Date(v) => v.hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Long(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Date(v) => {
+                let (y, m, d) = date_from_days(*v);
+                write!(f, "{y:04}-{m:02}-{d:02}")
+            }
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+/// Parses `YYYY-MM-DD` into days since the Unix epoch.
+///
+/// Implemented from first principles (proleptic Gregorian) to avoid a
+/// date-library dependency; validated against round-trip property tests.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let year: i32 = s[0..4].parse().ok()?;
+    let month: u32 = s[5..7].parse().ok()?;
+    let day: u32 = s[8..10].parse().ok()?;
+    days_from_ymd(year, month, day)
+}
+
+/// True for Gregorian leap years.
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+const DAYS_IN_MONTH: [u32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+}
+
+/// Days since the Unix epoch for a calendar date; `None` if out of range.
+pub fn days_from_ymd(year: i32, month: u32, day: u32) -> Option<i32> {
+    if !(1..=9999).contains(&year) || !(1..=12).contains(&month) {
+        return None;
+    }
+    if day == 0 || day > days_in_month(year, month) {
+        return None;
+    }
+    // Days from 0001-01-01 (day 0) to the first of the given year.
+    let y = (year - 1) as i64;
+    let mut days = y * 365 + y / 4 - y / 100 + y / 400;
+    for m in 1..month {
+        days += days_in_month(year, m) as i64;
+    }
+    days += (day - 1) as i64;
+    Some((days - DAYS_FROM_CE_TO_EPOCH) as i32)
+}
+
+/// Inverse of [`days_from_ymd`]: converts days-since-epoch back to
+/// `(year, month, day)`.
+pub fn date_from_days(days: i32) -> (i32, u32, u32) {
+    let mut remaining = days as i64 + DAYS_FROM_CE_TO_EPOCH;
+    // 400-year cycles of 146097 days keep this O(1)-ish.
+    let cycles = remaining.div_euclid(146_097);
+    remaining = remaining.rem_euclid(146_097);
+    let mut year = (cycles * 400 + 1) as i32;
+    loop {
+        let len = if is_leap(year) { 366 } else { 365 };
+        if remaining < len {
+            break;
+        }
+        remaining -= len;
+        year += 1;
+    }
+    let mut month = 1u32;
+    loop {
+        let len = days_in_month(year, month) as i64;
+        if remaining < len {
+            break;
+        }
+        remaining -= len;
+        month += 1;
+    }
+    (year, month, remaining as u32 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_int_and_long() {
+        assert_eq!(Value::parse("42", DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(
+            Value::parse(" -7 ", DataType::Long).unwrap(),
+            Value::Long(-7)
+        );
+        assert!(Value::parse("4.2", DataType::Int).is_err());
+        assert!(Value::parse("", DataType::Int).is_err());
+    }
+
+    #[test]
+    fn parse_float_rejects_nan_and_inf() {
+        assert!(Value::parse("NaN", DataType::Float).is_err());
+        assert!(Value::parse("inf", DataType::Float).is_err());
+        assert_eq!(
+            Value::parse("3.25", DataType::Float).unwrap(),
+            Value::Float(3.25)
+        );
+    }
+
+    #[test]
+    fn parse_varchar_rejects_nul() {
+        assert!(Value::parse("a\0b", DataType::VarChar).is_err());
+        assert_eq!(
+            Value::parse("hello", DataType::VarChar).unwrap(),
+            Value::Str("hello".into())
+        );
+    }
+
+    #[test]
+    fn date_epoch_is_zero() {
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("1970-01-02"), Some(1));
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+    }
+
+    #[test]
+    fn date_known_values() {
+        // 2000-01-01 is 10957 days after the epoch.
+        assert_eq!(parse_date("2000-01-01"), Some(10_957));
+        // Leap day handling.
+        assert!(parse_date("2000-02-29").is_some());
+        assert_eq!(parse_date("1900-02-29"), None);
+        assert_eq!(parse_date("1999-13-01"), None);
+        assert_eq!(parse_date("1999-00-10"), None);
+        assert_eq!(parse_date("1999-01-32"), None);
+        assert_eq!(parse_date("1999/01/01"), None);
+    }
+
+    #[test]
+    fn date_round_trip_sample() {
+        for s in [
+            "1992-12-22",
+            "1999-01-01",
+            "2000-01-01",
+            "2011-06-30",
+            "1970-01-01",
+            "2400-02-29",
+        ] {
+            let days = parse_date(s).unwrap();
+            assert_eq!(Value::Date(days).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn float_total_order() {
+        let a = Value::Float(-0.0);
+        let b = Value::Float(0.0);
+        // total_cmp distinguishes -0.0 < 0.0; we just need determinism.
+        assert_eq!(a.total_cmp(&b), Ordering::Less);
+        assert_eq!(Value::Float(1.5).cmp(&Value::Float(2.5)), Ordering::Less);
+    }
+
+    #[test]
+    fn cross_type_compare_is_deterministic() {
+        let v = Value::Int(5);
+        let s = Value::Str("5".into());
+        let c1 = v.total_cmp(&s);
+        let c2 = v.total_cmp(&s);
+        assert_eq!(c1, c2);
+        assert_eq!(v.total_cmp(&Value::Long(6)), Ordering::Less);
+    }
+
+    #[test]
+    fn encoded_len() {
+        assert_eq!(Value::Int(1).encoded_len(), 4);
+        assert_eq!(Value::Long(1).encoded_len(), 8);
+        assert_eq!(Value::Float(1.0).encoded_len(), 8);
+        assert_eq!(Value::Date(1).encoded_len(), 4);
+        assert_eq!(Value::Str("abc".into()).encoded_len(), 4);
+    }
+
+    #[test]
+    fn display_date() {
+        let d = parse_date("2011-09-15").unwrap();
+        assert_eq!(Value::Date(d).to_string(), "2011-09-15");
+    }
+}

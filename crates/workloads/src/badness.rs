@@ -1,0 +1,138 @@
+//! Bad-record injection: corrupting a fraction of an upload's lines to
+//! exercise HAIL's bad-record path end to end (§3.1, §4.3).
+
+use hail_types::{parse_line, ParsedRecord, Schema};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How a line gets mangled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mangle {
+    /// Drop everything after the second delimiter (field-count mismatch).
+    Truncate,
+    /// Replace a field with non-numeric garbage (type mismatch).
+    Garbage,
+    /// Append extra fields.
+    ExtraFields,
+}
+
+/// Replaces roughly `fraction` of the lines in `text` with mangled
+/// versions that are *guaranteed* not to parse against `schema` (some
+/// manglings — e.g. garbage in a VARCHAR field — would still be valid;
+/// those fall back to truncation). Deterministic under `seed`. Returns
+/// the new text and the number of bad lines produced.
+pub fn inject_bad_records(
+    text: &str,
+    schema: &Schema,
+    fraction: f64,
+    seed: u64,
+) -> (String, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(text.len());
+    let mut mangled = 0usize;
+    for line in text.lines() {
+        if rng.random_range(0.0..1.0) < fraction {
+            let kind = match rng.random_range(0..3u8) {
+                0 => Mangle::Truncate,
+                1 => Mangle::Garbage,
+                _ => Mangle::ExtraFields,
+            };
+            let mut bad = mangle(line, kind);
+            if matches!(parse_line(&bad, schema, '|'), ParsedRecord::Good(_)) {
+                // This mangling happened to stay valid; force a
+                // field-count mismatch instead.
+                bad = line.split('|').next().unwrap_or("x").to_string();
+            }
+            debug_assert!(matches!(
+                parse_line(&bad, schema, '|'),
+                ParsedRecord::Bad { .. }
+            ));
+            out.push_str(&bad);
+            mangled += 1;
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    (out, mangled)
+}
+
+/// Applies one mangling to a line.
+pub fn mangle(line: &str, kind: Mangle) -> String {
+    match kind {
+        Mangle::Truncate => {
+            let mut parts = line.splitn(3, '|');
+            let a = parts.next().unwrap_or("");
+            match parts.next() {
+                Some(b) => format!("{a}|{b}"),
+                None => a.to_string(),
+            }
+        }
+        Mangle::Garbage => {
+            let mut fields: Vec<&str> = line.split('|').collect();
+            if !fields.is_empty() {
+                let mid = fields.len() / 2;
+                fields[mid] = "###GARBAGE###";
+            }
+            fields.join("|")
+        }
+        Mangle::ExtraFields => format!("{line}|unexpected|trailing"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hail_types::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+            Field::new("c", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn mangles_break_parsing() {
+        let line = "1|2|3";
+        for kind in [Mangle::Truncate, Mangle::Garbage, Mangle::ExtraFields] {
+            let bad = mangle(line, kind);
+            assert!(
+                matches!(parse_line(&bad, &schema(), '|'), ParsedRecord::Bad { .. }),
+                "{kind:?} should break {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn injection_fraction_respected() {
+        let text: String = (0..1000).map(|i| format!("{i}|{i}|{i}\n")).collect();
+        let (out, n) = inject_bad_records(&text, &schema(), 0.1, 7);
+        assert_eq!(out.lines().count(), 1000);
+        assert!((60..160).contains(&n), "~10% of 1000, got {n}");
+        let bad = out
+            .lines()
+            .filter(|l| matches!(parse_line(l, &schema(), '|'), ParsedRecord::Bad { .. }))
+            .count();
+        assert_eq!(bad, n);
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let text = "1|2|3\n4|5|6\n";
+        let (out, n) = inject_bad_records(text, &schema(), 0.0, 1);
+        assert_eq!(out, text);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let text: String = (0..100).map(|i| format!("{i}|{i}|{i}\n")).collect();
+        assert_eq!(
+            inject_bad_records(&text, &schema(), 0.2, 42),
+            inject_bad_records(&text, &schema(), 0.2, 42)
+        );
+    }
+}

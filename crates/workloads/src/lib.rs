@@ -1,0 +1,23 @@
+//! # hail-workloads
+//!
+//! The paper's datasets and query workloads:
+//!
+//! - [`uservisits`] — the Pavlo-benchmark UserVisits table with value
+//!   distributions realizing Bob-Q1…Q5's selectivities
+//! - [`synthetic`] — 19 integer attributes (Table 1's Syn-Q1/Q2 grid)
+//! - [`queries`] — the eleven benchmark queries + an oracle evaluator
+//! - [`badness`] — bad-record injection
+
+#![forbid(unsafe_code)]
+
+pub mod badness;
+pub mod queries;
+pub mod synthetic;
+pub mod uservisits;
+
+pub use queries::{
+    bob_queries, bob_schema, canonical, oracle_eval, synthetic_queries, synthetic_schema,
+    QuerySpec,
+};
+pub use synthetic::SyntheticGenerator;
+pub use uservisits::UserVisitsGenerator;

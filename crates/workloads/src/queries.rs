@@ -1,0 +1,204 @@
+//! The paper's query workloads (§6.2): Bob-Q1…Q5 over UserVisits and
+//! Syn-Q1a…Q2c over Synthetic (Table 1), plus a text-level oracle
+//! evaluator used to validate every execution path.
+
+use crate::{synthetic, uservisits};
+use hail_core::HailQuery;
+use hail_types::{parse_line, ParsedRecord, Result, Row, Schema};
+
+/// One benchmark query: id, annotation strings, and the selectivity the
+/// paper reports for it.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    pub id: &'static str,
+    pub filter: String,
+    pub projection: String,
+    pub paper_selectivity: f64,
+}
+
+impl QuerySpec {
+    /// Compiles the spec into a typed [`HailQuery`].
+    pub fn to_query(&self, schema: &Schema) -> Result<HailQuery> {
+        HailQuery::parse(&self.filter, &self.projection, schema)
+    }
+}
+
+/// Bob's five UserVisits queries (§6.2).
+pub fn bob_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            id: "Bob-Q1",
+            filter: "@3 between(1999-01-01, 2000-01-01)".into(),
+            projection: "{@1}".into(),
+            paper_selectivity: 3.1e-2,
+        },
+        QuerySpec {
+            id: "Bob-Q2",
+            filter: format!("@1 = '{}'", uservisits::MAGIC_IP),
+            projection: "{@8, @9, @4}".into(),
+            paper_selectivity: 3.2e-8,
+        },
+        QuerySpec {
+            id: "Bob-Q3",
+            filter: format!(
+                "@1 = '{}' and @3 = {}",
+                uservisits::MAGIC_IP,
+                uservisits::MAGIC_DATE
+            ),
+            projection: "{@8, @9, @4}".into(),
+            paper_selectivity: 6.0e-9,
+        },
+        QuerySpec {
+            id: "Bob-Q4",
+            filter: "@4 >= 1 and @4 <= 10".into(),
+            projection: "{@8, @9, @4}".into(),
+            paper_selectivity: 1.7e-2,
+        },
+        QuerySpec {
+            id: "Bob-Q5",
+            filter: "@4 >= 1 and @4 <= 100".into(),
+            projection: "{@8, @9, @4}".into(),
+            paper_selectivity: 2.04e-1,
+        },
+    ]
+}
+
+/// The Synthetic queries of Table 1: selectivity 0.10 (Q1) / 0.01 (Q2) ×
+/// projectivity 19 (a) / 9 (b) / 1 (c) attributes; all filter on @1.
+pub fn synthetic_queries() -> Vec<QuerySpec> {
+    let proj_a = String::new(); // all 19 attributes
+    let proj_b = format!(
+        "{{{}}}",
+        (1..=9).map(|i| format!("@{i}")).collect::<Vec<_>>().join(", ")
+    );
+    let proj_c = "{@1}".to_string();
+    vec![
+        QuerySpec {
+            id: "Syn-Q1a",
+            filter: "@1 <= 99".into(),
+            projection: proj_a.clone(),
+            paper_selectivity: 0.10,
+        },
+        QuerySpec {
+            id: "Syn-Q1b",
+            filter: "@1 <= 99".into(),
+            projection: proj_b.clone(),
+            paper_selectivity: 0.10,
+        },
+        QuerySpec {
+            id: "Syn-Q1c",
+            filter: "@1 <= 99".into(),
+            projection: proj_c.clone(),
+            paper_selectivity: 0.10,
+        },
+        QuerySpec {
+            id: "Syn-Q2a",
+            filter: "@1 <= 9".into(),
+            projection: proj_a,
+            paper_selectivity: 0.01,
+        },
+        QuerySpec {
+            id: "Syn-Q2b",
+            filter: "@1 <= 9".into(),
+            projection: proj_b,
+            paper_selectivity: 0.01,
+        },
+        QuerySpec {
+            id: "Syn-Q2c",
+            filter: "@1 <= 9".into(),
+            projection: proj_c,
+            paper_selectivity: 0.01,
+        },
+    ]
+}
+
+/// The schema each workload's queries run against.
+pub fn bob_schema() -> Schema {
+    uservisits::schema()
+}
+
+/// See [`synthetic::schema`].
+pub fn synthetic_schema() -> Schema {
+    synthetic::schema()
+}
+
+/// Reference evaluator: runs a query directly over the original text,
+/// bypassing every storage and execution layer. Integration tests
+/// compare all system outputs against this.
+pub fn oracle_eval(texts: &[(usize, String)], schema: &Schema, query: &HailQuery) -> Vec<Row> {
+    let projection = query.projected_columns(schema);
+    let mut out = Vec::new();
+    for (_, text) in texts {
+        for line in text.lines() {
+            if let ParsedRecord::Good(row) = parse_line(line, schema, '|') {
+                if query.matches(&row) {
+                    out.push(row.project(&projection));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Sorted string forms of rows — order-insensitive result comparison.
+pub fn canonical(rows: &[Row]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(Row::to_string).collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uservisits::UserVisitsGenerator;
+
+    #[test]
+    fn all_specs_compile() {
+        let bs = bob_schema();
+        for q in bob_queries() {
+            q.to_query(&bs).expect(q.id);
+        }
+        let ss = synthetic_schema();
+        for q in synthetic_queries() {
+            q.to_query(&ss).expect(q.id);
+        }
+    }
+
+    #[test]
+    fn projectivity_matches_table1() {
+        let ss = synthetic_schema();
+        let qs = synthetic_queries();
+        let widths: Vec<usize> = qs
+            .iter()
+            .map(|q| q.to_query(&ss).unwrap().projected_columns(&ss).len())
+            .collect();
+        assert_eq!(widths, vec![19, 9, 1, 19, 9, 1]);
+    }
+
+    #[test]
+    fn oracle_finds_planted_rows() {
+        let g = UserVisitsGenerator::default();
+        let texts = g.generate(2, 1000);
+        let s = bob_schema();
+        let q2 = bob_queries()[1].to_query(&s).unwrap();
+        let hits = oracle_eval(&texts, &s, &q2);
+        assert_eq!(hits.len(), 10, "5 planted rows per node × 2 nodes");
+        let q3 = bob_queries()[2].to_query(&s).unwrap();
+        let q3_hits = oracle_eval(&texts, &s, &q3);
+        assert_eq!(q3_hits.len(), 2);
+    }
+
+    #[test]
+    fn canonical_is_order_insensitive() {
+        use hail_types::Value;
+        let a = vec![
+            Row::new(vec![Value::Int(2)]),
+            Row::new(vec![Value::Int(1)]),
+        ];
+        let b = vec![
+            Row::new(vec![Value::Int(1)]),
+            Row::new(vec![Value::Int(2)]),
+        ];
+        assert_eq!(canonical(&a), canonical(&b));
+    }
+}

@@ -1,0 +1,223 @@
+//! The `UserVisits` dataset of the Pavlo et al. benchmark (\[27\]), §6.2.
+//!
+//! Nine attributes; the paper generates 20 GB per node. Value
+//! distributions are tuned so the paper's query selectivities hold:
+//!
+//! - `visitDate` uniform over ≈32 years starting 1970 → Bob-Q1's
+//!   one-year range selects ≈3.1 × 10⁻².
+//! - `adRevenue` uniform over [0, 485.3) → Bob-Q4's [1, 10] selects
+//!   ≈1.9 × 10⁻² and Bob-Q5's [1, 100] ≈2.04 × 10⁻¹.
+//! - The magic `sourceIP` 172.101.11.46 of Bob-Q2/Q3 is *planted* a
+//!   fixed number of times per node (the paper-scale selectivities,
+//!   3.2 × 10⁻⁸ and 6 × 10⁻⁹, correspond to a few dozen rows out of
+//!   1.5 billion — unreachable by distribution at laptop scale).
+
+use hail_types::{DataType, DatanodeId, Field, Schema};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt::Write as _;
+
+/// The sourceIP Bob's Q2/Q3 search for.
+pub const MAGIC_IP: &str = "172.101.11.46";
+/// The visitDate Bob's Q3 additionally filters on.
+pub const MAGIC_DATE: &str = "1992-12-22";
+
+/// Days covered by `visitDate` (≈32.3 years ⇒ Q1 selectivity 366 days /
+/// 11,806 ≈ 3.1 × 10⁻²).
+const DATE_RANGE_DAYS: i32 = 11_806;
+/// `adRevenue` upper bound (Q4: 9/485.3 ≈ 1.9 %, Q5: 99/485.3 ≈ 20.4 %).
+const REVENUE_RANGE: f64 = 485.3;
+
+/// The UserVisits schema. Attribute positions (1-based) match the
+/// paper's annotations: @1 sourceIP, @3 visitDate, @4 adRevenue,
+/// @8 searchWord, @9 duration.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("sourceIP", DataType::VarChar),
+        Field::new("destURL", DataType::VarChar),
+        Field::new("visitDate", DataType::Date),
+        Field::new("adRevenue", DataType::Float),
+        Field::new("userAgent", DataType::VarChar),
+        Field::new("countryCode", DataType::VarChar),
+        Field::new("languageCode", DataType::VarChar),
+        Field::new("searchWord", DataType::VarChar),
+        Field::new("duration", DataType::Int),
+    ])
+    .unwrap()
+}
+
+/// Deterministic UserVisits generator.
+#[derive(Debug, Clone)]
+pub struct UserVisitsGenerator {
+    pub seed: u64,
+    /// Rows carrying [`MAGIC_IP`] planted per node (every fifth of them
+    /// also carries [`MAGIC_DATE`], keeping Q3 ⊂ Q2 with the paper's
+    /// ≈5× selectivity gap).
+    pub magic_rows_per_node: usize,
+}
+
+impl Default for UserVisitsGenerator {
+    fn default() -> Self {
+        UserVisitsGenerator {
+            seed: 0x5EED_CAFE,
+            magic_rows_per_node: 5,
+        }
+    }
+}
+
+const AGENTS: [&str; 6] = [
+    "Mozilla/5.0 (X11; Linux x86_64) Gecko/2010",
+    "Mozilla/4.0 (compatible; MSIE 7.0)",
+    "Opera/9.80 (Windows NT 6.1)",
+    "Safari/533.16 (Macintosh; Intel)",
+    "Lynx/2.8.8dev.3 libwww-FM/2.14",
+    "Wget/1.12 (linux-gnu)",
+];
+const COUNTRIES: [&str; 8] = ["USA", "DEU", "FRA", "BRA", "IND", "CHN", "JPN", "GBR"];
+const LANGS: [&str; 8] = ["en-US", "de-DE", "fr-FR", "pt-BR", "hi-IN", "zh-CN", "ja-JP", "en-GB"];
+const WORDS: [&str; 12] = [
+    "elephant", "index", "aggressive", "hadoop", "weblog", "analytics", "replica", "cluster",
+    "yellow", "fast", "sort", "scan",
+];
+
+impl UserVisitsGenerator {
+    /// Generates one node's text portion with `rows` records.
+    pub fn node_text(&self, node: DatanodeId, rows: usize) -> String {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (node as u64).wrapping_mul(0x9E37));
+        // Spread planted rows evenly through the node's portion.
+        let plant_every = if self.magic_rows_per_node > 0 {
+            (rows / self.magic_rows_per_node.max(1)).max(1)
+        } else {
+            usize::MAX
+        };
+        let mut planted = 0usize;
+        let mut out = String::with_capacity(rows * 150);
+        for i in 0..rows {
+            let plant = self.magic_rows_per_node > 0
+                && i % plant_every == plant_every / 2
+                && planted < self.magic_rows_per_node;
+            let source_ip = if plant {
+                planted += 1;
+                MAGIC_IP.to_string()
+            } else {
+                format!(
+                    "{}.{}.{}.{}",
+                    rng.random_range(1..224u16),
+                    rng.random_range(0..256u16),
+                    rng.random_range(0..256u16),
+                    rng.random_range(0..256u16)
+                )
+            };
+            // Every fifth planted row carries the magic date (Q3 ⊂ Q2).
+            let date = if plant && planted % 5 == 1 {
+                MAGIC_DATE.to_string()
+            } else {
+                let days = rng.random_range(0..DATE_RANGE_DAYS);
+                hail_types::Value::Date(days).to_string()
+            };
+            let revenue = rng.random_range(0.0..REVENUE_RANGE);
+            let _ = writeln!(
+                out,
+                "{source_ip}|http://example.com/{}/page{}.html|{date}|{revenue:.2}|{}|{}|{}|{}|{}",
+                WORDS[rng.random_range(0..WORDS.len())],
+                rng.random_range(0..100_000u32),
+                AGENTS[rng.random_range(0..AGENTS.len())],
+                COUNTRIES[rng.random_range(0..COUNTRIES.len())],
+                LANGS[rng.random_range(0..LANGS.len())],
+                WORDS[rng.random_range(0..WORDS.len())],
+                rng.random_range(1..10_000u32),
+            );
+        }
+        out
+    }
+
+    /// Generates all nodes' portions.
+    pub fn generate(&self, nodes: usize, rows_per_node: usize) -> Vec<(DatanodeId, String)> {
+        (0..nodes).map(|n| (n, self.node_text(n, rows_per_node))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hail_types::{parse_line_strict, value::parse_date};
+
+    #[test]
+    fn rows_parse_against_schema() {
+        let g = UserVisitsGenerator::default();
+        let text = g.node_text(0, 200);
+        let s = schema();
+        for line in text.lines() {
+            parse_line_strict(line, &s, '|').expect(line);
+        }
+        assert_eq!(text.lines().count(), 200);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = UserVisitsGenerator::default();
+        assert_eq!(g.node_text(3, 50), g.node_text(3, 50));
+        assert_ne!(g.node_text(3, 50), g.node_text(4, 50));
+    }
+
+    #[test]
+    fn q1_selectivity_close_to_paper() {
+        let g = UserVisitsGenerator {
+            magic_rows_per_node: 0,
+            ..Default::default()
+        };
+        let text = g.node_text(0, 20_000);
+        let s = schema();
+        let lo = parse_date("1999-01-01").unwrap();
+        let hi = parse_date("2000-01-01").unwrap();
+        let hits = text
+            .lines()
+            .filter(|l| {
+                let row = parse_line_strict(l, &s, '|').unwrap();
+                let d = row.get(2).unwrap().as_i32().unwrap();
+                (lo..=hi).contains(&d)
+            })
+            .count();
+        let sel = hits as f64 / 20_000.0;
+        assert!(
+            (0.02..0.045).contains(&sel),
+            "Q1 selectivity {sel} should be ≈3.1e-2"
+        );
+    }
+
+    #[test]
+    fn q4_q5_selectivities() {
+        let g = UserVisitsGenerator::default();
+        let text = g.node_text(1, 20_000);
+        let s = schema();
+        let mut q4 = 0;
+        let mut q5 = 0;
+        for l in text.lines() {
+            let row = parse_line_strict(l, &s, '|').unwrap();
+            let r = row.get(3).unwrap().as_f64().unwrap();
+            if (1.0..=10.0).contains(&r) {
+                q4 += 1;
+            }
+            if (1.0..=100.0).contains(&r) {
+                q5 += 1;
+            }
+        }
+        let s4 = q4 as f64 / 20_000.0;
+        let s5 = q5 as f64 / 20_000.0;
+        assert!((0.012..0.027).contains(&s4), "Q4 sel {s4} ≈ 1.7e-2");
+        assert!((0.17..0.24).contains(&s5), "Q5 sel {s5} ≈ 2.04e-1");
+    }
+
+    #[test]
+    fn magic_rows_planted() {
+        let g = UserVisitsGenerator::default();
+        let text = g.node_text(0, 5000);
+        let q2 = text.lines().filter(|l| l.starts_with(MAGIC_IP)).count();
+        assert_eq!(q2, 5);
+        let q3 = text
+            .lines()
+            .filter(|l| l.starts_with(MAGIC_IP) && l.contains(MAGIC_DATE))
+            .count();
+        assert_eq!(q3, 1, "one in five planted rows carries the magic date");
+    }
+}

@@ -1,0 +1,91 @@
+//! Failover drill (§6.4.3): kill a datanode while a query is running
+//! and watch HAIL reschedule — comparing three-different-indexes HAIL
+//! (re-executed tasks may lose their matching index and fall back to
+//! scans) against HAIL-1Idx (same index everywhere, re-runs keep their
+//! index scans).
+//!
+//! ```sh
+//! cargo run --release --example failover_drill
+//! ```
+
+use hail::prelude::*;
+
+fn drill(
+    label: &str,
+    texts: &[(usize, String)],
+    schema: &Schema,
+    storage: &StorageConfig,
+    spec: &ClusterSpec,
+    index_config: &ReplicaIndexConfig,
+) -> Result<()> {
+    let mut cluster = DfsCluster::new(spec.nodes, storage.clone());
+    let dataset = upload_hail(&mut cluster, schema, "weblog", texts, index_config)?;
+    let query = HailQuery::parse("@3 between(1999-01-01, 2000-01-01)", "{@1}", schema)?;
+
+    let format = HailInputFormat::new(dataset.clone(), query).without_splitting();
+    let job = MapJob::collecting("Bob-Q1", dataset.blocks.clone(), &format);
+    let run = run_map_job_with_failure(
+        &mut cluster,
+        spec,
+        &job,
+        FailureScenario::at_half(4),
+    )?;
+
+    let fallbacks = run
+        .with_failure
+        .tasks
+        .iter()
+        .filter(|t| t.stats.fell_back_to_scan)
+        .count();
+    println!("{label}:");
+    println!(
+        "  T_b = {:.1}s without failure, T_f = {:.1}s with DN5 killed at {:.0}s",
+        run.baseline.end_to_end_seconds,
+        run.with_failure.end_to_end_seconds,
+        run.failure_time
+    );
+    println!(
+        "  {} tasks re-executed after the 30s expiry; {} task(s) fell back to full scans",
+        run.rerun_count, fallbacks
+    );
+    println!("  slowdown: {:.1}%", run.slowdown_percent());
+    println!("  output complete: {} rows\n", run.output.len());
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    let schema = bob_schema();
+    let generator = UserVisitsGenerator::default();
+    let texts = generator.generate(6, 3_000);
+    let mut storage = StorageConfig::test_scale(2 * 1024);
+    storage.index_partition_size = 8;
+    let spec = ClusterSpec::new(6, HardwareProfile::physical())
+        .with_scale(ScaleFactor::from_block_sizes(storage.block_size, 64 << 20));
+
+    println!("failover drill: Bob-Q1 over {} rows on 6 nodes\n", 6 * 3_000);
+
+    // HAIL: three different indexes. Tasks whose visitDate replica was
+    // on the dead node must fall back to scanning another replica.
+    drill(
+        "HAIL (indexes on visitDate / sourceIP / adRevenue)",
+        &texts,
+        &schema,
+        &storage,
+        &spec,
+        &ReplicaIndexConfig::first_indexed(3, &[2, 0, 3]),
+    )?;
+
+    // HAIL-1Idx: visitDate index on all three replicas. Re-runs keep
+    // index scans; the slowdown is lower (Fig. 8's 5.5% vs 10.5%).
+    drill(
+        "HAIL-1Idx (visitDate index on every replica)",
+        &texts,
+        &schema,
+        &storage,
+        &spec,
+        &ReplicaIndexConfig::uniform(3, 2),
+    )?;
+
+    println!("paper: HAIL 10.5% vs HAIL-1Idx 5.5% slowdown — same index everywhere\nkeeps index scans alive through failures, at the cost of one sort order.");
+    Ok(())
+}

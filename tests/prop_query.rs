@@ -1,0 +1,132 @@
+//! Property tests over the whole query pipeline: for arbitrary data and
+//! arbitrary range predicates, the HAIL index path, the HAIL scan path,
+//! the Hadoop text path, and the oracle all agree; splitting policies
+//! partition the input exactly.
+
+use hail::core::{default_splits, hail_splits};
+use hail::prelude::*;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("name", DataType::VarChar),
+        Field::new("v", DataType::Int),
+    ])
+    .unwrap()
+}
+
+fn storage() -> StorageConfig {
+    let mut s = StorageConfig::test_scale(256);
+    s.index_partition_size = 4;
+    s
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(i32, String, i32)>> {
+    prop::collection::vec((0..500i32, "[a-z]{1,6}", -100..100i32), 10..250)
+}
+
+fn to_text(rows: &[(i32, String, i32)]) -> String {
+    rows.iter().map(|(k, n, v)| format!("{k}|{n}|{v}\n")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Index path ≡ scan path ≡ Hadoop ≡ oracle for random range queries.
+    #[test]
+    fn all_paths_agree(rows in rows_strategy(), lo in 0..500i32, len in 0..200i32) {
+        let schema = schema();
+        let texts = vec![(0usize, to_text(&rows))];
+        let spec = ClusterSpec::new(3, HardwareProfile::physical());
+        let hi = lo.saturating_add(len);
+        let query = HailQuery::parse(
+            &format!("@1 between({lo}, {hi})"),
+            "{@2, @1}",
+            &schema,
+        ).unwrap();
+        let expected = canonical(&oracle_eval(&texts, &schema, &query));
+
+        // HAIL with an index on @1.
+        let mut hail_cluster = DfsCluster::new(3, storage());
+        let hail = upload_hail(
+            &mut hail_cluster, &schema, "d", &texts,
+            &ReplicaIndexConfig::first_indexed(3, &[0]),
+        ).unwrap();
+        let format = HailInputFormat::new(hail.clone(), query.clone());
+        let job = MapJob::collecting("q", hail.blocks.clone(), &format);
+        let via_index = run_map_job(&hail_cluster, &spec, &job).unwrap();
+        prop_assert_eq!(canonical(&via_index.output), expected.clone());
+
+        // HAIL with no index at all → scan path.
+        let mut scan_cluster = DfsCluster::new(3, storage());
+        let unindexed = upload_hail(
+            &mut scan_cluster, &schema, "d", &texts,
+            &ReplicaIndexConfig::unindexed(3),
+        ).unwrap();
+        let format = HailInputFormat::new(unindexed.clone(), query.clone());
+        let job = MapJob::collecting("q", unindexed.blocks.clone(), &format);
+        let via_scan = run_map_job(&scan_cluster, &spec, &job).unwrap();
+        prop_assert_eq!(canonical(&via_scan.output), expected.clone());
+
+        // Hadoop text.
+        let mut text_cluster = DfsCluster::new(3, storage());
+        let text_ds = upload_hadoop(&mut text_cluster, &schema, "d", &texts).unwrap();
+        let format = HadoopInputFormat::new(text_ds.clone(), query.clone());
+        let job = MapJob::collecting("q", text_ds.blocks.clone(), &format);
+        let via_text = run_map_job(&text_cluster, &spec, &job).unwrap();
+        prop_assert_eq!(canonical(&via_text.output), expected);
+    }
+
+    /// Both splitting policies cover every block exactly once.
+    #[test]
+    fn splitting_partitions_input(rows in rows_strategy(), slots in 1usize..4) {
+        let schema = schema();
+        let texts = vec![(0usize, to_text(&rows)), (1, to_text(&rows))];
+        let mut cluster = DfsCluster::new(3, storage());
+        let ds = upload_hail(
+            &mut cluster, &schema, "d", &texts,
+            &ReplicaIndexConfig::first_indexed(3, &[0]),
+        ).unwrap();
+        let query = HailQuery::parse("@1 <= 250", "", &schema).unwrap();
+
+        for plan in [
+            default_splits(&cluster, &ds.blocks).unwrap(),
+            hail_splits(&cluster, &ds.blocks, &query, slots).unwrap(),
+        ] {
+            let mut covered: Vec<_> = plan.splits.iter().flat_map(|s| s.blocks.clone()).collect();
+            covered.sort_unstable();
+            let mut expected = ds.blocks.clone();
+            expected.sort_unstable();
+            prop_assert_eq!(covered, expected);
+            for split in &plan.splits {
+                prop_assert!(!split.locations.is_empty());
+            }
+        }
+    }
+
+    /// Conjunctive predicates: intersected index bounds never lose rows.
+    #[test]
+    fn conjunction_correct(rows in rows_strategy(), a in 0..500i32, b in 0..500i32) {
+        let schema = schema();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let texts = vec![(0usize, to_text(&rows))];
+        let query = HailQuery::parse(
+            &format!("@1 >= {lo} and @1 <= {hi} and @3 >= 0"),
+            "{@1, @3}",
+            &schema,
+        ).unwrap();
+        let expected = canonical(&oracle_eval(&texts, &schema, &query));
+
+        let mut cluster = DfsCluster::new(3, storage());
+        let ds = upload_hail(
+            &mut cluster, &schema, "d", &texts,
+            &ReplicaIndexConfig::first_indexed(3, &[0]),
+        ).unwrap();
+        let spec = ClusterSpec::new(3, HardwareProfile::physical());
+        let format = HailInputFormat::new(ds.clone(), query);
+        let job = MapJob::collecting("q", ds.blocks.clone(), &format);
+        let run = run_map_job(&cluster, &spec, &job).unwrap();
+        prop_assert_eq!(canonical(&run.output), expected);
+    }
+}

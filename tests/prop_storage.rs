@@ -1,0 +1,193 @@
+//! Property-based tests over the storage layer: PAX round trips, sort
+//! permutations, packet framing, checksum detection, and the clustered
+//! index against a linear-scan oracle.
+
+use hail::index::{ClusteredIndex, KeyBounds};
+use hail::pax::{
+    blocks_from_text, chunk_checksums, packetize, reassemble, sort_block, verify_chunks,
+};
+use hail::prelude::*;
+use proptest::prelude::*;
+use std::ops::Bound;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("key", DataType::Int),
+        Field::new("tag", DataType::VarChar),
+        Field::new("weight", DataType::Float),
+    ])
+    .unwrap()
+}
+
+/// Strategy: a vector of (key, tag, weight) rows with printable tags.
+fn rows_strategy() -> impl Strategy<Value = Vec<(i32, String, f64)>> {
+    prop::collection::vec(
+        (
+            -5000..5000i32,
+            "[a-z]{0,12}",
+            prop::num::f64::NORMAL.prop_map(|f| (f % 1e6).abs()),
+        ),
+        1..200,
+    )
+}
+
+fn to_text(rows: &[(i32, String, f64)]) -> String {
+    rows.iter()
+        .map(|(k, t, w)| format!("{k}|{t}|{w}\n"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rows → PAX block → rows is the identity.
+    #[test]
+    fn pax_round_trip(rows in rows_strategy(), partition in 1usize..64) {
+        let mut storage = StorageConfig::test_scale(1 << 30);
+        storage.index_partition_size = partition;
+        let blocks = blocks_from_text(&to_text(&rows), &schema(), &storage).unwrap();
+        prop_assert_eq!(blocks.len(), 1);
+        let b = &blocks[0];
+        prop_assert_eq!(b.row_count(), rows.len());
+        for (i, (k, t, w)) in rows.iter().enumerate() {
+            let row = b.reconstruct_full(i).unwrap();
+            prop_assert_eq!(row.get(0).unwrap().as_i32(), Some(*k));
+            prop_assert_eq!(row.get(1).unwrap().as_str(), Some(t.as_str()));
+            let got = row.get(2).unwrap().as_f64().unwrap();
+            // Values go through text formatting; compare via re-parse.
+            let expected: f64 = format!("{w}").parse().unwrap();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// Sorting a block on any column yields sorted keys and preserves
+    /// the multiset of rows.
+    #[test]
+    fn sort_preserves_rows(rows in rows_strategy(), col in 0usize..3) {
+        let storage = StorageConfig::test_scale(1 << 30);
+        let blocks = blocks_from_text(&to_text(&rows), &schema(), &storage).unwrap();
+        let (sorted, perm) = sort_block(&blocks[0], col).unwrap();
+        // perm is a permutation.
+        let mut seen = vec![false; rows.len()];
+        for &p in &perm {
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+        }
+        // Keys ascend.
+        for i in 1..sorted.row_count() {
+            let a = sorted.value(col, i - 1).unwrap();
+            let b = sorted.value(col, i).unwrap();
+            prop_assert!(a <= b);
+        }
+        // Row multiset unchanged.
+        let mut before: Vec<String> =
+            (0..rows.len()).map(|i| blocks[0].reconstruct_full(i).unwrap().to_string()).collect();
+        let mut after: Vec<String> =
+            (0..rows.len()).map(|i| sorted.reconstruct_full(i).unwrap().to_string()).collect();
+        before.sort();
+        after.sort();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Index lookup over sorted keys finds exactly the rows a linear
+    /// scan finds (the index may over-approximate partitions, never
+    /// under-approximate rows).
+    #[test]
+    fn clustered_index_complete(
+        mut keys in prop::collection::vec(-1000..1000i32, 1..500),
+        partition in 1usize..64,
+        lo in -1100..1100i32,
+        len in 0..300i32,
+    ) {
+        keys.sort_unstable();
+        let values: Vec<Value> = keys.iter().map(|&k| Value::Int(k)).collect();
+        let idx = ClusteredIndex::build(0, DataType::Int, partition, &values).unwrap();
+        let hi = lo.saturating_add(len);
+        let bounds = KeyBounds::between(Value::Int(lo), Value::Int(hi));
+        let expected: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k >= lo && k <= hi)
+            .map(|(i, _)| i)
+            .collect();
+        match idx.lookup(&bounds) {
+            None => prop_assert!(expected.is_empty(), "lookup missed {} rows", expected.len()),
+            Some((first, last)) => {
+                let range = idx.partition_rows(first, last);
+                for &row in &expected {
+                    prop_assert!(range.contains(&row), "row {row} outside {range:?}");
+                }
+            }
+        }
+    }
+
+    /// Exclusive bounds behave identically to a linear scan.
+    #[test]
+    fn clustered_index_exclusive_bounds(
+        mut keys in prop::collection::vec(0..200i32, 1..300),
+        partition in 1usize..32,
+        pivot in 0..200i32,
+    ) {
+        keys.sort_unstable();
+        let values: Vec<Value> = keys.iter().map(|&k| Value::Int(k)).collect();
+        let idx = ClusteredIndex::build(0, DataType::Int, partition, &values).unwrap();
+        let bounds = KeyBounds {
+            lo: Bound::Excluded(Value::Int(pivot)),
+            hi: Bound::Unbounded,
+        };
+        let expected = keys.iter().filter(|&&k| k > pivot).count();
+        let covered = match idx.lookup(&bounds) {
+            None => 0,
+            Some((f, l)) => idx
+                .partition_rows(f, l)
+                .filter(|&r| keys[r] > pivot)
+                .count(),
+        };
+        prop_assert_eq!(covered, expected);
+    }
+
+    /// Intersecting two random bound pairs never admits a value both
+    /// original bounds reject.
+    #[test]
+    fn bounds_intersection_sound(a in -100..100i32, b in -100..100i32, c in -100..100i32, d in -100..100i32, probe in -150..150i32) {
+        let (a, b) = (a.min(b), a.max(b));
+        let (c, d) = (c.min(d), c.max(d));
+        let x = KeyBounds::between(Value::Int(a), Value::Int(b));
+        let y = KeyBounds::between(Value::Int(c), Value::Int(d));
+        let both = x.intersect(&y);
+        let v = Value::Int(probe);
+        prop_assert_eq!(both.contains(&v), x.contains(&v) && y.contains(&v));
+    }
+
+    /// Packetize → reassemble is the identity for arbitrary payloads.
+    #[test]
+    fn packets_round_trip(data in prop::collection::vec(any::<u8>(), 0..200_000)) {
+        let packets = packetize(&data);
+        for p in &packets {
+            p.verify().unwrap();
+        }
+        prop_assert_eq!(reassemble(&packets).unwrap(), data);
+    }
+
+    /// Any single-byte corruption is caught by the chunk checksums.
+    #[test]
+    fn checksums_detect_any_flip(
+        mut data in prop::collection::vec(any::<u8>(), 1..8192),
+        at in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let sums = chunk_checksums(&data);
+        let i = at.index(data.len());
+        data[i] ^= 1 << bit;
+        prop_assert!(verify_chunks(&data, &sums).is_err());
+    }
+
+    /// Dates round-trip through the text format for the whole supported
+    /// range.
+    #[test]
+    fn dates_round_trip(days in -700_000..2_900_000i32) {
+        let s = Value::Date(days).to_string();
+        let back = hail::types::value::parse_date(&s).unwrap();
+        prop_assert_eq!(back, days);
+    }
+}
