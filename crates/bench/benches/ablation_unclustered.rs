@@ -58,8 +58,8 @@ fn main() {
         // Clustered: one seek + contiguous partitions of the whole rows.
         let (first, last) = clustered.lookup(&bounds).unwrap_or((0, 0));
         let rows_read = clustered.partition_rows(first, last).len() as f64;
-        let clustered_ms =
-            (hw.seek_s + rows_read * ROW_BYTES / rate) * 1e3 + clustered.byte_len() as f64 / rate * 1e3;
+        let clustered_ms = (hw.seek_s + rows_read * ROW_BYTES / rate) * 1e3
+            + clustered.byte_len() as f64 / rate * 1e3;
 
         // Unclustered: read the dense index, then one seek per
         // non-adjacent matching rowid.

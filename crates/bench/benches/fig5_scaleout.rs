@@ -6,7 +6,9 @@
 //! Hadoop on Synthetic at every size, and HAIL exhibits *lower* runtime
 //! variability than Hadoop.
 
-use hail_bench::{paper, setup_hadoop, setup_hail, syn_testbed, uv_testbed, ExperimentScale, Report};
+use hail_bench::{
+    paper, setup_hadoop, setup_hail, syn_testbed, uv_testbed, ExperimentScale, Report,
+};
 use hail_sim::{HardwareProfile, Jitter};
 
 fn main() {

@@ -25,8 +25,16 @@ fn main() {
     let (hpp, _) = setup_hpp(&tb, Some(0)).expect("hadoop++ setup"); // sourceIP
     let hail = setup_hail(&tb, &[2, 0, 3]).expect("hail setup"); // visitDate, sourceIP, adRevenue
 
-    let mut e2e = Report::new("Fig. 6(a)", "End-to-end job runtime, Bob queries", "simulated s");
-    let mut rr = Report::new("Fig. 6(b)", "Average record-reader time, Bob queries", "simulated ms");
+    let mut e2e = Report::new(
+        "Fig. 6(a)",
+        "End-to-end job runtime, Bob queries",
+        "simulated s",
+    );
+    let mut rr = Report::new(
+        "Fig. 6(b)",
+        "Average record-reader time, Bob queries",
+        "simulated ms",
+    );
     let mut overhead = Report::new(
         "Fig. 6(c)",
         "Framework overhead (T_end-to-end − T_ideal)",
@@ -46,8 +54,18 @@ fn main() {
             v.sort();
             v
         };
-        assert_eq!(norm(&rh.output), norm(&ra.output), "{} results diverge", spec.id);
-        assert_eq!(norm(&rh.output), norm(&rp.output), "{} results diverge", spec.id);
+        assert_eq!(
+            norm(&rh.output),
+            norm(&ra.output),
+            "{} results diverge",
+            spec.id
+        );
+        assert_eq!(
+            norm(&rh.output),
+            norm(&rp.output),
+            "{} results diverge",
+            spec.id
+        );
 
         e2e.row(
             format!("{} Hadoop", spec.id),
@@ -83,9 +101,21 @@ fn main() {
         max_rr_speedup =
             max_rr_speedup.max(rh.report.avg_reader_seconds() / ra.report.avg_reader_seconds());
 
-        overhead.row(format!("{} Hadoop", spec.id), None, rh.report.overhead_seconds());
-        overhead.row(format!("{} Hadoop++", spec.id), None, rp.report.overhead_seconds());
-        overhead.row(format!("{} HAIL", spec.id), None, ra.report.overhead_seconds());
+        overhead.row(
+            format!("{} Hadoop", spec.id),
+            None,
+            rh.report.overhead_seconds(),
+        );
+        overhead.row(
+            format!("{} Hadoop++", spec.id),
+            None,
+            rp.report.overhead_seconds(),
+        );
+        overhead.row(
+            format!("{} HAIL", spec.id),
+            None,
+            ra.report.overhead_seconds(),
+        );
 
         // Shape: HAIL end-to-end ≤ both baselines; overhead dominates
         // HAIL's end-to-end (the §6.4.1 observation motivating §6.5).
@@ -108,7 +138,9 @@ fn main() {
         tb.spec.total_map_slots(),
         tb.spec.scale.0
     ));
-    rr.note(format!("max measured RR speedup vs Hadoop: {max_rr_speedup:.0}x (paper: 46x)"));
+    rr.note(format!(
+        "max measured RR speedup vs Hadoop: {max_rr_speedup:.0}x (paper: 46x)"
+    ));
     e2e.print();
     rr.print();
     overhead.print();

@@ -42,8 +42,16 @@ fn main() {
     }
     table1.print();
 
-    let mut e2e = Report::new("Fig. 7(a)", "End-to-end job runtime, Synthetic", "simulated s");
-    let mut rr = Report::new("Fig. 7(b)", "Average record-reader time, Synthetic", "simulated ms");
+    let mut e2e = Report::new(
+        "Fig. 7(a)",
+        "End-to-end job runtime, Synthetic",
+        "simulated s",
+    );
+    let mut rr = Report::new(
+        "Fig. 7(b)",
+        "Average record-reader time, Synthetic",
+        "simulated ms",
+    );
     let mut overhead = Report::new("Fig. 7(c)", "Framework overhead, Synthetic", "simulated s");
 
     let mut hail_rr = Vec::new();
@@ -94,9 +102,21 @@ fn main() {
         );
         hail_rr.push(ra.report.avg_reader_seconds());
 
-        overhead.row(format!("{} Hadoop", spec.id), None, rh.report.overhead_seconds());
-        overhead.row(format!("{} Hadoop++", spec.id), None, rp.report.overhead_seconds());
-        overhead.row(format!("{} HAIL", spec.id), None, ra.report.overhead_seconds());
+        overhead.row(
+            format!("{} Hadoop", spec.id),
+            None,
+            rh.report.overhead_seconds(),
+        );
+        overhead.row(
+            format!("{} Hadoop++", spec.id),
+            None,
+            rp.report.overhead_seconds(),
+        );
+        overhead.row(
+            format!("{} HAIL", spec.id),
+            None,
+            ra.report.overhead_seconds(),
+        );
 
         // Index scans beat full scans at the reader level.
         assert!(
@@ -109,7 +129,10 @@ fn main() {
     // Selectivity shape: Q2 (1%) readers are faster than Q1 (10%) at the
     // same projectivity; projectivity shape: c < b < a within Q1.
     assert!(hail_rr[3] < hail_rr[0], "Q2a < Q1a");
-    assert!(hail_rr[2] < hail_rr[1] && hail_rr[1] < hail_rr[0], "c < b < a");
+    assert!(
+        hail_rr[2] < hail_rr[1] && hail_rr[1] < hail_rr[0],
+        "c < b < a"
+    );
 
     e2e.note("all queries filter the same attribute; HailSplitting disabled");
     e2e.print();

@@ -26,13 +26,25 @@ fn main() {
     let q1 = bob_queries()[0].to_query(&tb.schema).unwrap();
     let scenario = FailureScenario::at_half(3);
 
-    let mut report = Report::new("Fig. 8", "Failover slowdown, Bob-Q1, node killed at 50%", "%");
-    let mut runtimes = Report::new("Fig. 8 runtimes", "Job runtime without failure", "simulated s");
+    let mut report = Report::new(
+        "Fig. 8",
+        "Failover slowdown, Bob-Q1, node killed at 50%",
+        "%",
+    );
+    let mut runtimes = Report::new(
+        "Fig. 8 runtimes",
+        "Job runtime without failure",
+        "simulated s",
+    );
 
     // Hadoop.
     let mut hadoop = setup_hadoop(&tb).expect("hadoop setup");
     let rh = run_query_with_failure(&mut hadoop, &tb.spec, &q1, false, scenario).expect("hadoop");
-    report.row("Hadoop", Some(paper::fig8::HADOOP_SLOWDOWN), rh.slowdown_percent());
+    report.row(
+        "Hadoop",
+        Some(paper::fig8::HADOOP_SLOWDOWN),
+        rh.slowdown_percent(),
+    );
     runtimes.row(
         "Hadoop",
         Some(paper::fig8::HADOOP_RUNTIME),
@@ -42,8 +54,16 @@ fn main() {
     // HAIL with three different indexes.
     let mut hail = setup_hail(&tb, &[2, 0, 3]).expect("hail setup");
     let ra = run_query_with_failure(&mut hail, &tb.spec, &q1, false, scenario).expect("hail");
-    report.row("HAIL", Some(paper::fig8::HAIL_SLOWDOWN), ra.slowdown_percent());
-    runtimes.row("HAIL", Some(paper::fig8::HAIL_RUNTIME), ra.baseline.end_to_end_seconds);
+    report.row(
+        "HAIL",
+        Some(paper::fig8::HAIL_SLOWDOWN),
+        ra.slowdown_percent(),
+    );
+    runtimes.row(
+        "HAIL",
+        Some(paper::fig8::HAIL_RUNTIME),
+        ra.baseline.end_to_end_seconds,
+    );
 
     // HAIL-1Idx: visitDate index on every replica.
     let config = ReplicaIndexConfig::uniform(3, 2);

@@ -19,7 +19,10 @@ use hail_workloads::{bob_queries, synthetic_queries};
 
 fn main() {
     // --- Bob / UserVisits ---
-    let tb = uv_testbed(ExperimentScale::query(10, 20_000), HardwareProfile::physical());
+    let tb = uv_testbed(
+        ExperimentScale::query(10, 20_000),
+        HardwareProfile::physical(),
+    );
     let hadoop = setup_hadoop(&tb).expect("hadoop");
     let (hpp, _) = setup_hpp(&tb, Some(0)).expect("hadoop++");
     let hail = setup_hail(&tb, &[2, 0, 3]).expect("hail");
@@ -56,8 +59,7 @@ fn main() {
         totals[0] += rh.report.end_to_end_seconds;
         totals[1] += rp.report.end_to_end_seconds;
         totals[2] += ra.report.end_to_end_seconds;
-        max_speedup =
-            max_speedup.max(rh.report.end_to_end_seconds / ra.report.end_to_end_seconds);
+        max_speedup = max_speedup.max(rh.report.end_to_end_seconds / ra.report.end_to_end_seconds);
         assert!(
             ra.report.task_count() * 4 < rh.report.task_count(),
             "{}: HailSplitting must collapse the task count",
@@ -75,7 +77,8 @@ fn main() {
 
     // --- Synthetic ---
     let tbs = syn_testbed(
-        ExperimentScale::query(10, 15_000).with_blocks_per_node(hail_bench::setup::SYN_BLOCKS_PER_NODE),
+        ExperimentScale::query(10, 15_000)
+            .with_blocks_per_node(hail_bench::setup::SYN_BLOCKS_PER_NODE),
         HardwareProfile::physical(),
     );
     let hadoop_s = setup_hadoop(&tbs).expect("hadoop syn");
@@ -137,7 +140,13 @@ fn main() {
     fig9c.note(format!(
         "Bob workload speedup vs Hadoop: {bob_factor:.0}x (paper: 39x); Synthetic: {syn_factor:.0}x (paper: 9x)"
     ));
-    assert!(bob_factor > 5.0, "Bob workload speedup too small: {bob_factor:.1}");
-    assert!(syn_factor > 2.0, "Synthetic workload speedup too small: {syn_factor:.1}");
+    assert!(
+        bob_factor > 5.0,
+        "Bob workload speedup too small: {bob_factor:.1}"
+    );
+    assert!(
+        syn_factor > 2.0,
+        "Synthetic workload speedup too small: {syn_factor:.1}"
+    );
     fig9c.print();
 }

@@ -36,10 +36,14 @@ fn sample_text(rows: usize) -> String {
 }
 
 fn sample_block(rows: usize) -> PaxBlock {
-    blocks_from_text(&sample_text(rows), &schema(), &StorageConfig::test_scale(1 << 30))
-        .unwrap()
-        .pop()
-        .unwrap()
+    blocks_from_text(
+        &sample_text(rows),
+        &schema(),
+        &StorageConfig::test_scale(1 << 30),
+    )
+    .unwrap()
+    .pop()
+    .unwrap()
 }
 
 fn bench_pax(c: &mut Criterion) {

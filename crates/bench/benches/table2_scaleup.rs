@@ -7,7 +7,9 @@
 //! m1.large to cc1.4xlarge to the physical cluster: 0.54 → 0.87 on
 //! UserVisits, 1.15 → 1.58 on Synthetic.
 
-use hail_bench::{paper, setup_hadoop, setup_hail, syn_testbed, uv_testbed, ExperimentScale, Report};
+use hail_bench::{
+    paper, setup_hadoop, setup_hail, syn_testbed, uv_testbed, ExperimentScale, Report,
+};
 use hail_sim::HardwareProfile;
 
 fn profiles() -> Vec<HardwareProfile> {
@@ -93,7 +95,10 @@ fn main() {
     // Synthetic favours HAIL more than UserVisits everywhere (binary
     // shrink), as in the paper.
     for (u, s) in uv_speedups.iter().zip(&syn_speedups) {
-        assert!(s > u, "Synthetic speedup {s:.2} should exceed UserVisits {u:.2}");
+        assert!(
+            s > u,
+            "Synthetic speedup {s:.2} should exceed UserVisits {u:.2}"
+        );
     }
 
     uv.print();

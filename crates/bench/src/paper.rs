@@ -28,8 +28,12 @@ pub mod fig4c {
 
 /// Table 2: scale-up upload seconds (Hadoop, HAIL) per node type.
 pub mod table2 {
-    pub const NODE_TYPES: [&str; 4] =
-        ["ec2-m1.large", "ec2-m1.xlarge", "ec2-cc1.4xlarge", "physical"];
+    pub const NODE_TYPES: [&str; 4] = [
+        "ec2-m1.large",
+        "ec2-m1.xlarge",
+        "ec2-cc1.4xlarge",
+        "physical",
+    ];
     pub const UV_HADOOP: [f64; 4] = [1844.0, 1296.0, 1284.0, 1398.0];
     pub const UV_HAIL: [f64; 4] = [3418.0, 2039.0, 1742.0, 1600.0];
     pub const SYN_HADOOP: [f64; 4] = [1176.0, 788.0, 827.0, 1132.0];
@@ -65,8 +69,9 @@ pub mod fig6b {
 
 /// Fig. 7(a): Synthetic-query end-to-end seconds (HailSplitting off).
 pub mod fig7a {
-    pub const QUERIES: [&str; 6] =
-        ["Syn-Q1a", "Syn-Q1b", "Syn-Q1c", "Syn-Q2a", "Syn-Q2b", "Syn-Q2c"];
+    pub const QUERIES: [&str; 6] = [
+        "Syn-Q1a", "Syn-Q1b", "Syn-Q1c", "Syn-Q2a", "Syn-Q2b", "Syn-Q2c",
+    ];
     pub const HADOOP: [f64; 6] = [572.0, 517.0, 473.0, 460.0, 446.0, 450.0];
     pub const HADOOP_PP: [f64; 6] = [460.0, 463.0, 433.0, 404.0, 403.0, 403.0];
     pub const HAIL: [f64; 6] = [409.0, 466.0, 433.0, 433.0, 430.0, 433.0];

@@ -10,9 +10,10 @@
 
 use hail_core::{
     upload_hadoop, upload_hadoop_plus_plus, upload_hail, upload_seconds, Dataset, DatasetFormat,
-    HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat, HailQuery, HppUploadReport,
+    HailQuery, HppUploadReport,
 };
 use hail_dfs::DfsCluster;
+use hail_exec::{HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat};
 use hail_index::ReplicaIndexConfig;
 use hail_mr::{run_map_job, InputFormat, JobRun, MapJob};
 use hail_sim::{ClusterSpec, HardwareProfile, ScaleFactor};
@@ -146,7 +147,6 @@ pub struct SystemSetup {
     pub upload_seconds: f64,
 }
 
-
 /// Interleaves a dataset's blocks round-robin across the uploading
 /// nodes. A real multi-node parallel upload allocates block ids
 /// interleaved across writers; our in-process upload is sequential per
@@ -212,7 +212,10 @@ pub fn setup_hail_with_config(tb: &Testbed, config: &ReplicaIndexConfig) -> Resu
 
 /// Hadoop++ with a trojan index on `key_column` (None = binary
 /// conversion only).
-pub fn setup_hpp(tb: &Testbed, key_column: Option<usize>) -> Result<(SystemSetup, HppUploadReport)> {
+pub fn setup_hpp(
+    tb: &Testbed,
+    key_column: Option<usize>,
+) -> Result<(SystemSetup, HppUploadReport)> {
     let mut cluster = DfsCluster::new(tb.scale.nodes, tb.storage.clone());
     let (mut dataset, report) = upload_hadoop_plus_plus(
         &mut cluster,
@@ -255,10 +258,9 @@ fn make_format(
     hail_splitting: bool,
 ) -> Box<dyn InputFormat> {
     match setup.dataset.format {
-        DatasetFormat::HadoopText => Box::new(HadoopInputFormat::new(
-            setup.dataset.clone(),
-            query.clone(),
-        )),
+        DatasetFormat::HadoopText => {
+            Box::new(HadoopInputFormat::new(setup.dataset.clone(), query.clone()))
+        }
         DatasetFormat::HailPax => {
             let mut f = HailInputFormat::new(setup.dataset.clone(), query.clone());
             f.splitting = hail_splitting;

@@ -1,0 +1,192 @@
+//! A minimal, API-compatible stand-in for the subset of `criterion` the
+//! workspace's micro-benchmarks use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! The build environment has no crate registry access, so the workspace
+//! vendors this local harness. It measures wall-clock medians over a
+//! configurable number of samples — adequate for relative comparisons,
+//! with none of criterion's statistical machinery.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted for API
+/// compatibility, the harness always runs one setup per sample.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Runs one benchmark's timing loops.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration times, seconds.
+    times: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.times.push(start.elapsed().as_secs_f64());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.times.push(start.elapsed().as_secs_f64());
+            drop(out);
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in has no fixed
+    /// measurement window.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in does no warm-up.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs `f`'s timing loop and prints a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut b);
+        let mut times = b.times;
+        if times.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let max = times[times.len() - 1];
+        println!(
+            "{name:<40} median {:>12} (min {}, max {}, n={})",
+            format_time(median),
+            format_time(min),
+            format_time(max),
+            times.len()
+        );
+        self
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's macro shapes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn iter_batched_setups_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut seen = Vec::new();
+        c.bench_function("batched", |b| {
+            let mut n = 0;
+            b.iter_batched(
+                || {
+                    n += 1;
+                    n
+                },
+                |input| seen.push(input),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(2.5).ends_with(" s"));
+        assert!(format_time(0.002).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(5e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,188 @@
+//! A minimal, deterministic stand-in for the subset of the `rand` crate
+//! this workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`]
+//! and [`RngExt::random_range`] over integer and float ranges.
+//!
+//! The build environment has no crate registry access, so the workspace
+//! vendors this local implementation. The generator is xoshiro256++
+//! seeded through SplitMix64 — high-quality enough for synthetic data
+//! generation, and fully deterministic across platforms, which the
+//! workload generators require for reproducible experiments.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from a half-open `Range`.
+///
+/// Implemented for the integer widths and `f64`; this is the only range
+/// shape the workspace samples from.
+pub trait SampleRange: Sized {
+    /// Samples uniformly from `range` using `rng`.
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self;
+}
+
+/// The raw generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Samples uniformly from a half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: SampleRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(range, self)
+    }
+
+    /// A uniform boolean with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(0.0..1.0, self) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanding it with
+    /// SplitMix64 as the reference `rand` implementation does.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+macro_rules! impl_int_sample {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Multiply-shift rejection-free mapping; the span never
+                // approaches 2^64 in this workspace, so modulo bias is
+                // below 2^-32 and irrelevant for data generation.
+                let r = (rng.next_u64() as u128 * span) >> 64;
+                (range.start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for f64 {
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 seed expansion.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000u32),
+                b.random_range(0..1_000_000u32)
+            );
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: usize = (0..100)
+            .filter(|_| {
+                StdRng::seed_from_u64(42).random_range(0..u32::MAX) == c.random_range(0..u32::MAX)
+            })
+            .count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10..20i32);
+            assert!((10..20).contains(&v));
+            let f = rng.random_range(0.0..485.3);
+            assert!((0.0..485.3).contains(&f));
+            let u = rng.random_range(0..3u8);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[rng.random_range(0..10usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((9_000..11_000).contains(&b), "bucket {b} far from uniform");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(5..5i32);
+    }
+}

@@ -67,11 +67,7 @@ pub enum Predicate {
         value: Value,
     },
     /// `@col between(lo, hi)`, inclusive on both ends.
-    Between {
-        column: usize,
-        lo: Value,
-        hi: Value,
-    },
+    Between { column: usize, lo: Value, hi: Value },
 }
 
 impl Predicate {
@@ -85,10 +81,9 @@ impl Predicate {
     /// Evaluates the predicate against a full row.
     pub fn matches(&self, row: &Row) -> bool {
         match self {
-            Predicate::Cmp { column, op, value } => row
-                .get(*column)
-                .map(|v| op.eval(v, value))
-                .unwrap_or(false),
+            Predicate::Cmp { column, op, value } => {
+                row.get(*column).map(|v| op.eval(v, value)).unwrap_or(false)
+            }
             Predicate::Between { column, lo, hi } => row
                 .get(*column)
                 .map(|v| v >= lo && v <= hi)
@@ -133,13 +128,7 @@ impl Predicate {
     /// True if this predicate can be accelerated by a clustered index on
     /// its column.
     pub fn index_friendly(&self) -> bool {
-        !matches!(
-            self,
-            Predicate::Cmp {
-                op: CmpOp::Ne,
-                ..
-            }
-        )
+        !matches!(self, Predicate::Cmp { op: CmpOp::Ne, .. })
     }
 }
 
@@ -258,8 +247,7 @@ fn parse_literal(token: &str, column: usize, schema: &Schema) -> Result<Value> {
         .and_then(|s| s.strip_suffix('\''))
         .unwrap_or(t);
     let dtype = schema.field(column)?.data_type;
-    Value::parse(unquoted, dtype)
-        .map_err(|e| HailError::Annotation(format!("literal {t:?}: {e}")))
+    Value::parse(unquoted, dtype).map_err(|e| HailError::Annotation(format!("literal {t:?}: {e}")))
 }
 
 /// Splits a filter string on `and` (case-insensitive, word-boundary).
@@ -310,9 +298,7 @@ fn parse_conjunct(conjunct: &str, schema: &Schema) -> Result<Predicate> {
         let inner = args
             .strip_prefix('(')
             .and_then(|s| s.strip_suffix(')'))
-            .ok_or_else(|| {
-                HailError::Annotation(format!("between needs (lo, hi) in {c:?}"))
-            })?;
+            .ok_or_else(|| HailError::Annotation(format!("between needs (lo, hi) in {c:?}")))?;
         let parts: Vec<&str> = inner.splitn(2, ',').collect();
         if parts.len() != 2 {
             return Err(HailError::Annotation(format!(
@@ -343,7 +329,9 @@ fn parse_conjunct(conjunct: &str, schema: &Schema) -> Result<Predicate> {
             return Ok(Predicate::Cmp { column, op, value });
         }
     }
-    Err(HailError::Annotation(format!("unparseable predicate {c:?}")))
+    Err(HailError::Annotation(format!(
+        "unparseable predicate {c:?}"
+    )))
 }
 
 fn parse_filter(filter: &str, schema: &Schema) -> Result<Vec<Predicate>> {
@@ -392,12 +380,7 @@ mod tests {
     #[test]
     fn bobs_q1_annotation() {
         // The paper's example annotation, verbatim (modulo spacing).
-        let q = HailQuery::parse(
-            "@3 between(1999-01-01, 2000-01-01)",
-            "{@1}",
-            &schema(),
-        )
-        .unwrap();
+        let q = HailQuery::parse("@3 between(1999-01-01, 2000-01-01)", "{@1}", &schema()).unwrap();
         assert_eq!(q.predicates.len(), 1);
         assert_eq!(q.projection, vec![0]);
         assert!(q.matches(&row("1.1.1.1|u|1999-06-15|2.0|7")));

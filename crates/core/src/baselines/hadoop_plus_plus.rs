@@ -16,18 +16,15 @@
 //!    (≈150× larger than HAIL's) index header before it can create
 //!    splits, delaying job start.
 
-use crate::annotation::HailQuery;
 use crate::dataset::{Dataset, DatasetFormat};
 use crate::upload::{upload_hadoop, upload_seconds};
 use bytes::Bytes;
 use hail_dfs::{store_transformed_block, DfsCluster};
 use hail_index::{IndexKind, IndexMetadata, TrojanIndex};
-use hail_mr::{MapRecord, TaskStats};
 use hail_sim::{ClusterSpec, CostLedger};
 use hail_types::bytes_util::{put_u32, ByteReader};
 use hail_types::{
-    parse_line, BlockId, DataType, DatanodeId, HailError, ParsedRecord, Result, Row, Schema,
-    Value,
+    parse_line, BlockId, DataType, DatanodeId, HailError, ParsedRecord, Result, Row, Schema, Value,
 };
 
 /// Magic for the Hadoop++ row-layout block ("HPP1").
@@ -128,7 +125,9 @@ impl RowBlock {
             return Err(HailError::Corrupt("truncated trojan index".into()));
         }
         let index = if index_len > 0 {
-            Some(TrojanIndex::from_bytes(&bytes[index_start..index_start + index_len])?)
+            Some(TrojanIndex::from_bytes(
+                &bytes[index_start..index_start + index_len],
+            )?)
         } else {
             None
         };
@@ -180,8 +179,7 @@ impl RowBlock {
 
     fn row_offset(&self, row: usize) -> usize {
         let at = self.offsets_start + row * 4;
-        self.rows_start
-            + u32::from_le_bytes(self.bytes[at..at + 4].try_into().unwrap()) as usize
+        self.rows_start + u32::from_le_bytes(self.bytes[at..at + 4].try_into().unwrap()) as usize
     }
 
     /// Decodes one full row.
@@ -322,7 +320,9 @@ pub fn upload_hadoop_plus_plus(
         let hosts = cluster.namenode().get_hosts(text_block)?;
         let reader = hosts[0];
         let mut ledger = CostLedger::new();
-        let raw = cluster.datanode(reader)?.read_replica(text_block, &mut ledger)?;
+        let raw = cluster
+            .datanode(reader)?
+            .read_replica(text_block, &mut ledger)?;
         ledger.parse_cpu += raw.len() as u64;
         let text = std::str::from_utf8(&raw)
             .map_err(|_| HailError::Corrupt("text block is not UTF-8".into()))?;
@@ -363,7 +363,9 @@ pub fn upload_hadoop_plus_plus(
                 let hosts = cluster.namenode().get_hosts(bin_block)?;
                 let reader = hosts[0];
                 let mut ledger = CostLedger::new();
-                let raw = cluster.datanode(reader)?.read_replica(bin_block, &mut ledger)?;
+                let raw = cluster
+                    .datanode(reader)?
+                    .read_replica(bin_block, &mut ledger)?;
                 let block = RowBlock::parse(raw)?;
                 let mut rows: Vec<Row> = (0..block.row_count())
                     .map(|i| block.row(schema, i))
@@ -397,7 +399,12 @@ pub fn upload_hadoop_plus_plus(
     };
 
     Ok((
-        Dataset::new(name, schema.clone(), final_blocks, DatasetFormat::HadoopPlusPlus),
+        Dataset::new(
+            name,
+            schema.clone(),
+            final_blocks,
+            DatasetFormat::HadoopPlusPlus,
+        ),
         HppUploadReport {
             text_upload_seconds,
             job_data_seconds,
@@ -415,86 +422,6 @@ pub fn trojan_header_bytes(cluster: &DfsCluster, block: BlockId) -> Result<usize
     let info = cluster.namenode().replica_info(block, h)?;
     // Fixed header fields + the trojan index itself.
     Ok(20 + info.index.index_bytes)
-}
-
-/// The Hadoop++ record reader: trojan-index scan when the query filters
-/// on the block's key column, full scan otherwise.
-pub fn read_hpp_block(
-    cluster: &DfsCluster,
-    block: BlockId,
-    task_node: DatanodeId,
-    schema: &Schema,
-    query: &HailQuery,
-    emit: &mut dyn FnMut(MapRecord),
-) -> Result<TaskStats> {
-    let hosts = cluster.namenode().get_hosts(block)?;
-    let host = if hosts.contains(&task_node) {
-        task_node
-    } else {
-        *hosts.first().ok_or(HailError::UnknownBlock(block))?
-    };
-    let dn = cluster.datanode(host)?;
-    let bytes = dn.peek_replica(block)?;
-    let row_block = RowBlock::parse(bytes)?;
-    let projection = query.projected_columns(schema);
-
-    let indexed_bounds = row_block
-        .key_column()
-        .and_then(|key| query.bounds_on(key).map(|b| (key, b)));
-
-    let mut stats = TaskStats::default();
-    let mut remote_bytes = 0u64;
-
-    match (indexed_bounds, row_block.index()) {
-        (Some((_key, bounds)), Some(index)) => {
-            stats.serial_pricing = true;
-            // Read the (large) trojan index into memory.
-            dn.charge_range_read(row_block.header_bytes(), &mut stats.ledger)?;
-            remote_bytes += row_block.header_bytes() as u64;
-            if let Some(range) = index.lookup_rows(&bounds) {
-                let scan_bytes =
-                    row_block.row_range_bytes(schema, range.start, range.end)?
-                        + 4 * range.len(); // the offsets slice for the range
-                dn.charge_range_read(scan_bytes, &mut stats.ledger)?;
-                remote_bytes += scan_bytes as u64;
-                stats.ledger.scan_cpu += scan_bytes as u64;
-                for r in range {
-                    if r >= row_block.row_count() {
-                        break;
-                    }
-                    let row = row_block.row(schema, r)?;
-                    if query.matches(&row) {
-                        emit(MapRecord::good(row.project(&projection)));
-                        stats.records += 1;
-                    }
-                }
-            }
-        }
-        _ => {
-            // Full scan of the binary block.
-            let blen = row_block.byte_len();
-            dn.charge_range_read(blen, &mut stats.ledger)?;
-            remote_bytes += blen as u64;
-            stats.ledger.scan_cpu += blen as u64;
-            stats.fell_back_to_scan = !query.filter_columns().is_empty();
-            for r in 0..row_block.row_count() {
-                let row = row_block.row(schema, r)?;
-                if query.matches(&row) {
-                    emit(MapRecord::good(row.project(&projection)));
-                    stats.records += 1;
-                }
-            }
-        }
-    }
-
-    for bad in row_block.bad_records(schema)? {
-        emit(MapRecord::bad(bad));
-        stats.records += 1;
-    }
-    if host != task_node {
-        stats.ledger.net_sent += remote_bytes;
-    }
-    Ok(stats)
 }
 
 #[cfg(test)]
@@ -617,70 +544,12 @@ mod tests {
     }
 
     #[test]
-    fn reader_index_scan_matches_full_scan() {
-        let spec = ClusterSpec::new(4, HardwareProfile::physical());
-        let texts = node_texts(2, 300);
-        let mut c = DfsCluster::new(4, StorageConfig::test_scale(8192));
-        let (ds, _) =
-            upload_hadoop_plus_plus(&mut c, &spec, &schema(), "uv", &texts, Some(0)).unwrap();
-
-        let q = HailQuery::parse("@1 = '10.0.0.42'", "{@1, @3}", &schema()).unwrap();
-        let mut via_index = Vec::new();
-        let mut idx_stats = TaskStats::default();
-        for &b in &ds.blocks {
-            let s = read_hpp_block(&c, b, 0, &schema(), &q, &mut |r| via_index.push(r)).unwrap();
-            idx_stats.merge(&s);
-        }
-        assert!(idx_stats.serial_pricing);
-        assert!(!idx_stats.fell_back_to_scan);
-
-        // Filter on a non-key column → full scan, same logical results
-        // for an equivalent predicate expressed differently.
-        let q2 = HailQuery::parse("@2 >= 1970-01-01 and @1 = '10.0.0.42'", "{@1, @3}", &schema())
-            .unwrap();
-        let mut via_scan = Vec::new();
-        let mut scan_stats = TaskStats::default();
-        for &b in &ds.blocks {
-            // Key column is @1 (= index 0); q2's first filter is @2 so
-            // predicate_on(key) still finds @1 = … and uses the index.
-            let s = read_hpp_block(&c, b, 0, &schema(), &q2, &mut |r| via_scan.push(r)).unwrap();
-            scan_stats.merge(&s);
-        }
-        let norm = |v: &[MapRecord]| {
-            let mut out: Vec<String> = v
-                .iter()
-                .filter(|r| !r.bad)
-                .map(|r| r.row.to_string())
-                .collect();
-            out.sort();
-            out
-        };
-        assert_eq!(norm(&via_index), norm(&via_scan));
-        // The index scan reads far less than the block size per block.
-        let total_block_bytes: u64 = ds
-            .blocks
-            .iter()
-            .map(|&b| {
-                let h = c.namenode().get_hosts(b).unwrap()[0];
-                c.namenode().replica_info(b, h).unwrap().replica_bytes as u64
-            })
-            .sum();
-        assert!(idx_stats.ledger.disk_read < total_block_bytes / 2);
-    }
-
-    #[test]
     fn header_bytes_reported() {
         let spec = ClusterSpec::new(4, HardwareProfile::physical());
         let mut c = DfsCluster::new(4, StorageConfig::test_scale(4096));
-        let (ds, _) = upload_hadoop_plus_plus(
-            &mut c,
-            &spec,
-            &schema(),
-            "uv",
-            &node_texts(2, 200),
-            Some(1),
-        )
-        .unwrap();
+        let (ds, _) =
+            upload_hadoop_plus_plus(&mut c, &spec, &schema(), "uv", &node_texts(2, 200), Some(1))
+                .unwrap();
         for &b in &ds.blocks {
             let h = trojan_header_bytes(&c, b).unwrap();
             assert!(h > 20, "header must include the index: {h}");

@@ -1,8 +1,9 @@
 //! Baseline systems the paper compares against.
 //!
 //! The standard *Hadoop* baseline is split across
-//! [`crate::upload::upload_hadoop`] (text upload) and
-//! [`crate::input_format::HadoopInputFormat`] (full-scan query path);
-//! *Hadoop++* lives in [`hadoop_plus_plus`].
+//! [`crate::upload::upload_hadoop`] (text upload) and the `hail-exec`
+//! crate's full-scan access path (query side); *Hadoop++*'s storage
+//! format and upload jobs live in [`hadoop_plus_plus`], its read path
+//! in `hail-exec`'s trojan access path.
 
 pub mod hadoop_plus_plus;

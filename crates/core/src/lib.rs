@@ -1,37 +1,31 @@
 //! # hail-core
 //!
-//! HAIL (Hadoop Aggressive Indexing Library) proper — the paper's
-//! contribution, built on the `hail-dfs` replica store and the `hail-mr`
-//! engine:
+//! HAIL (Hadoop Aggressive Indexing Library) storage side — the paper's
+//! upload pipeline and query language, built on the `hail-dfs` replica
+//! store:
 //!
 //! - [`upload`] — the HAIL upload client (parse → PAX → per-replica
 //!   sort + index inside the replication pipeline), plus the standard
 //!   HDFS upload and the naive two-pass ablation
 //! - [`annotation`] — the `@HailQuery` filter/projection language
-//! - [`splitting`] — `HailSplitting` (multi-block splits per index
-//!   replica) and default Hadoop splitting
-//! - [`record_reader`] — `HailRecordReader` (index scan / scan fallback)
-//!   and the Hadoop text reader
-//! - [`input_format`] — the three `InputFormat`s jobs choose between
-//! - [`baselines`] — Hadoop++ (trojan index, row layout)
+//! - [`baselines`] — Hadoop++'s storage format and upload jobs (trojan
+//!   index, row layout)
 //! - [`dataset`] — dataset handles
+//!
+//! The query side — record readers, splitting policies, input formats —
+//! lives in the `hail-exec` crate behind its cost-based `QueryPlanner`,
+//! so that every replica and access-path decision is made in one place.
 
 #![forbid(unsafe_code)]
 
 pub mod annotation;
 pub mod baselines;
 pub mod dataset;
-pub mod input_format;
-pub mod record_reader;
-pub mod splitting;
 pub mod upload;
 
 pub use annotation::{CmpOp, HailQuery, Predicate};
 pub use baselines::hadoop_plus_plus::{
-    read_hpp_block, upload_hadoop_plus_plus, HppUploadReport, RowBlock,
+    encode_row_block, trojan_header_bytes, upload_hadoop_plus_plus, HppUploadReport, RowBlock,
 };
 pub use dataset::{Dataset, DatasetFormat};
-pub use input_format::{HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat};
-pub use record_reader::{read_hadoop_text_block, read_hail_block};
-pub use splitting::{default_splits, hail_splits};
 pub use upload::{upload_hadoop, upload_hail, upload_hail_naive, upload_seconds};

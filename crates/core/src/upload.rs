@@ -47,11 +47,28 @@ pub fn upload_hadoop(
             } else {
                 match bytes[start..hard_end].iter().rposition(|&b| b == b'\n') {
                     Some(nl) => start + nl + 1,
-                    None => hard_end, // one giant line; split hard
+                    // A row longer than the remaining window (e.g. a
+                    // final partial line spilling over the boundary):
+                    // extend the block to the row's end rather than
+                    // splitting it, which would turn one logical row
+                    // into two garbage fragments on different blocks.
+                    // Real HDFS splits mid-row and patches it up in the
+                    // record reader; an oversized block models the same
+                    // "the row stays whole" semantics.
+                    None => bytes[hard_end..]
+                        .iter()
+                        .position(|&b| b == b'\n')
+                        .map(|nl| hard_end + nl + 1)
+                        .unwrap_or(bytes.len()),
                 }
             };
             let chunk = Bytes::copy_from_slice(&bytes[start..end]);
-            blocks.push(hdfs_upload_block(cluster, *node, chunk, &FaultPlan::none())?);
+            blocks.push(hdfs_upload_block(
+                cluster,
+                *node,
+                chunk,
+                &FaultPlan::none(),
+            )?);
             start = end;
         }
     }
@@ -158,7 +175,9 @@ pub fn upload_hail_naive(
         // the pipeline's normal accounting).
         let writer = hosts.first().copied().unwrap_or(i % cluster.node_count());
         let mut peek = hail_sim::CostLedger::new();
-        let text = cluster.datanode(writer)?.read_replica(text_block, &mut peek)?;
+        let text = cluster
+            .datanode(writer)?
+            .read_replica(text_block, &mut peek)?;
         let text = String::from_utf8(text.to_vec())
             .map_err(|_| HailError::Corrupt("text block is not UTF-8".into()))?;
         let mut builder = PaxBlockBuilder::new(schema.clone(), cluster.config().clone());
@@ -286,6 +305,81 @@ mod tests {
             t_naive > 1.5 * t_fast,
             "naive two-pass ({t_naive:.4}s) must pay extra I/O vs streaming ({t_fast:.4}s)"
         );
+    }
+
+    /// Regression: a trailing unterminated row longer than the block
+    /// remainder must stay whole — no dropped or duplicated bytes, and
+    /// no row split across two blocks.
+    #[test]
+    fn final_partial_line_is_never_split() {
+        let block_size = 32;
+        let mut c = DfsCluster::new(4, StorageConfig::test_scale(block_size));
+        // Two short rows, then one long row with NO trailing newline
+        // that crosses the block boundary.
+        let long_tail = format!("7|{}", "x".repeat(3 * block_size)); // unterminated
+        let text = format!("1|aa\n2|bb\n{long_tail}");
+        let ds = upload_hadoop(&mut c, &schema(), "t", &[(0, text.clone())]).unwrap();
+
+        // Re-read every block in order and concatenate: byte-identical
+        // to the input (nothing dropped, nothing duplicated).
+        let mut ledger = hail_sim::CostLedger::new();
+        let mut reassembled = Vec::new();
+        let mut per_block_rows = Vec::new();
+        for &b in &ds.blocks {
+            let host = c.namenode().get_hosts(b).unwrap()[0];
+            let data = c
+                .datanode(host)
+                .unwrap()
+                .read_replica(b, &mut ledger)
+                .unwrap();
+            per_block_rows.push(
+                std::str::from_utf8(&data)
+                    .unwrap()
+                    .lines()
+                    .map(String::from)
+                    .collect::<Vec<_>>(),
+            );
+            reassembled.extend_from_slice(&data);
+        }
+        assert_eq!(reassembled, text.as_bytes(), "byte-exact reassembly");
+
+        // Every line of the original text appears exactly once, whole,
+        // in exactly one block — the long tail included.
+        let all_rows: Vec<String> = per_block_rows.into_iter().flatten().collect();
+        let expected: Vec<String> = text.lines().map(String::from).collect();
+        assert_eq!(all_rows, expected, "no row may be split across blocks");
+        assert!(all_rows.contains(&long_tail));
+    }
+
+    /// A mid-file row longer than the block size also stays whole (the
+    /// block overflows rather than cutting the row).
+    #[test]
+    fn oversized_interior_row_stays_whole() {
+        let block_size = 16;
+        let mut c = DfsCluster::new(4, StorageConfig::test_scale(block_size));
+        let big = format!("9|{}", "y".repeat(5 * block_size));
+        let text = format!("1|aa\n{big}\n2|bb\n");
+        let ds = upload_hadoop(&mut c, &schema(), "t", &[(0, text.clone())]).unwrap();
+        let mut ledger = hail_sim::CostLedger::new();
+        let mut reassembled = Vec::new();
+        for &b in &ds.blocks {
+            let host = c.namenode().get_hosts(b).unwrap()[0];
+            let data = c
+                .datanode(host)
+                .unwrap()
+                .read_replica(b, &mut ledger)
+                .unwrap();
+            let block_text = std::str::from_utf8(&data).unwrap();
+            // No block holds a fragment of the big row.
+            for line in block_text.lines() {
+                assert!(
+                    text.lines().any(|l| l == line),
+                    "block holds a split fragment: {line:?}"
+                );
+            }
+            reassembled.extend_from_slice(&data);
+        }
+        assert_eq!(reassembled, text.as_bytes());
     }
 
     #[test]

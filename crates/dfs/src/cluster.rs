@@ -58,9 +58,7 @@ impl DfsCluster {
 
     /// A datanode by id.
     pub fn datanode(&self, id: DatanodeId) -> Result<&Datanode> {
-        self.datanodes
-            .get(id)
-            .ok_or(HailError::DeadDatanode(id))
+        self.datanodes.get(id).ok_or(HailError::DeadDatanode(id))
     }
 
     /// Mutable datanode access.
@@ -90,8 +88,9 @@ impl DfsCluster {
     ) -> Result<(BlockId, Vec<DatanodeId>)> {
         let datanodes = {
             let alive: Vec<bool> = self.datanodes.iter().map(Datanode::is_alive).collect();
-            self.placement
-                .place(writer, replication, |d| alive.get(d).copied().unwrap_or(false))?
+            self.placement.place(writer, replication, |d| {
+                alive.get(d).copied().unwrap_or(false)
+            })?
         };
         let id = self.namenode.allocate_block(datanodes.clone())?;
         Ok((id, datanodes))

@@ -265,7 +265,10 @@ mod tests {
         dn.corrupt_replica(9, 1000).unwrap();
         let mut ledger = CostLedger::new();
         let err = dn.read_replica(9, &mut ledger).unwrap_err();
-        assert!(matches!(err, HailError::ChecksumMismatch { chunk_index: 1, .. }));
+        assert!(matches!(
+            err,
+            HailError::ChecksumMismatch { chunk_index: 1, .. }
+        ));
     }
 
     #[test]

@@ -21,10 +21,7 @@ pub const EXPIRY_INTERVAL_S: f64 = 30.0;
 /// Recovers the logical rows of a block from any live replica,
 /// returning them in a canonical (sorted-by-string) order so replicas
 /// with different physical sort orders compare equal.
-pub fn recover_logical_rows(
-    cluster: &DfsCluster,
-    block: BlockId,
-) -> Result<Vec<String>> {
+pub fn recover_logical_rows(cluster: &DfsCluster, block: BlockId) -> Result<Vec<String>> {
     let hosts = cluster.namenode().get_hosts(block)?;
     let mut ledger = CostLedger::new();
     for dn in hosts {
@@ -104,7 +101,9 @@ mod tests {
         ])
         .unwrap();
         let mut cluster = DfsCluster::new(4, StorageConfig::test_scale(64));
-        let text: String = (0..30).map(|i| format!("{}|val{}\n", (i * 7) % 30, i)).collect();
+        let text: String = (0..30)
+            .map(|i| format!("{}|val{}\n", (i * 7) % 30, i))
+            .collect();
         let blocks = blocks_from_text(&text, &schema, &StorageConfig::test_scale(64)).unwrap();
         let orders = ReplicaIndexConfig::first_indexed(3, &[0, 1]);
         let ids: Vec<BlockId> = blocks
@@ -169,7 +168,11 @@ mod tests {
         let (mut cluster, ids) = uploaded_cluster();
         let block = ids[0];
         let dn = cluster.namenode().get_hosts(block).unwrap()[0];
-        cluster.datanode_mut(dn).unwrap().corrupt_replica(block, 40).unwrap();
+        cluster
+            .datanode_mut(dn)
+            .unwrap()
+            .corrupt_replica(block, 40)
+            .unwrap();
         // Recovery skips the corrupt replica (full-read checksum fails)
         // and serves from another one.
         let rows = recover_logical_rows(&cluster, block).unwrap();

@@ -34,7 +34,10 @@ impl Namenode {
     /// locations (what the client obtains before streaming, Fig. 1 step 3).
     pub fn allocate_block(&mut self, datanodes: Vec<DatanodeId>) -> Result<BlockId> {
         if datanodes.is_empty() {
-            return Err(HailError::InsufficientReplication { wanted: 1, alive: 0 });
+            return Err(HailError::InsufficientReplication {
+                wanted: 1,
+                alive: 0,
+            });
         }
         let id = self.next_block;
         self.next_block += 1;
@@ -108,7 +111,11 @@ impl Namenode {
     }
 
     /// Detailed replica info (one main-memory lookup per replica, §3.3).
-    pub fn replica_info(&self, block: BlockId, datanode: DatanodeId) -> Result<&HailBlockReplicaInfo> {
+    pub fn replica_info(
+        &self,
+        block: BlockId,
+        datanode: DatanodeId,
+    ) -> Result<&HailBlockReplicaInfo> {
         self.dir_rep
             .get(&(block, datanode))
             .ok_or(HailError::UnknownBlock(block))

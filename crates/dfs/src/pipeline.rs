@@ -153,12 +153,14 @@ pub fn hdfs_upload_block(
             .datanode_mut(*dn)?
             .write_replica(block, Bytes::from(data), checksums)?;
         let replica_bytes = cluster.datanode(*dn)?.replica_len(block)?;
-        cluster.namenode_mut().register_replica(HailBlockReplicaInfo::new(
-            block,
-            *dn,
-            IndexMetadata::none(),
-            replica_bytes,
-        ))?;
+        cluster
+            .namenode_mut()
+            .register_replica(HailBlockReplicaInfo::new(
+                block,
+                *dn,
+                IndexMetadata::none(),
+                replica_bytes,
+            ))?;
     }
     Ok(block)
 }
@@ -223,12 +225,9 @@ pub fn hail_upload_block(
 
         // Steps 11/14: each datanode informs the namenode about its new
         // replica — size, index, sort order.
-        cluster.namenode_mut().register_replica(HailBlockReplicaInfo::new(
-            block,
-            *dn,
-            meta,
-            replica_bytes,
-        ))?;
+        cluster
+            .namenode_mut()
+            .register_replica(HailBlockReplicaInfo::new(block, *dn, meta, replica_bytes))?;
     }
     Ok(block)
 }
@@ -259,12 +258,9 @@ pub fn store_transformed_block(
         cluster
             .datanode_mut(*dn)?
             .write_replica(block, Bytes::from(data), checksums)?;
-        cluster.namenode_mut().register_replica(HailBlockReplicaInfo::new(
-            block,
-            *dn,
-            meta.clone(),
-            len,
-        ))?;
+        cluster
+            .namenode_mut()
+            .register_replica(HailBlockReplicaInfo::new(block, *dn, meta.clone(), len))?;
     }
     Ok(block)
 }
@@ -308,7 +304,11 @@ mod tests {
         assert_eq!(hosts.len(), 3);
         let mut ledger = hail_sim::CostLedger::new();
         for &dn in &hosts {
-            let data = c.datanode(dn).unwrap().read_replica(block, &mut ledger).unwrap();
+            let data = c
+                .datanode(dn)
+                .unwrap()
+                .read_replica(block, &mut ledger)
+                .unwrap();
             assert_eq!(data, raw);
         }
         // Client read the file once from local disk.
@@ -379,7 +379,12 @@ mod tests {
         let mut ledger = hail_sim::CostLedger::new();
         let bytes: Vec<Bytes> = hosts
             .iter()
-            .map(|&d| c.datanode(d).unwrap().read_replica(block, &mut ledger).unwrap())
+            .map(|&d| {
+                c.datanode(d)
+                    .unwrap()
+                    .read_replica(block, &mut ledger)
+                    .unwrap()
+            })
             .collect();
         assert_ne!(bytes[0], bytes[1]);
         assert_ne!(bytes[1], bytes[2]);
@@ -521,7 +526,10 @@ mod tests {
         let mut ledger = hail_sim::CostLedger::new();
         for &d in &hosts {
             assert_eq!(
-                c.datanode(d).unwrap().read_replica(block, &mut ledger).unwrap(),
+                c.datanode(d)
+                    .unwrap()
+                    .read_replica(block, &mut ledger)
+                    .unwrap(),
                 payload
             );
         }

@@ -107,7 +107,10 @@ mod tests {
         let err = p.place(0, 3, |d| d == 0).unwrap_err();
         assert!(matches!(
             err,
-            HailError::InsufficientReplication { wanted: 3, alive: 1 }
+            HailError::InsufficientReplication {
+                wanted: 3,
+                alive: 1
+            }
         ));
     }
 

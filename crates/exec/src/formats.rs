@@ -1,0 +1,227 @@
+//! The three `InputFormat` implementations the experiments compare —
+//! `HailInputFormat`, the standard Hadoop text format, and Hadoop++'s
+//! trojan-indexed format — all routed through the cost-based
+//! [`QueryPlanner`].
+//!
+//! Splitting consumes a [`crate::planner::QueryPlan`] (the scheduler
+//! follows the plan's locations; it never re-derives replica choices),
+//! and every block read goes through
+//! [`QueryPlanner::execute_block`] → `AccessPath::execute`.
+
+use crate::planner::{PlannerConfig, QueryPlanner};
+use crate::splitting::{default_splits, plan_default_splits, plan_hail_splits};
+use hail_core::baselines::hadoop_plus_plus::trojan_header_bytes;
+use hail_core::{Dataset, HailQuery};
+use hail_dfs::DfsCluster;
+use hail_mr::{InputFormat, InputSplit, MapRecord, SplitPlan, TaskStats};
+use hail_types::{BlockId, DatanodeId, Result};
+
+/// HAIL's input format: planner-driven `HailSplitting` + access-path
+/// execution.
+///
+/// Set `splitting` to false to reproduce the paper's §6.4 configuration
+/// (per-replica indexes but default Hadoop splitting) and true for §6.5.
+pub struct HailInputFormat {
+    pub dataset: Dataset,
+    pub query: HailQuery,
+    pub splitting: bool,
+    /// Map slots per TaskTracker, used by `HailSplitting`.
+    pub map_slots: usize,
+    /// Planner knobs: cost model, selectivity estimates, sidecar
+    /// extension indexes.
+    pub planner: PlannerConfig,
+}
+
+impl HailInputFormat {
+    pub fn new(dataset: Dataset, query: HailQuery) -> Self {
+        HailInputFormat {
+            dataset,
+            query,
+            splitting: true,
+            map_slots: 2,
+            planner: PlannerConfig::default(),
+        }
+    }
+
+    /// Disables `HailSplitting` (the §6.4 configuration).
+    pub fn without_splitting(mut self) -> Self {
+        self.splitting = false;
+        self
+    }
+
+    /// Overrides the planner configuration.
+    pub fn with_planner(mut self, config: PlannerConfig) -> Self {
+        self.planner = config;
+        self
+    }
+}
+
+impl InputFormat for HailInputFormat {
+    fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan> {
+        // HAIL computes splits from the namenode's main-memory Dir_rep —
+        // no block header reads, so client_cost stays zero (§6.4.1).
+        let planner = QueryPlanner::with_config(cluster, self.planner.clone());
+        if self.splitting && !self.query.filter_columns().is_empty() {
+            let plan = planner.plan_lenient(self.dataset.format, input, &self.query)?;
+            Ok(plan_hail_splits(&plan, self.map_slots))
+        } else if self.query.filter_columns().is_empty()
+            && self.planner.bad_record_tokens.is_empty()
+        {
+            // Pure scan queries keep Hadoop's splitting and failover
+            // granularity.
+            default_splits(cluster, input)
+        } else {
+            // Default (per-block) splitting, but still scheduling toward
+            // the replica the plan chose.
+            let plan = planner.plan_lenient(self.dataset.format, input, &self.query)?;
+            Ok(plan_default_splits(&plan))
+        }
+    }
+
+    fn read_split(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        task_node: DatanodeId,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        read_split_via_planner(
+            cluster,
+            &self.planner,
+            &self.dataset,
+            &self.query,
+            split,
+            task_node,
+            emit,
+        )
+    }
+
+    fn name(&self) -> &str {
+        "HAIL"
+    }
+}
+
+/// The standard Hadoop text input format: per-block splits, full-scan
+/// record reader, filtering in the map function.
+pub struct HadoopInputFormat {
+    pub dataset: Dataset,
+    pub query: HailQuery,
+    pub delimiter: char,
+}
+
+impl HadoopInputFormat {
+    pub fn new(dataset: Dataset, query: HailQuery) -> Self {
+        HadoopInputFormat {
+            dataset,
+            query,
+            delimiter: '|',
+        }
+    }
+}
+
+impl InputFormat for HadoopInputFormat {
+    fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan> {
+        default_splits(cluster, input)
+    }
+
+    fn read_split(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        task_node: DatanodeId,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        let config = PlannerConfig {
+            text_delimiter: Some(self.delimiter),
+            ..Default::default()
+        };
+        read_split_via_planner(
+            cluster,
+            &config,
+            &self.dataset,
+            &self.query,
+            split,
+            task_node,
+            emit,
+        )
+    }
+
+    fn name(&self) -> &str {
+        "Hadoop"
+    }
+}
+
+/// Hadoop++: per-block splits whose computation must read every block's
+/// trojan-index header (the cost HAIL avoids, §6.4.1), then a
+/// planner-chosen index-or-scan read over the binary row layout.
+pub struct HadoopPlusPlusInputFormat {
+    pub dataset: Dataset,
+    pub query: HailQuery,
+}
+
+impl HadoopPlusPlusInputFormat {
+    pub fn new(dataset: Dataset, query: HailQuery) -> Self {
+        HadoopPlusPlusInputFormat { dataset, query }
+    }
+}
+
+impl InputFormat for HadoopPlusPlusInputFormat {
+    fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan> {
+        let mut plan = default_splits(cluster, input)?;
+        // The JobClient fetches each block's header (trojan index
+        // directory) before it can build splits.
+        for &b in input {
+            let header = trojan_header_bytes(cluster, b)?;
+            plan.client_cost.seeks += 1;
+            plan.client_cost.disk_read += header as u64;
+        }
+        Ok(plan)
+    }
+
+    fn read_split(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        task_node: DatanodeId,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        read_split_via_planner(
+            cluster,
+            &PlannerConfig::default(),
+            &self.dataset,
+            &self.query,
+            split,
+            task_node,
+            emit,
+        )
+    }
+
+    fn name(&self) -> &str {
+        "Hadoop++"
+    }
+}
+
+/// Shared read path: plan the split's blocks against the *current*
+/// cluster state and execute each block's chosen access path.
+///
+/// Planning is deterministic, so this reproduces the split-time plan on
+/// a healthy cluster; after a mid-job failure it transparently re-plans
+/// around dead replicas (HAIL's failover story).
+fn read_split_via_planner(
+    cluster: &DfsCluster,
+    config: &PlannerConfig,
+    dataset: &Dataset,
+    query: &HailQuery,
+    split: &InputSplit,
+    task_node: DatanodeId,
+    emit: &mut dyn FnMut(MapRecord),
+) -> Result<TaskStats> {
+    let planner = QueryPlanner::with_config(cluster, config.clone());
+    let plan = planner.plan(dataset.format, &split.blocks, query)?;
+    let mut total = TaskStats::default();
+    for &block in &split.blocks {
+        let stats = planner.execute_block(&plan, block, task_node, &dataset.schema, query, emit)?;
+        total.merge(&stats);
+    }
+    Ok(total)
+}

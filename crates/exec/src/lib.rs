@@ -1,0 +1,45 @@
+//! # hail-exec
+//!
+//! The unified query-execution layer: **one seam** where every replica
+//! and access-path decision is made.
+//!
+//! HAIL's core claim (Dittrich et al., VLDB 2012) is that a different
+//! clustered index per block replica lets the system pick, per block,
+//! the cheapest way to read data. Earlier revisions scattered that
+//! decision across the record readers, the splitting policies, and the
+//! baselines' hard-wired read paths; this crate consolidates all of it:
+//!
+//! - [`path`] — the [`AccessPath`] trait and its implementations:
+//!   [`FullScan`], [`ClusteredIndexScan`], [`TrojanIndexScan`],
+//!   [`BitmapScan`], [`InvertedListScan`]
+//! - [`planner`] — the cost-based [`QueryPlanner`]: per block, consult
+//!   the namenode's per-replica index metadata (`Dir_rep`), price each
+//!   `(replica, access path)` candidate with the `hail-sim` cost model,
+//!   and emit an explainable [`QueryPlan`]
+//! - [`splitting`] — default Hadoop splitting and `HailSplitting`
+//!   (§4.3), consuming plans instead of re-deriving replica choices
+//! - [`formats`] — the three `InputFormat`s (Hadoop, Hadoop++, HAIL),
+//!   all routed through `QueryPlanner::plan` → `AccessPath::execute`
+//! - [`readers`] — single-block reader entry points (planner-backed)
+//!
+//! Future work (caching, async execution, new index types) plugs into
+//! the planner's candidate enumeration — nothing else needs to change.
+
+#![forbid(unsafe_code)]
+
+pub mod formats;
+pub mod path;
+pub mod planner;
+pub mod readers;
+pub mod splitting;
+
+pub use formats::{HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat};
+pub use path::{
+    AccessPath, BitmapScan, BlockAccess, ClusteredIndexScan, FullScan, InvertedListScan,
+    ScanLayout, TrojanIndexScan,
+};
+pub use planner::{
+    BlockPlan, Candidate, CostModel, PlannerConfig, QueryPlan, QueryPlanner, SelectivityEstimate,
+};
+pub use readers::{read_hadoop_text_block, read_hail_block, read_hpp_block};
+pub use splitting::{default_splits, hail_splits, plan_default_splits, plan_hail_splits};

@@ -1,0 +1,507 @@
+//! The [`AccessPath`] trait: every physical way of reading one block
+//! replica at query time, behind one interface.
+//!
+//! These implementations are the former `hail-core` record readers
+//! (`HailRecordReader`, the Hadoop text reader, the Hadoop++ trojan
+//! reader) plus the §3.5 extension indexes, refactored to a common
+//! shape so the [`crate::planner::QueryPlanner`] can choose between
+//! them per block and per replica:
+//!
+//! - [`FullScan`] — stream the whole replica (text, PAX, or row layout)
+//! - [`ClusteredIndexScan`] — HAIL's sparse clustered index (§4.3)
+//! - [`TrojanIndexScan`] — Hadoop++'s dense in-header index (§5)
+//! - [`BitmapScan`] — sidecar bitmap over a low-cardinality column
+//! - [`InvertedListScan`] — sidecar inverted list over bad records
+//!
+//! An access path receives a fully resolved [`BlockAccess`] (the block,
+//! the serving replica, the task's node) and performs the read: real
+//! bytes, real filtering, and cost accounting into a [`TaskStats`].
+
+use hail_core::{CmpOp, HailQuery, Predicate, RowBlock};
+use hail_dfs::DfsCluster;
+use hail_index::{BitmapIndex, IndexedBlock, InvertedList, UnclusteredIndex};
+use hail_mr::{MapRecord, TaskStats};
+use hail_types::{AccessPathKind, BlockId, DatanodeId, HailError, Result, Schema, Value};
+use std::fmt;
+
+/// Everything an access path needs to read one block.
+pub struct BlockAccess<'a> {
+    pub cluster: &'a DfsCluster,
+    pub block: BlockId,
+    /// The replica (datanode) serving the read, resolved by the planner.
+    pub replica: DatanodeId,
+    /// The node the map task runs on; remote reads charge the network.
+    pub task_node: DatanodeId,
+    pub schema: &'a Schema,
+    pub query: &'a HailQuery,
+}
+
+impl BlockAccess<'_> {
+    /// Charges remote traffic when the serving replica is not local.
+    fn charge_remote(&self, stats: &mut TaskStats, bytes: u64) {
+        if self.replica != self.task_node {
+            stats.ledger.net_sent += bytes;
+        }
+    }
+}
+
+/// One physical way of reading a block replica.
+pub trait AccessPath: fmt::Debug {
+    /// The path's kind, for plan explanation and task statistics.
+    fn kind(&self) -> AccessPathKind;
+
+    /// Human-readable description for `EXPLAIN` output, e.g.
+    /// `clustered-index-scan(@3)`.
+    fn describe(&self) -> String {
+        self.kind().to_string()
+    }
+
+    /// Reads the block via this path, emitting qualifying records and
+    /// returning the task statistics (with [`TaskStats::paths`] already
+    /// recording this read).
+    fn execute(
+        &self,
+        access: &BlockAccess<'_>,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats>;
+}
+
+/// The physical layout a [`FullScan`] streams over. Mirrors
+/// `hail_core::DatasetFormat` but lives at the access-path layer so the
+/// scan knows how to decode what it reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanLayout {
+    /// Raw delimited text (standard Hadoop): split every line.
+    Text { delimiter: char },
+    /// HAIL PAX container (sorted or not).
+    HailPax,
+    /// Hadoop++ binary row layout.
+    RowLayout,
+}
+
+/// Streams the whole replica, filters row by row, reconstructs the
+/// projection. Works on all three storage layouts.
+#[derive(Debug, Clone, Copy)]
+pub struct FullScan {
+    pub layout: ScanLayout,
+}
+
+impl FullScan {
+    pub fn new(layout: ScanLayout) -> Self {
+        FullScan { layout }
+    }
+
+    fn scan_pax(&self, a: &BlockAccess<'_>, emit: &mut dyn FnMut(MapRecord)) -> Result<TaskStats> {
+        let dn = a.cluster.datanode(a.replica)?;
+        let mut stats = TaskStats::default();
+        let bytes = dn.read_replica(a.block, &mut stats.ledger)?;
+        let indexed = IndexedBlock::parse(bytes)?;
+        let pax = indexed.pax();
+
+        // Predicate evaluation + tuple reconstruction stream over the
+        // block.
+        stats.ledger.scan_cpu += pax.byte_len() as u64;
+        a.charge_remote(&mut stats, pax.byte_len() as u64);
+
+        let projection = a.query.projected_columns(a.schema);
+        for row in 0..pax.row_count() {
+            let ok = a.query.predicates.iter().all(|p| {
+                pax.value(p.column(), row)
+                    .map(|v| p.matches_value(&v))
+                    .unwrap_or(false)
+            });
+            if ok {
+                emit(MapRecord::good(pax.reconstruct(row, &projection)?));
+                stats.records += 1;
+            }
+        }
+        emit_pax_bad_records(&indexed, &mut stats, emit)?;
+        Ok(stats)
+    }
+
+    fn scan_text(
+        &self,
+        a: &BlockAccess<'_>,
+        delimiter: char,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        let dn = a.cluster.datanode(a.replica)?;
+        let mut stats = TaskStats::default();
+        let bytes = dn.read_replica(a.block, &mut stats.ledger)?;
+        // Every record is split into strings and compared — CPU over the
+        // whole block (the expensive `v.toString().split(",")` of §4.1).
+        stats.ledger.scan_cpu += bytes.len() as u64;
+        a.charge_remote(&mut stats, bytes.len() as u64);
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|_| HailError::Corrupt("text block is not UTF-8".into()))?;
+        let projection = a.query.projected_columns(a.schema);
+        for line in text.lines() {
+            match hail_types::parse_line(line, a.schema, delimiter) {
+                hail_types::ParsedRecord::Good(row) => {
+                    if a.query.matches(&row) {
+                        emit(MapRecord::good(row.project(&projection)));
+                        stats.records += 1;
+                    }
+                }
+                hail_types::ParsedRecord::Bad { line, .. } => {
+                    emit(MapRecord::bad(line));
+                    stats.records += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    fn scan_rows(&self, a: &BlockAccess<'_>, emit: &mut dyn FnMut(MapRecord)) -> Result<TaskStats> {
+        let dn = a.cluster.datanode(a.replica)?;
+        let bytes = dn.peek_replica(a.block)?;
+        let row_block = RowBlock::parse(bytes)?;
+        let mut stats = TaskStats::default();
+        let blen = row_block.byte_len();
+        dn.charge_range_read(blen, &mut stats.ledger)?;
+        stats.ledger.scan_cpu += blen as u64;
+        a.charge_remote(&mut stats, blen as u64);
+        let projection = a.query.projected_columns(a.schema);
+        for r in 0..row_block.row_count() {
+            let row = row_block.row(a.schema, r)?;
+            if a.query.matches(&row) {
+                emit(MapRecord::good(row.project(&projection)));
+                stats.records += 1;
+            }
+        }
+        for bad in row_block.bad_records(a.schema)? {
+            emit(MapRecord::bad(bad));
+            stats.records += 1;
+        }
+        Ok(stats)
+    }
+}
+
+impl AccessPath for FullScan {
+    fn kind(&self) -> AccessPathKind {
+        AccessPathKind::FullScan
+    }
+
+    fn describe(&self) -> String {
+        match self.layout {
+            ScanLayout::Text { .. } => "full-scan(text)".into(),
+            ScanLayout::HailPax => "full-scan(pax)".into(),
+            ScanLayout::RowLayout => "full-scan(rows)".into(),
+        }
+    }
+
+    fn execute(
+        &self,
+        access: &BlockAccess<'_>,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        let mut stats = match self.layout {
+            ScanLayout::Text { delimiter } => self.scan_text(access, delimiter, emit)?,
+            ScanLayout::HailPax => self.scan_pax(access, emit)?,
+            ScanLayout::RowLayout => self.scan_rows(access, emit)?,
+        };
+        stats.paths.record(self.kind());
+        Ok(stats)
+    }
+}
+
+/// HAIL's sparse clustered index scan (§4.3): read the few-KB index into
+/// memory, resolve the first and last qualifying partition in memory,
+/// read *only those partitions* of the needed columns, post-filter with
+/// the full conjunction, reconstruct PAX → rows.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusteredIndexScan {
+    /// The 0-based column the chosen replica is clustered on.
+    pub column: usize,
+}
+
+impl AccessPath for ClusteredIndexScan {
+    fn kind(&self) -> AccessPathKind {
+        AccessPathKind::ClusteredIndexScan
+    }
+
+    fn describe(&self) -> String {
+        format!("clustered-index-scan(@{})", self.column + 1)
+    }
+
+    fn execute(&self, a: &BlockAccess<'_>, emit: &mut dyn FnMut(MapRecord)) -> Result<TaskStats> {
+        let dn = a.cluster.datanode(a.replica)?;
+        let bytes = dn.peek_replica(a.block)?;
+        let indexed = IndexedBlock::parse(bytes)?;
+        let index = indexed
+            .index()
+            .ok_or_else(|| HailError::Internal("replica advertised an index it lacks".into()))?;
+        let pax = indexed.pax();
+
+        let mut stats = TaskStats {
+            serial_pricing: true,
+            ..Default::default()
+        };
+
+        // Read the whole index into main memory ("typically a few KB").
+        dn.charge_range_read(indexed.metadata().index_bytes, &mut stats.ledger)?;
+        let mut remote_bytes = indexed.metadata().index_bytes as u64;
+
+        let bounds = a
+            .query
+            .bounds_on(self.column)
+            .ok_or_else(|| HailError::Internal("index scan without predicate".into()))?;
+
+        if let Some((first, last)) = index.lookup(&bounds) {
+            let needed = a.query.needed_columns(a.schema);
+            let scan_bytes = pax.partition_scan_bytes(&needed, first, last)?;
+            // The qualifying leaves are contiguous on disk: one seek + one
+            // sequential read per column region.
+            for _ in &needed {
+                dn.charge_range_read(0, &mut stats.ledger)?; // seek per column
+            }
+            stats.ledger.disk_read += scan_bytes as u64;
+            remote_bytes += scan_bytes as u64;
+            // Post-filtering + PAX→row reconstruction over what was read.
+            stats.ledger.scan_cpu += scan_bytes as u64;
+
+            let projection = a.query.projected_columns(a.schema);
+            for row in index.partition_rows(first, last) {
+                let key = pax.value(self.column, row)?;
+                if !bounds.contains(&key) {
+                    continue;
+                }
+                // Post-filter with the *full* conjunction — other
+                // predicates may touch other columns or even the index
+                // column again (e.g. `@4 >= 1 and @4 <= 10`).
+                let full_ok = a.query.predicates.iter().all(|p| {
+                    pax.value(p.column(), row)
+                        .map(|v| p.matches_value(&v))
+                        .unwrap_or(false)
+                });
+                if !full_ok {
+                    continue;
+                }
+                emit(MapRecord::good(pax.reconstruct(row, &projection)?));
+                stats.records += 1;
+            }
+        }
+
+        // Bad records ride along to the map function (§4.3).
+        emit_pax_bad_records(&indexed, &mut stats, emit)?;
+        a.charge_remote(&mut stats, remote_bytes);
+        stats.paths.record(self.kind());
+        Ok(stats)
+    }
+}
+
+/// Hadoop++'s trojan index scan (§5): read the (large) in-header index,
+/// resolve the qualifying row range, read those rows from the binary row
+/// layout, post-filter.
+#[derive(Debug, Clone, Copy)]
+pub struct TrojanIndexScan {
+    /// The block's trojan key column.
+    pub column: usize,
+}
+
+impl AccessPath for TrojanIndexScan {
+    fn kind(&self) -> AccessPathKind {
+        AccessPathKind::TrojanIndexScan
+    }
+
+    fn describe(&self) -> String {
+        format!("trojan-index-scan(@{})", self.column + 1)
+    }
+
+    fn execute(&self, a: &BlockAccess<'_>, emit: &mut dyn FnMut(MapRecord)) -> Result<TaskStats> {
+        let dn = a.cluster.datanode(a.replica)?;
+        let bytes = dn.peek_replica(a.block)?;
+        let row_block = RowBlock::parse(bytes)?;
+        let index = row_block.index().ok_or_else(|| {
+            HailError::Internal("block advertised a trojan index it lacks".into())
+        })?;
+        let bounds = a
+            .query
+            .bounds_on(self.column)
+            .ok_or_else(|| HailError::Internal("trojan scan without predicate".into()))?;
+
+        let mut stats = TaskStats {
+            serial_pricing: true,
+            ..Default::default()
+        };
+        // Read the (≈150× larger than HAIL's) trojan index into memory.
+        dn.charge_range_read(row_block.header_bytes(), &mut stats.ledger)?;
+        let mut remote_bytes = row_block.header_bytes() as u64;
+
+        let projection = a.query.projected_columns(a.schema);
+        if let Some(range) = index.lookup_rows(&bounds) {
+            let scan_bytes =
+                row_block.row_range_bytes(a.schema, range.start, range.end)? + 4 * range.len(); // the offsets slice for the range
+            dn.charge_range_read(scan_bytes, &mut stats.ledger)?;
+            remote_bytes += scan_bytes as u64;
+            stats.ledger.scan_cpu += scan_bytes as u64;
+            for r in range {
+                if r >= row_block.row_count() {
+                    break;
+                }
+                let row = row_block.row(a.schema, r)?;
+                if a.query.matches(&row) {
+                    emit(MapRecord::good(row.project(&projection)));
+                    stats.records += 1;
+                }
+            }
+        }
+
+        for bad in row_block.bad_records(a.schema)? {
+            emit(MapRecord::bad(bad));
+            stats.records += 1;
+        }
+        a.charge_remote(&mut stats, remote_bytes);
+        stats.paths.record(self.kind());
+        Ok(stats)
+    }
+}
+
+/// Sidecar bitmap scan over a low-cardinality column (§3.5): read the
+/// bitmaps, OR/AND in memory, then fetch only the matching rows.
+/// Sort-order independent, so it can serve any replica.
+#[derive(Debug, Clone, Copy)]
+pub struct BitmapScan {
+    /// The bitmap-indexed 0-based column.
+    pub column: usize,
+}
+
+impl BitmapScan {
+    /// The equality value this scan probes, from the query's first `=`
+    /// predicate on the bitmap column.
+    fn probe_value(&self, query: &HailQuery) -> Option<Value> {
+        query.predicates.iter().find_map(|p| match p {
+            Predicate::Cmp {
+                column,
+                op: CmpOp::Eq,
+                value,
+            } if *column == self.column => Some(value.clone()),
+            _ => None,
+        })
+    }
+}
+
+impl AccessPath for BitmapScan {
+    fn kind(&self) -> AccessPathKind {
+        AccessPathKind::BitmapScan
+    }
+
+    fn describe(&self) -> String {
+        format!("bitmap-scan(@{})", self.column + 1)
+    }
+
+    fn execute(&self, a: &BlockAccess<'_>, emit: &mut dyn FnMut(MapRecord)) -> Result<TaskStats> {
+        let probe = self
+            .probe_value(a.query)
+            .ok_or_else(|| HailError::Internal("bitmap scan without equality predicate".into()))?;
+        let dn = a.cluster.datanode(a.replica)?;
+        let bytes = dn.peek_replica(a.block)?;
+        let indexed = IndexedBlock::parse(bytes)?;
+        let pax = indexed.pax();
+
+        // Materialize the sidecar bitmap for this (block, column). The
+        // simulation rebuilds it from the stored column; physically it
+        // would be read from a sidecar file, so the cost charged is the
+        // bitmap's serialized size.
+        let col = pax.decode_column(self.column)?;
+        let values: Vec<Value> = (0..col.len()).map(|i| col.value(i)).collect();
+        let bitmap = BitmapIndex::build(self.column, &values, usize::MAX)?;
+
+        let mut stats = TaskStats {
+            serial_pricing: true,
+            ..Default::default()
+        };
+        dn.charge_range_read(bitmap.byte_len(), &mut stats.ledger)?;
+        let mut remote_bytes = bitmap.byte_len() as u64;
+
+        let rows = bitmap.rows_equal(&probe);
+        // Matching rows cluster into runs; each run costs one seek, and
+        // the fetched bytes are charged per reconstructed row.
+        stats.ledger.seeks +=
+            UnclusteredIndex::seek_count(rows.iter().map(|&r| r as u32).collect()) as u64;
+
+        let projection = a.query.projected_columns(a.schema);
+        for row in rows {
+            let full_ok = a.query.predicates.iter().all(|p| {
+                pax.value(p.column(), row)
+                    .map(|v| p.matches_value(&v))
+                    .unwrap_or(false)
+            });
+            if !full_ok {
+                continue;
+            }
+            let out = pax.reconstruct(row, &projection)?;
+            let row_bytes = out.encoded_len() as u64;
+            stats.ledger.disk_read += row_bytes;
+            stats.ledger.scan_cpu += row_bytes;
+            remote_bytes += row_bytes;
+            emit(MapRecord::good(out));
+            stats.records += 1;
+        }
+
+        emit_pax_bad_records(&indexed, &mut stats, emit)?;
+        a.charge_remote(&mut stats, remote_bytes);
+        stats.paths.record(self.kind());
+        Ok(stats)
+    }
+}
+
+/// Sidecar inverted-list scan over the block's bad-record section
+/// (§3.5): serve token searches over schema-less records without
+/// scanning them. Emits *only* matching bad records.
+#[derive(Debug, Clone)]
+pub struct InvertedListScan {
+    /// Tokens every returned bad record must contain (conjunctive).
+    pub tokens: Vec<String>,
+}
+
+impl AccessPath for InvertedListScan {
+    fn kind(&self) -> AccessPathKind {
+        AccessPathKind::InvertedListScan
+    }
+
+    fn describe(&self) -> String {
+        format!("inverted-list-scan({})", self.tokens.join(" & "))
+    }
+
+    fn execute(&self, a: &BlockAccess<'_>, emit: &mut dyn FnMut(MapRecord)) -> Result<TaskStats> {
+        let dn = a.cluster.datanode(a.replica)?;
+        let bytes = dn.peek_replica(a.block)?;
+        let indexed = IndexedBlock::parse(bytes)?;
+        let bad = indexed.pax().bad_records()?;
+        // The sidecar list would be read from disk; charge its size.
+        let list = InvertedList::build(&bad);
+        let mut stats = TaskStats {
+            serial_pricing: true,
+            ..Default::default()
+        };
+        let list_bytes = list.to_bytes().len();
+        dn.charge_range_read(list_bytes, &mut stats.ledger)?;
+        let mut remote_bytes = list_bytes as u64;
+
+        let token_refs: Vec<&str> = self.tokens.iter().map(String::as_str).collect();
+        for id in list.search_all(&token_refs) {
+            let line = &bad[id as usize];
+            let line_bytes = line.len() as u64;
+            stats.ledger.disk_read += line_bytes;
+            remote_bytes += line_bytes;
+            emit(MapRecord::bad(line.clone()));
+            stats.records += 1;
+        }
+        a.charge_remote(&mut stats, remote_bytes);
+        stats.paths.record(self.kind());
+        Ok(stats)
+    }
+}
+
+fn emit_pax_bad_records(
+    indexed: &IndexedBlock,
+    stats: &mut TaskStats,
+    emit: &mut dyn FnMut(MapRecord),
+) -> Result<()> {
+    for bad in indexed.pax().bad_records()? {
+        emit(MapRecord::bad(bad));
+        stats.records += 1;
+    }
+    Ok(())
+}

@@ -1,26 +1,29 @@
-//! Splitting policies: default Hadoop splitting and `HailSplitting`
-//! (§4.3).
+//! Splitting policies, driven by the planner's [`QueryPlan`]: default
+//! Hadoop splitting and `HailSplitting` (§4.3).
 //!
 //! Default Hadoop creates one input split per block — 3,200 blocks means
 //! 3,200 map tasks, each paying seconds of scheduling overhead.
 //!
-//! `HailSplitting`, used when a job performs an index scan, first
-//! clusters the input blocks by the datanode holding the suitable index
-//! replica, then creates *as many input splits per datanode collection
-//! as the TaskTracker has map slots*. A 10-node cluster with 2 slots per
-//! node thus runs the whole job in ~20 map tasks, one wave, eliminating
-//! almost all scheduling overhead — the mechanism behind the 68×
-//! end-to-end result. Jobs that full-scan keep default splitting, so
-//! their failover granularity is unchanged.
+//! `HailSplitting` collapses the task count: blocks whose plan is an
+//! index scan are clustered by the datanode the planner chose to serve
+//! them, and each collection is cut into *as many input splits as the
+//! TaskTracker has map slots* — a 10-node cluster with 2 slots per node
+//! runs the whole job in ~20 map tasks, one wave (the mechanism behind
+//! the 68× end-to-end result). Blocks planned as full scans keep default
+//! per-block splits, so their failover granularity is unchanged.
+//!
+//! The split locations come straight out of the plan: the scheduler
+//! never consults the namenode's index directory itself.
 
-use crate::annotation::HailQuery;
+use crate::planner::{QueryPlan, QueryPlanner};
+use hail_core::{DatasetFormat, HailQuery};
 use hail_dfs::DfsCluster;
 use hail_mr::{InputSplit, SplitPlan};
 use hail_types::{BlockId, DatanodeId, Result};
 use std::collections::BTreeMap;
 
 /// Default Hadoop splitting: one split per block, located at the
-/// block's replica holders.
+/// block's replica holders, no planning involved.
 pub fn default_splits(cluster: &DfsCluster, blocks: &[BlockId]) -> Result<SplitPlan> {
     let mut splits = Vec::with_capacity(blocks.len());
     for &b in blocks {
@@ -33,71 +36,32 @@ pub fn default_splits(cluster: &DfsCluster, blocks: &[BlockId]) -> Result<SplitP
     })
 }
 
-/// For each block, the datanode whose replica carries an index usable by
-/// the query (first matching filter column wins), or `None`.
-fn index_host_for(
-    cluster: &DfsCluster,
-    block: BlockId,
-    query: &HailQuery,
-) -> Result<Option<DatanodeId>> {
-    for column in query.filter_columns() {
-        let hosts = cluster.namenode().get_hosts_with_index(block, column)?;
-        if let Some(&h) = hosts.first() {
-            return Ok(Some(h));
-        }
-    }
-    Ok(None)
-}
-
-/// Per-block splits whose location lists put the matching-index replica
-/// first — the §6.4 configuration: HailSplitting disabled, but the
-/// JobTracker still schedules map tasks "to the replicas having the
-/// matching index" and `getHostsWithIndex` picks the right stream.
-pub fn index_aware_default_splits(
-    cluster: &DfsCluster,
-    blocks: &[BlockId],
-    query: &HailQuery,
-) -> Result<SplitPlan> {
-    let mut splits = Vec::with_capacity(blocks.len());
-    for &b in blocks {
-        let hosts = cluster.namenode().get_hosts(b)?;
-        let mut locations = Vec::with_capacity(hosts.len());
-        if let Some(primary) = index_host_for(cluster, b, query)? {
-            locations.push(primary);
-        }
-        for h in hosts {
-            if !locations.contains(&h) {
-                locations.push(h);
-            }
-        }
-        splits.push(InputSplit::for_block(b, locations));
-    }
-    Ok(SplitPlan {
-        splits,
+/// Per-block splits whose location lists come from the plan (chosen
+/// replica first) — the §6.4 configuration: HailSplitting disabled, but
+/// the JobTracker still schedules map tasks "to the replicas having the
+/// matching index".
+pub fn plan_default_splits(plan: &QueryPlan) -> SplitPlan {
+    SplitPlan {
+        splits: plan
+            .blocks
+            .iter()
+            .map(|bp| InputSplit::for_block(bp.block, bp.locations.clone()))
+            .collect(),
         client_cost: Default::default(),
-    })
+    }
 }
 
-/// `HailSplitting`: cluster blocks by index-holding datanode, then cut
-/// each collection into `map_slots` splits.
-///
-/// Blocks with no usable index keep per-block default splits (they will
-/// be full-scanned, and their failover behaviour must stay Hadoop's).
-pub fn hail_splits(
-    cluster: &DfsCluster,
-    blocks: &[BlockId],
-    query: &HailQuery,
-    map_slots: usize,
-) -> Result<SplitPlan> {
-    if query.filter_columns().is_empty() {
-        return default_splits(cluster, blocks);
-    }
+/// `HailSplitting` over a computed plan: cluster index-served blocks by
+/// their serving datanode, then cut each collection into `map_slots`
+/// splits; full-scan blocks keep per-block splits.
+pub fn plan_hail_splits(plan: &QueryPlan, map_slots: usize) -> SplitPlan {
     let mut by_node: BTreeMap<DatanodeId, Vec<BlockId>> = BTreeMap::new();
-    let mut unindexed: Vec<BlockId> = Vec::new();
-    for &b in blocks {
-        match index_host_for(cluster, b, query)? {
-            Some(node) => by_node.entry(node).or_default().push(b),
-            None => unindexed.push(b),
+    let mut scanned: Vec<&crate::planner::BlockPlan> = Vec::new();
+    for bp in &plan.blocks {
+        if bp.kind.is_index_scan() {
+            by_node.entry(bp.replica).or_default().push(bp.block);
+        } else {
+            scanned.push(bp);
         }
     }
 
@@ -111,21 +75,38 @@ pub fn hail_splits(
             splits.push(InputSplit::new(chunk.to_vec(), vec![node]));
         }
     }
-    // Fallback blocks: default splitting.
-    for b in unindexed {
-        let hosts = cluster.namenode().get_hosts(b)?;
-        splits.push(InputSplit::for_block(b, hosts));
+    // Full-scan blocks: default splitting, locations from the plan.
+    for bp in scanned {
+        splits.push(InputSplit::for_block(bp.block, bp.locations.clone()));
     }
-    Ok(SplitPlan {
+    SplitPlan {
         splits,
         client_cost: Default::default(),
-    })
+    }
+}
+
+/// Convenience form of [`plan_hail_splits`] that plans internally with
+/// the default planner configuration (HAIL PAX blocks).
+///
+/// Queries without an index-friendly filter keep default splitting —
+/// their failover granularity must stay Hadoop's.
+pub fn hail_splits(
+    cluster: &DfsCluster,
+    blocks: &[BlockId],
+    query: &HailQuery,
+    map_slots: usize,
+) -> Result<SplitPlan> {
+    if query.filter_columns().is_empty() {
+        return default_splits(cluster, blocks);
+    }
+    let plan = QueryPlanner::new(cluster).plan_lenient(DatasetFormat::HailPax, blocks, query)?;
+    Ok(plan_hail_splits(&plan, map_slots))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::upload::upload_hail;
+    use hail_core::upload_hail;
     use hail_index::ReplicaIndexConfig;
     use hail_types::{DataType, Field, Schema, StorageConfig};
 
@@ -184,7 +165,7 @@ mod tests {
         let mut expected = blocks.clone();
         expected.sort_unstable();
         assert_eq!(seen, expected);
-        // Splits are single-located at the index holder.
+        // Splits are single-located at the planner-chosen index holder.
         for s in &plan.splits {
             assert_eq!(s.locations.len(), 1);
         }
@@ -214,7 +195,7 @@ mod tests {
         }
         let plan = hail_splits(&c, &blocks, &q, 2).unwrap();
         // Blocks may still be readable; none has an index host, so all
-        // fall back to per-block splits.
+        // fall back to per-block splits (failover granularity intact).
         assert_eq!(plan.splits.len(), blocks.len());
     }
 

@@ -36,11 +36,7 @@ fn words_for(rows: usize) -> usize {
 impl BitmapIndex {
     /// Builds the index from a column's values; refuses columns whose
     /// cardinality exceeds `cardinality_limit`.
-    pub fn build(
-        column: usize,
-        values: &[Value],
-        cardinality_limit: usize,
-    ) -> Result<BitmapIndex> {
+    pub fn build(column: usize, values: &[Value], cardinality_limit: usize) -> Result<BitmapIndex> {
         let mut bitmaps: BTreeMap<String, Vec<u64>> = BTreeMap::new();
         let words = words_for(values.len());
         for (row, v) in values.iter().enumerate() {
@@ -205,9 +201,13 @@ mod tests {
         let parity: Vec<Value> = (0..12).map(|i| Value::Int(i % 2)).collect();
         let b = BitmapIndex::build(1, &parity, 64).unwrap();
         // USA rows: 0,4,8 — all even → intersect with parity 0 keeps all.
-        let rows = a.rows_and(&Value::Str("USA".into()), &b, &Value::Int(0)).unwrap();
+        let rows = a
+            .rows_and(&Value::Str("USA".into()), &b, &Value::Int(0))
+            .unwrap();
         assert_eq!(rows, vec![0, 4, 8]);
-        let none = a.rows_and(&Value::Str("USA".into()), &b, &Value::Int(1)).unwrap();
+        let none = a
+            .rows_and(&Value::Str("USA".into()), &b, &Value::Int(1))
+            .unwrap();
         assert!(none.is_empty());
     }
 
@@ -237,7 +237,9 @@ mod tests {
     #[test]
     fn row_boundaries_at_word_edges() {
         // Rows 63, 64, 127, 128 exercise word boundaries.
-        let values: Vec<Value> = (0..130).map(|i| Value::Int((i == 63 || i == 64 || i == 127 || i == 128) as i32)).collect();
+        let values: Vec<Value> = (0..130)
+            .map(|i| Value::Int((i == 63 || i == 64 || i == 127 || i == 128) as i32))
+            .collect();
         let idx = BitmapIndex::build(0, &values, 4).unwrap();
         assert_eq!(idx.rows_equal(&Value::Int(1)), vec![63, 64, 127, 128]);
     }
@@ -246,6 +248,8 @@ mod tests {
     fn mismatched_blocks_rejected() {
         let a = BitmapIndex::build(0, &country_col(8), 64).unwrap();
         let b = BitmapIndex::build(1, &country_col(9), 64).unwrap();
-        assert!(a.rows_and(&Value::Str("USA".into()), &b, &Value::Str("USA".into())).is_err());
+        assert!(a
+            .rows_and(&Value::Str("USA".into()), &b, &Value::Str("USA".into()))
+            .is_err());
     }
 }

@@ -349,10 +349,7 @@ mod tests {
         // key is 0 ≤ -5 is false → p==0 → None).
         assert_eq!(idx.lookup(&KeyBounds::point(Value::Int(-5))), None);
         // Key above all data → last partition checked.
-        assert_eq!(
-            idx.lookup(&KeyBounds::point(Value::Int(500))),
-            Some((9, 9))
-        );
+        assert_eq!(idx.lookup(&KeyBounds::point(Value::Int(500))), Some((9, 9)));
     }
 
     #[test]
@@ -444,7 +441,11 @@ mod tests {
         // header: the paper's "typically a few KB".
         let values: Vec<i32> = (0..1_000_000).collect();
         let idx = index_over(&values, 1024);
-        assert!(idx.byte_len() < 8 * 1024, "index is {} bytes", idx.byte_len());
+        assert!(
+            idx.byte_len() < 8 * 1024,
+            "index is {} bytes",
+            idx.byte_len()
+        );
     }
 
     #[test]

@@ -53,12 +53,8 @@ impl IndexedBlock {
                 let col = sorted.decode_column(column)?;
                 let keys: Vec<_> = (0..col.len()).map(|i| col.value(i)).collect();
                 let key_type = sorted.schema().field(column)?.data_type;
-                let index = ClusteredIndex::build(
-                    column,
-                    key_type,
-                    sorted.partition_size(),
-                    &keys,
-                )?;
+                let index =
+                    ClusteredIndex::build(column, key_type, sorted.partition_size(), &keys)?;
                 Self::assemble(sorted, Some(index))
             }
         }
@@ -66,7 +62,10 @@ impl IndexedBlock {
 
     /// Serializes a (pax, index) pair into the container format.
     pub fn assemble(pax: PaxBlock, index: Option<ClusteredIndex>) -> Result<IndexedBlock> {
-        let index_bytes = index.as_ref().map(ClusteredIndex::to_bytes).unwrap_or_default();
+        let index_bytes = index
+            .as_ref()
+            .map(ClusteredIndex::to_bytes)
+            .unwrap_or_default();
         let meta = match &index {
             Some(idx) => IndexMetadata {
                 kind: IndexKind::Clustered,
@@ -101,10 +100,8 @@ impl IndexedBlock {
         }
         let t = bytes.len() - TRAILER_LEN;
         let meta = IndexMetadata::from_bytes(&bytes[t..t + 16])?;
-        let pax_len =
-            u32::from_le_bytes(bytes[t + 16..t + 20].try_into().unwrap()) as usize;
-        let index_len =
-            u32::from_le_bytes(bytes[t + 20..t + 24].try_into().unwrap()) as usize;
+        let pax_len = u32::from_le_bytes(bytes[t + 16..t + 20].try_into().unwrap()) as usize;
+        let index_len = u32::from_le_bytes(bytes[t + 20..t + 24].try_into().unwrap()) as usize;
         let magic = u32::from_le_bytes(bytes[t + 24..t + 28].try_into().unwrap());
         if magic != TRAILER_MAGIC {
             return Err(HailError::Corrupt(format!(

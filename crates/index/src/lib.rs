@@ -26,8 +26,8 @@ pub mod unclustered;
 
 pub use bitmap::{BitmapIndex, DEFAULT_CARDINALITY_LIMIT};
 pub use clustered::{ClusteredIndex, KeyBounds};
-pub use inverted::{tokenize, InvertedList};
 pub use indexed::{IndexedBlock, TRAILER_LEN, TRAILER_MAGIC};
+pub use inverted::{tokenize, InvertedList};
 pub use metadata::{HailBlockReplicaInfo, IndexKind, IndexMetadata};
 pub use selection::{select_for_workload, select_manual, WorkloadFilter};
 pub use sort::{ReplicaIndexConfig, SortOrder};

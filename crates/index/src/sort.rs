@@ -167,7 +167,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(SortOrder::Clustered { column: 2 }.to_string(), "clustered(@3)");
+        assert_eq!(
+            SortOrder::Clustered { column: 2 }.to_string(),
+            "clustered(@3)"
+        );
         assert_eq!(SortOrder::Unsorted.to_string(), "unsorted");
     }
 }

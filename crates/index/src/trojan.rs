@@ -42,11 +42,7 @@ pub struct TrojanIndex {
 
 impl TrojanIndex {
     /// Builds the index from the block's *sorted* key column.
-    pub fn build(
-        key_column: usize,
-        key_type: DataType,
-        sorted_keys: &[Value],
-    ) -> Result<Self> {
+    pub fn build(key_column: usize, key_type: DataType, sorted_keys: &[Value]) -> Result<Self> {
         Self::with_granularity(key_column, key_type, sorted_keys, TROJAN_GRANULARITY)
     }
 
@@ -194,9 +190,7 @@ mod tests {
         let r = idx.lookup_rows(&KeyBounds::point(Value::Int(42))).unwrap();
         assert!(r.contains(&42));
         assert!(r.len() <= 8);
-        assert!(idx
-            .lookup_rows(&KeyBounds::point(Value::Int(-1)))
-            .is_none());
+        assert!(idx.lookup_rows(&KeyBounds::point(Value::Int(-1))).is_none());
     }
 
     #[test]

@@ -61,12 +61,8 @@ impl UnclusteredIndex {
         // Binary search the lower edge, then scan while within bounds.
         let start = match &bounds.lo {
             std::ops::Bound::Unbounded => 0,
-            std::ops::Bound::Included(lo) => {
-                self.entries.partition_point(|(k, _)| k < lo)
-            }
-            std::ops::Bound::Excluded(lo) => {
-                self.entries.partition_point(|(k, _)| k <= lo)
-            }
+            std::ops::Bound::Included(lo) => self.entries.partition_point(|(k, _)| k < lo),
+            std::ops::Bound::Excluded(lo) => self.entries.partition_point(|(k, _)| k <= lo),
         };
         self.entries[start..]
             .iter()

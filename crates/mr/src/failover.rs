@@ -274,9 +274,8 @@ mod tests {
             read_seconds_bytes: 95_000_000, // 1 s per read
         };
         let job = MapJob::collecting("fo", (0..64).collect(), &fmt);
-        let run =
-            run_map_job_with_failure(&mut cluster, &spec, &job, FailureScenario::at_half(1))
-                .unwrap();
+        let run = run_map_job_with_failure(&mut cluster, &spec, &job, FailureScenario::at_half(1))
+            .unwrap();
         assert_eq!(run.output.len(), 64);
         assert!(run.rerun_count > 0, "some tasks must be lost");
         let slowdown = run.slowdown_percent();

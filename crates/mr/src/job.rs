@@ -1,7 +1,9 @@
 //! Job-level types: records, task statistics, job reports.
 
 use hail_sim::{CostLedger, HardwareProfile, ScaleFactor};
-use hail_types::{DatanodeId, Row};
+use hail_types::{AccessPathKind, DatanodeId, Row};
+use std::collections::BTreeMap;
+use std::fmt;
 
 /// One record handed to the map function.
 ///
@@ -29,6 +31,61 @@ impl MapRecord {
     }
 }
 
+/// Per-access-path block counts: how many blocks of a task (or job)
+/// were served by each physical access path.
+///
+/// Filled by the execution layer's `AccessPath` implementations, so the
+/// scheduler and experiment reports can show *how* data was read without
+/// re-deriving replica or index choices themselves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathCounts(BTreeMap<AccessPathKind, u64>);
+
+impl PathCounts {
+    /// Records one block read via `kind`.
+    pub fn record(&mut self, kind: AccessPathKind) {
+        *self.0.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Blocks read via `kind`.
+    pub fn get(&self, kind: AccessPathKind) -> u64 {
+        self.0.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total blocks recorded.
+    pub fn total(&self) -> u64 {
+        self.0.values().sum()
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &PathCounts) {
+        for (&k, &n) in &other.0 {
+            *self.0.entry(k).or_insert(0) += n;
+        }
+    }
+
+    /// Iterates (kind, count) pairs in kind order.
+    pub fn iter(&self) -> impl Iterator<Item = (AccessPathKind, u64)> + '_ {
+        self.0.iter().map(|(&k, &n)| (k, n))
+    }
+}
+
+impl fmt::Display for PathCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, n) in self.iter() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k}×{n}")?;
+            first = false;
+        }
+        if first {
+            f.write_str("(none)")?;
+        }
+        Ok(())
+    }
+}
+
 /// What one map task's record reader did, as reported by the
 /// `InputFormat`.
 #[derive(Debug, Clone, Default)]
@@ -44,6 +101,8 @@ pub struct TaskStats {
     /// True if this task had to fall back to a full scan because no
     /// replica with a matching index was reachable.
     pub fell_back_to_scan: bool,
+    /// Which access path served each block of this task's split.
+    pub paths: PathCounts,
 }
 
 impl TaskStats {
@@ -62,6 +121,7 @@ impl TaskStats {
         self.serial_pricing |= other.serial_pricing;
         self.records += other.records;
         self.fell_back_to_scan |= other.fell_back_to_scan;
+        self.paths.merge(&other.paths);
     }
 }
 
@@ -133,7 +193,20 @@ impl JobReport {
 
     /// Tasks that fell back to a full scan.
     pub fn fallback_count(&self) -> usize {
-        self.tasks.iter().filter(|t| t.stats.fell_back_to_scan).count()
+        self.tasks
+            .iter()
+            .filter(|t| t.stats.fell_back_to_scan)
+            .count()
+    }
+
+    /// Aggregated access-path usage across all tasks — how the job's
+    /// blocks were physically read, as chosen by the planner layer.
+    pub fn path_counts(&self) -> PathCounts {
+        let mut total = PathCounts::default();
+        for t in &self.tasks {
+            total.merge(&t.stats.paths);
+        }
+        total
     }
 }
 

@@ -19,6 +19,6 @@ pub mod shuffle;
 
 pub use failover::{run_map_job_with_failure, FailoverRun, FailureScenario};
 pub use input_format::{InputFormat, InputSplit, SplitPlan};
-pub use job::{JobReport, MapRecord, TaskReport, TaskStats};
+pub use job::{JobReport, MapRecord, PathCounts, TaskReport, TaskStats};
 pub use scheduler::{run_map_job, JobRun, MapJob};
 pub use shuffle::{run_map_reduce_job, MapReduceJob, MapReduceRun};

@@ -65,12 +65,7 @@ pub(crate) struct NodeSlots {
 impl NodeSlots {
     pub(crate) fn new(cluster: &DfsCluster, slots_per_node: usize) -> Self {
         let live: Vec<bool> = (0..cluster.node_count())
-            .map(|n| {
-                cluster
-                    .datanode(n)
-                    .map(|d| d.is_alive())
-                    .unwrap_or(false)
-            })
+            .map(|n| cluster.datanode(n).map(|d| d.is_alive()).unwrap_or(false))
             .collect();
         NodeSlots {
             pools: (0..cluster.node_count())
@@ -140,7 +135,12 @@ impl NodeSlots {
     }
 
     /// Assigns a task of `duration` to `node`, returning (start, end).
-    pub(crate) fn assign(&mut self, node: DatanodeId, duration: f64, not_before: f64) -> (f64, f64) {
+    pub(crate) fn assign(
+        &mut self,
+        node: DatanodeId,
+        duration: f64,
+        not_before: f64,
+    ) -> (f64, f64) {
         let pool = &mut self.pools[node];
         let slot = pool.earliest_slot().expect("node has no slots");
         pool.assign(slot, duration, not_before)
@@ -171,7 +171,7 @@ impl NodeSlots {
                 }
             })
             .fold(0.0, f64::max)
-        }
+    }
 
     pub(crate) fn live_slot_count(&self) -> usize {
         self.pools

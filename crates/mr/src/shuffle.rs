@@ -62,7 +62,6 @@ pub fn run_map_reduce_job(
     };
     let mut pairs = pairs_cell.into_inner();
     {
-
         // Shuffle: group by key. Cost: map output crosses the network
         // once and is merge-sorted.
         let hw = &spec.profile;
@@ -89,8 +88,8 @@ pub fn run_map_reduce_job(
             reduce_ledger.scan_cpu += rows.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
             (job.reduce)(key, rows, &mut output);
         }
-        let reduce_seconds = reduce_ledger.pipelined_seconds(hw, spec.scale) / reducers as f64
-            + hw.task_overhead_s;
+        let reduce_seconds =
+            reduce_ledger.pipelined_seconds(hw, spec.scale) / reducers as f64 + hw.task_overhead_s;
 
         let end_to_end_seconds =
             map_run.report.end_to_end_seconds + shuffle_seconds + reduce_seconds;

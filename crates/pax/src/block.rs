@@ -318,9 +318,8 @@ impl PaxBlock {
         let offsets_len = n_parts * 4;
         let data = &slice[offsets_len..];
         let partition = row / self.partition_size;
-        let start =
-            u32::from_le_bytes(slice[partition * 4..partition * 4 + 4].try_into().unwrap())
-                as usize;
+        let start = u32::from_le_bytes(slice[partition * 4..partition * 4 + 4].try_into().unwrap())
+            as usize;
         let mut r = ByteReader::new(data);
         r.seek(start)?;
         let in_part = row % self.partition_size;
@@ -339,7 +338,9 @@ impl PaxBlock {
             DataType::Int | DataType::Date => {
                 let mut v = Vec::with_capacity(n);
                 for i in 0..n {
-                    v.push(i32::from_le_bytes(slice[i * 4..i * 4 + 4].try_into().unwrap()));
+                    v.push(i32::from_le_bytes(
+                        slice[i * 4..i * 4 + 4].try_into().unwrap(),
+                    ));
                 }
                 if dtype == DataType::Int {
                     ColumnData::Int(v)
@@ -350,7 +351,9 @@ impl PaxBlock {
             DataType::Long => {
                 let mut v = Vec::with_capacity(n);
                 for i in 0..n {
-                    v.push(i64::from_le_bytes(slice[i * 8..i * 8 + 8].try_into().unwrap()));
+                    v.push(i64::from_le_bytes(
+                        slice[i * 8..i * 8 + 8].try_into().unwrap(),
+                    ));
                 }
                 ColumnData::Long(v)
             }
@@ -381,7 +384,9 @@ impl PaxBlock {
 
     /// Decodes every column.
     pub fn decode_all_columns(&self) -> Result<Vec<ColumnData>> {
-        (0..self.schema.len()).map(|c| self.decode_column(c)).collect()
+        (0..self.schema.len())
+            .map(|c| self.decode_column(c))
+            .collect()
     }
 
     /// Reconstructs one row, projected to the given 0-based column
@@ -515,10 +520,7 @@ mod tests {
         assert_eq!(b.value(0, 2).unwrap(), Value::Str("9.9.9.9".into()));
         assert_eq!(b.value(2, 1).unwrap(), Value::Float(2.5));
         assert_eq!(b.value(3, 2).unwrap(), Value::Int(30));
-        assert_eq!(
-            b.value(1, 0).unwrap().to_string(),
-            "1999-01-05".to_string()
-        );
+        assert_eq!(b.value(1, 0).unwrap().to_string(), "1999-01-05".to_string());
     }
 
     #[test]
@@ -561,7 +563,11 @@ mod tests {
     #[test]
     fn decode_columns_round_trip() {
         let b = build(
-            &["a|1999-01-01|1.0|7", "bb|1999-01-02|2.0|8", "ccc|1999-01-03|3.0|9"],
+            &[
+                "a|1999-01-01|1.0|7",
+                "bb|1999-01-02|2.0|8",
+                "ccc|1999-01-03|3.0|9",
+            ],
             &[],
             2,
         );
@@ -603,7 +609,7 @@ mod tests {
             .collect();
         let refs: Vec<&str> = rows.iter().map(String::as_str).collect();
         let b = build(&refs, &[], 4); // 3 partitions: rows 0-3, 4-7, 8-9
-        // Fixed col 3 (Int): partition 1 covers rows 4..8 → 16 bytes.
+                                      // Fixed col 3 (Int): partition 1 covers rows 4..8 → 16 bytes.
         assert_eq!(b.partition_scan_bytes(&[3], 1, 1).unwrap(), 16);
         // Last partition has 2 rows → 8 bytes.
         assert_eq!(b.partition_scan_bytes(&[3], 2, 2).unwrap(), 8);

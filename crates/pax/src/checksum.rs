@@ -22,7 +22,11 @@ fn crc_table() -> &'static [u32; 256] {
         for (i, entry) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -236,7 +240,10 @@ mod tests {
         assert!(matches!(err, HailError::Corrupt(_)));
         // Truncated last chunk → its CRC no longer matches.
         let err = verify_chunks(&data[..CHUNK_SIZE * 2 - 1], &sums).unwrap_err();
-        assert!(matches!(err, HailError::ChecksumMismatch { chunk_index: 1, .. }));
+        assert!(matches!(
+            err,
+            HailError::ChecksumMismatch { chunk_index: 1, .. }
+        ));
     }
 
     #[test]

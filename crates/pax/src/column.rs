@@ -108,9 +108,7 @@ impl ColumnData {
             ColumnData::Long(v) => ColumnData::Long(perm.iter().map(|&i| v[i]).collect()),
             ColumnData::Float(v) => ColumnData::Float(perm.iter().map(|&i| v[i]).collect()),
             ColumnData::Date(v) => ColumnData::Date(perm.iter().map(|&i| v[i]).collect()),
-            ColumnData::Str(v) => {
-                ColumnData::Str(perm.iter().map(|&i| v[i].clone()).collect())
-            }
+            ColumnData::Str(v) => ColumnData::Str(perm.iter().map(|&i| v[i].clone()).collect()),
         }
     }
 

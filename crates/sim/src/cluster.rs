@@ -2,12 +2,11 @@
 
 use crate::cost::ScaleFactor;
 use crate::profile::HardwareProfile;
-use serde::{Deserialize, Serialize};
 
 /// A homogeneous cluster of worker nodes plus dedicated master nodes
 /// (namenode and JobTracker run off the worker count, as the paper's EC2
 /// setups allocate extra nodes for them).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Number of worker nodes (each runs a datanode + TaskTracker).
     pub nodes: usize,

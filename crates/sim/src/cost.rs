@@ -13,7 +13,6 @@
 //! buffer flushes, JVM pauses) and is shared by every system we compare.
 
 use crate::profile::HardwareProfile;
-use serde::{Deserialize, Serialize};
 
 /// Fraction of the non-bottleneck stage time that leaks into the elapsed
 /// time of a pipelined transfer.
@@ -26,7 +25,7 @@ pub const PIPELINE_LEAK: f64 = 0.12;
 /// the scale factor so simulated times correspond to paper-scale data.
 /// Event counts (seeks, tasks, packets-per-block round trips) are *not*
 /// scaled — they are structural.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScaleFactor(pub f64);
 
 impl ScaleFactor {
@@ -66,7 +65,7 @@ pub fn pipelined_with_leak(stage_seconds: &[f64], leak: f64) -> f64 {
 
 /// Accumulated physical activity of one node (or one task — ledgers
 /// compose by addition).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostLedger {
     /// Bytes read sequentially from local disk.
     pub disk_read: u64,

@@ -13,11 +13,9 @@
 //! I/O-bound, so better CPUs help HAIL but not Hadoop — is encoded by
 //! the EC2 profiles varying CPU much more than disk.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-node hardware rates. All bandwidths in MB/s (decimal), times in
 /// seconds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HardwareProfile {
     /// Human-readable name used in experiment reports.
     pub name: String,

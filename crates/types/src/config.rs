@@ -1,7 +1,5 @@
 //! Upload- and storage-level configuration knobs shared across crates.
 
-use serde::{Deserialize, Serialize};
-
 /// HDFS chunk size: checksums are computed per 512-byte chunk (§3.2).
 pub const CHUNK_SIZE: usize = 512;
 
@@ -21,7 +19,7 @@ pub const DEFAULT_BLOCK_SIZE: usize = 64 * 1024 * 1024;
 pub const DEFAULT_REPLICATION: usize = 3;
 
 /// Storage-level configuration for an upload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StorageConfig {
     /// Target logical block size in bytes. The HAIL client cuts blocks at
     /// row boundaries, so actual blocks may be slightly smaller.

@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod access;
 pub mod bytes_util;
 pub mod config;
 pub mod error;
@@ -16,6 +17,7 @@ pub mod row;
 pub mod schema;
 pub mod value;
 
+pub use access::AccessPathKind;
 pub use config::StorageConfig;
 pub use error::{HailError, Result};
 pub use row::{parse_line, parse_line_strict, ParsedRecord, Row};

@@ -93,7 +93,10 @@ pub enum ParsedRecord {
     Good(Row),
     /// The raw line plus the reason it failed to parse. HAIL stores these
     /// verbatim in the bad-record section of the block.
-    Bad { line: String, reason: String },
+    Bad {
+        line: String,
+        reason: String,
+    },
 }
 
 impl ParsedRecord {
@@ -121,11 +124,7 @@ pub fn parse_line(line: &str, schema: &Schema, delimiter: char) -> ParsedRecord 
         let Some(token) = fields.next() else {
             return ParsedRecord::Bad {
                 line: line.to_string(),
-                reason: format!(
-                    "expected {} fields, found {}",
-                    schema.len(),
-                    values.len()
-                ),
+                reason: format!("expected {} fields, found {}", schema.len(), values.len()),
             };
         };
         match Value::parse(token, field_def.data_type) {

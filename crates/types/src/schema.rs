@@ -5,7 +5,6 @@
 //! lookup helpers while storing fields in a plain 0-based vector.
 
 use crate::error::{HailError, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -14,7 +13,7 @@ use std::sync::Arc;
 /// Fixed-size types are stored in dense minipages; `VarChar` values are
 /// stored as zero-terminated byte sequences with a sparse offset list
 /// (see `hail-pax`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 32-bit signed integer.
     Int,
@@ -83,7 +82,7 @@ impl fmt::Display for DataType {
 }
 
 /// A named, typed attribute of a schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     pub name: String,
     pub data_type: DataType,
@@ -102,7 +101,7 @@ impl Field {
 ///
 /// Schemas are cheap to clone (`Arc` inside) because every block, split and
 /// record reader carries one.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     fields: Arc<Vec<Field>>,
 }
@@ -112,14 +111,19 @@ impl Schema {
     /// non-empty.
     pub fn new(fields: Vec<Field>) -> Result<Self> {
         if fields.is_empty() {
-            return Err(HailError::Schema("schema must have at least one field".into()));
+            return Err(HailError::Schema(
+                "schema must have at least one field".into(),
+            ));
         }
         for (i, f) in fields.iter().enumerate() {
             if f.name.is_empty() {
                 return Err(HailError::Schema(format!("field {i} has an empty name")));
             }
             if fields[..i].iter().any(|g| g.name == f.name) {
-                return Err(HailError::Schema(format!("duplicate field name {:?}", f.name)));
+                return Err(HailError::Schema(format!(
+                    "duplicate field name {:?}",
+                    f.name
+                )));
             }
         }
         Ok(Schema {

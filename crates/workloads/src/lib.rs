@@ -16,8 +16,7 @@ pub mod synthetic;
 pub mod uservisits;
 
 pub use queries::{
-    bob_queries, bob_schema, canonical, oracle_eval, synthetic_queries, synthetic_schema,
-    QuerySpec,
+    bob_queries, bob_schema, canonical, oracle_eval, synthetic_queries, synthetic_schema, QuerySpec,
 };
 pub use synthetic::SyntheticGenerator;
 pub use uservisits::UserVisitsGenerator;

@@ -69,7 +69,10 @@ pub fn synthetic_queries() -> Vec<QuerySpec> {
     let proj_a = String::new(); // all 19 attributes
     let proj_b = format!(
         "{{{}}}",
-        (1..=9).map(|i| format!("@{i}")).collect::<Vec<_>>().join(", ")
+        (1..=9)
+            .map(|i| format!("@{i}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let proj_c = "{@1}".to_string();
     vec![
@@ -191,14 +194,8 @@ mod tests {
     #[test]
     fn canonical_is_order_insensitive() {
         use hail_types::Value;
-        let a = vec![
-            Row::new(vec![Value::Int(2)]),
-            Row::new(vec![Value::Int(1)]),
-        ];
-        let b = vec![
-            Row::new(vec![Value::Int(1)]),
-            Row::new(vec![Value::Int(2)]),
-        ];
+        let a = vec![Row::new(vec![Value::Int(2)]), Row::new(vec![Value::Int(1)])];
+        let b = vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(2)])];
         assert_eq!(canonical(&a), canonical(&b));
     }
 }

@@ -55,7 +55,9 @@ impl SyntheticGenerator {
 
     /// Generates all nodes' portions.
     pub fn generate(&self, nodes: usize, rows_per_node: usize) -> Vec<(DatanodeId, String)> {
-        (0..nodes).map(|n| (n, self.node_text(n, rows_per_node))).collect()
+        (0..nodes)
+            .map(|n| (n, self.node_text(n, rows_per_node)))
+            .collect()
     }
 }
 

@@ -74,10 +74,22 @@ const AGENTS: [&str; 6] = [
     "Wget/1.12 (linux-gnu)",
 ];
 const COUNTRIES: [&str; 8] = ["USA", "DEU", "FRA", "BRA", "IND", "CHN", "JPN", "GBR"];
-const LANGS: [&str; 8] = ["en-US", "de-DE", "fr-FR", "pt-BR", "hi-IN", "zh-CN", "ja-JP", "en-GB"];
+const LANGS: [&str; 8] = [
+    "en-US", "de-DE", "fr-FR", "pt-BR", "hi-IN", "zh-CN", "ja-JP", "en-GB",
+];
 const WORDS: [&str; 12] = [
-    "elephant", "index", "aggressive", "hadoop", "weblog", "analytics", "replica", "cluster",
-    "yellow", "fast", "sort", "scan",
+    "elephant",
+    "index",
+    "aggressive",
+    "hadoop",
+    "weblog",
+    "analytics",
+    "replica",
+    "cluster",
+    "yellow",
+    "fast",
+    "sort",
+    "scan",
 ];
 
 impl UserVisitsGenerator {
@@ -133,7 +145,9 @@ impl UserVisitsGenerator {
 
     /// Generates all nodes' portions.
     pub fn generate(&self, nodes: usize, rows_per_node: usize) -> Vec<(DatanodeId, String)> {
-        (0..nodes).map(|n| (n, self.node_text(n, rows_per_node))).collect()
+        (0..nodes)
+            .map(|n| (n, self.node_text(n, rows_per_node)))
+            .collect()
     }
 }
 

@@ -24,12 +24,7 @@ fn drill(
 
     let format = HailInputFormat::new(dataset.clone(), query).without_splitting();
     let job = MapJob::collecting("Bob-Q1", dataset.blocks.clone(), &format);
-    let run = run_map_job_with_failure(
-        &mut cluster,
-        spec,
-        &job,
-        FailureScenario::at_half(4),
-    )?;
+    let run = run_map_job_with_failure(&mut cluster, spec, &job, FailureScenario::at_half(4))?;
 
     let fallbacks = run
         .with_failure
@@ -40,9 +35,7 @@ fn drill(
     println!("{label}:");
     println!(
         "  T_b = {:.1}s without failure, T_f = {:.1}s with DN5 killed at {:.0}s",
-        run.baseline.end_to_end_seconds,
-        run.with_failure.end_to_end_seconds,
-        run.failure_time
+        run.baseline.end_to_end_seconds, run.with_failure.end_to_end_seconds, run.failure_time
     );
     println!(
         "  {} tasks re-executed after the 30s expiry; {} task(s) fell back to full scans",
@@ -62,7 +55,10 @@ fn main() -> Result<()> {
     let spec = ClusterSpec::new(6, HardwareProfile::physical())
         .with_scale(ScaleFactor::from_block_sizes(storage.block_size, 64 << 20));
 
-    println!("failover drill: Bob-Q1 over {} rows on 6 nodes\n", 6 * 3_000);
+    println!(
+        "failover drill: Bob-Q1 over {} rows on 6 nodes\n",
+        6 * 3_000
+    );
 
     // HAIL: three different indexes. Tasks whose visitDate replica was
     // on the dead node must fall back to scanning another replica.

@@ -30,11 +30,7 @@ fn main() -> Result<()> {
     )?;
 
     // Filter on visitDate (index scan), project countryCode + adRevenue.
-    let query = HailQuery::parse(
-        "@3 between(1999-01-01, 2000-01-01)",
-        "{@6, @4}",
-        &schema,
-    )?;
+    let query = HailQuery::parse("@3 between(1999-01-01, 2000-01-01)", "{@6, @4}", &schema)?;
     let format = HailInputFormat::new(dataset.clone(), query.clone());
 
     let job = MapReduceJob {
@@ -96,7 +92,10 @@ fn main() -> Result<()> {
         .iter()
         .filter_map(|r| r.get(1).and_then(Value::as_f64))
         .sum();
-    assert!((oracle_total - job_total).abs() < 0.5, "{oracle_total} vs {job_total}");
+    assert!(
+        (oracle_total - job_total).abs() < 0.5,
+        "{oracle_total} vs {job_total}"
+    );
     println!("grand total {job_total:.2} verified against the oracle ✓");
     Ok(())
 }

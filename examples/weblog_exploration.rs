@@ -81,13 +81,15 @@ fn main() -> Result<()> {
         ),
     ];
 
-    println!("Bob's exploratory session ({} rows of web log):\n", 4 * 4_000);
+    println!(
+        "Bob's exploratory session ({} rows of web log):\n",
+        4 * 4_000
+    );
     let mut hadoop_total = 0.0;
     let mut hail_total = 0.0;
     for (i, (what, filter, projection)) in steps.iter().enumerate() {
         let query = HailQuery::parse(filter, projection, &schema)?;
-        let (n_hadoop, t_hadoop) =
-            run_on("hadoop", &hadoop_cluster, &spec, &hadoop, &query)?;
+        let (n_hadoop, t_hadoop) = run_on("hadoop", &hadoop_cluster, &spec, &hadoop, &query)?;
         let (n_hail, t_hail) = run_on("hail", &hail_cluster, &spec, &hail, &query)?;
         assert_eq!(n_hadoop, n_hail, "systems disagree on step {i}");
         hadoop_total += t_hadoop;

@@ -4,21 +4,28 @@
 //! Elephants"* (Dittrich et al., VLDB 2012): an HDFS-like replicated
 //! block store whose upload pipeline creates a **different clustered
 //! index on every block replica**, plus the MapReduce-side machinery
-//! (`HailInputFormat`, `HailSplitting`, `HailRecordReader`, `@HailQuery`
-//! annotations) that exploits those indexes at query time.
+//! (`HailInputFormat`, `HailSplitting`, `@HailQuery` annotations) that
+//! exploits those indexes at query time.
+//!
+//! All query execution is unified behind `hail-exec`'s cost-based
+//! `QueryPlanner`: per block, it consults the namenode's per-replica
+//! index metadata, prices each `(replica, access path)` candidate with
+//! the `hail-sim` cost model, and emits an explainable `QueryPlan` that
+//! the scheduler and the record readers both consume.
 //!
 //! This crate is a facade re-exporting the workspace's layers:
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`types`] | `hail-types` | schemas, values, rows, errors |
+//! | [`types`] | `hail-types` | schemas, values, rows, errors, access-path kinds |
 //! | [`pax`] | `hail-pax` | PAX block layout, packets, checksums |
-//! | [`index`] | `hail-index` | sparse clustered index, sort orders |
+//! | [`index`] | `hail-index` | clustered/trojan/bitmap/inverted indexes |
 //! | [`sim`] | `hail-sim` | hardware profiles and the cost model |
-//! | [`dfs`] | `hail-dfs` | namenode, datanodes, upload pipelines |
+//! | [`dfs`] | `hail-dfs` | namenode (`Dir_rep`), datanodes, upload pipelines |
 //! | [`mr`] | `hail-mr` | MapReduce engine, scheduler, failover |
-//! | [`core`] | `hail-core` | HAIL proper + Hadoop/Hadoop++ baselines |
-//! | [`workloads`] | `hail-workloads` | UserVisits/Synthetic generators |
+//! | [`core`] | `hail-core` | upload clients, `@HailQuery`, Hadoop++ storage |
+//! | [`exec`] | `hail-exec` | `AccessPath` trait, cost-based `QueryPlanner`, input formats |
+//! | [`workloads`] | `hail-workloads` | UserVisits/Synthetic generators, Bob/Syn queries |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +50,13 @@
 //!
 //! // An annotated query: filter on @2, project @1.
 //! let query = HailQuery::parse("@2 between(1999-01-01, 2000-01-01)", "{@1}", &schema).unwrap();
+//!
+//! // The planner decides, per block, which replica and access path
+//! // serve the query — inspectable before running anything.
+//! let plan = QueryPlanner::new(&cluster).plan_dataset(&dataset, &query).unwrap();
+//! assert!(plan.explain().contains("clustered-index-scan(@2)"));
+//!
+//! // The input format consumes the same planner layer end to end.
 //! let spec = ClusterSpec::new(4, HardwareProfile::physical());
 //! let format = HailInputFormat::new(dataset.clone(), query);
 //! let job = MapJob::collecting("q1", dataset.blocks.clone(), &format);
@@ -55,6 +69,7 @@
 
 pub use hail_core as core;
 pub use hail_dfs as dfs;
+pub use hail_exec as exec;
 pub use hail_index as index;
 pub use hail_mr as mr;
 pub use hail_pax as pax;
@@ -65,25 +80,29 @@ pub use hail_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use hail_core::{
-        default_splits, hail_splits, read_hail_block, upload_hadoop, upload_hadoop_plus_plus,
-        upload_hail, upload_seconds, Dataset, DatasetFormat, HadoopInputFormat,
-        HadoopPlusPlusInputFormat, HailInputFormat, HailQuery, Predicate,
+        upload_hadoop, upload_hadoop_plus_plus, upload_hail, upload_seconds, Dataset,
+        DatasetFormat, HailQuery, Predicate,
     };
     pub use hail_dfs::{
         hail_upload_block, hdfs_upload_block, recover_logical_rows, verify_replica_equivalence,
         DfsCluster, FaultPlan,
+    };
+    pub use hail_exec::{
+        default_splits, hail_splits, read_hail_block, AccessPath, HadoopInputFormat,
+        HadoopPlusPlusInputFormat, HailInputFormat, PlannerConfig, QueryPlan, QueryPlanner,
+        SelectivityEstimate,
     };
     pub use hail_index::{
         ClusteredIndex, IndexKind, IndexedBlock, KeyBounds, ReplicaIndexConfig, SortOrder,
     };
     pub use hail_mr::{
         run_map_job, run_map_job_with_failure, run_map_reduce_job, FailureScenario, InputFormat,
-        MapJob, MapRecord, MapReduceJob,
+        MapJob, MapRecord, MapReduceJob, PathCounts,
     };
     pub use hail_pax::{blocks_from_text, PaxBlock, PaxBlockBuilder};
     pub use hail_sim::{ClusterSpec, CostLedger, HardwareProfile, ScaleFactor};
     pub use hail_types::{
-        DataType, Field, HailError, Result, Row, Schema, StorageConfig, Value,
+        AccessPathKind, DataType, Field, HailError, Result, Row, Schema, StorageConfig, Value,
     };
     pub use hail_workloads::{
         bob_queries, bob_schema, canonical, oracle_eval, synthetic_queries, synthetic_schema,

@@ -57,15 +57,8 @@ fn bob_queries_agree_across_all_paths() {
     )
     .unwrap();
     let mut hpp_cluster = DfsCluster::new(3, storage());
-    let (hpp, _) = upload_hadoop_plus_plus(
-        &mut hpp_cluster,
-        &spec,
-        &schema,
-        "uv",
-        &texts,
-        Some(0),
-    )
-    .unwrap();
+    let (hpp, _) =
+        upload_hadoop_plus_plus(&mut hpp_cluster, &spec, &schema, "uv", &texts, Some(0)).unwrap();
 
     for q in bob_queries() {
         let query = q.to_query(&schema).unwrap();
@@ -195,8 +188,14 @@ fn projections_and_row_order_content() {
     assert!(!run.output.is_empty());
     for row in &run.output {
         assert_eq!(row.len(), 2);
-        assert!(row.get(0).unwrap().as_i32().is_some(), "first col = duration");
-        assert!(row.get(1).unwrap().as_str().is_some(), "second col = sourceIP");
+        assert!(
+            row.get(0).unwrap().as_i32().is_some(),
+            "first col = duration"
+        );
+        assert!(
+            row.get(1).unwrap().as_str().is_some(),
+            "second col = sourceIP"
+        );
     }
     let expected = canonical(&oracle_eval(&texts, &schema, &query));
     assert_eq!(canonical(&run.output), expected);

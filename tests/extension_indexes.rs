@@ -62,15 +62,15 @@ fn bitmap_over_country_code_matches_scan() {
     // Bitmap AND across two columns ≡ conjunctive scan.
     let lang_col = schema.index_of("languageCode").unwrap();
     let lang_column = pax.decode_column(lang_col).unwrap();
-    let lang_values: Vec<Value> = (0..lang_column.len()).map(|i| lang_column.value(i)).collect();
+    let lang_values: Vec<Value> = (0..lang_column.len())
+        .map(|i| lang_column.value(i))
+        .collect();
     let lang_bitmap = BitmapIndex::build(lang_col, &lang_values, 64).unwrap();
     let usa = Value::Str("USA".into());
     let en = Value::Str("en-US".into());
     let via_bitmaps = bitmap.rows_and(&usa, &lang_bitmap, &en).unwrap();
     let via_scan: Vec<usize> = (0..pax.row_count())
-        .filter(|&r| {
-            pax.value(col, r).unwrap() == usa && pax.value(lang_col, r).unwrap() == en
-        })
+        .filter(|&r| pax.value(col, r).unwrap() == usa && pax.value(lang_col, r).unwrap() == en)
         .collect();
     assert_eq!(via_bitmaps, via_scan);
 
@@ -97,7 +97,11 @@ fn inverted_list_searches_bad_records_after_upload() {
         .filter(|(_, l)| l.contains("###GARBAGE###"))
         .map(|(i, _)| i)
         .collect();
-    let found: Vec<usize> = inverted.search("garbage").iter().map(|&i| i as usize).collect();
+    let found: Vec<usize> = inverted
+        .search("garbage")
+        .iter()
+        .map(|&i| i as usize)
+        .collect();
     assert_eq!(found, garbled);
 
     // Conjunctive search narrows further.

@@ -87,8 +87,7 @@ fn replica_equivalence_for_every_index_configuration() {
         ReplicaIndexConfig::uniform(3, 0),
     ] {
         let (cluster, _, _) = setup(4, &config);
-        verify_replica_equivalence(&cluster)
-            .unwrap_or_else(|e| panic!("config {config:?}: {e}"));
+        verify_replica_equivalence(&cluster).unwrap_or_else(|e| panic!("config {config:?}: {e}"));
     }
 }
 

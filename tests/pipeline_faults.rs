@@ -15,7 +15,9 @@ fn schema() -> Schema {
 }
 
 fn pax_block(rows: usize) -> hail::pax::PaxBlock {
-    let text: String = (0..rows).map(|i| format!("{}|val{}\n", (i * 17) % 97, i)).collect();
+    let text: String = (0..rows)
+        .map(|i| format!("{}|val{}\n", (i * 17) % 97, i))
+        .collect();
     blocks_from_text(&text, &schema(), &StorageConfig::test_scale(1 << 30))
         .unwrap()
         .pop()
@@ -126,7 +128,10 @@ fn at_rest_corruption_detected_and_other_replicas_serve() {
     // A direct full read of the corrupt replica fails its checksums…
     let mut ledger = CostLedger::new();
     assert!(matches!(
-        cluster.datanode(victim).unwrap().read_replica(block, &mut ledger),
+        cluster
+            .datanode(victim)
+            .unwrap()
+            .read_replica(block, &mut ledger),
         Err(HailError::ChecksumMismatch { .. })
     ));
     // …but recovery (and hence failover) can still serve the block.
@@ -149,7 +154,10 @@ fn insufficient_live_nodes_rejects_upload() {
     .unwrap_err();
     assert!(matches!(
         err,
-        HailError::InsufficientReplication { wanted: 3, alive: 2 }
+        HailError::InsufficientReplication {
+            wanted: 3,
+            alive: 2
+        }
     ));
 }
 

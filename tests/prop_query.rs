@@ -1,11 +1,15 @@
-//! Property tests over the whole query pipeline: for arbitrary data and
-//! arbitrary range predicates, the HAIL index path, the HAIL scan path,
-//! the Hadoop text path, and the oracle all agree; splitting policies
-//! partition the input exactly.
+//! Randomized property tests over the whole query pipeline: for
+//! arbitrary data and arbitrary range predicates, the HAIL index path,
+//! the HAIL scan path, the Hadoop text path, and the oracle all agree;
+//! splitting policies partition the input exactly.
+//!
+//! (Formerly proptest-based; the offline build vendors no proptest, so
+//! the cases are driven by the workspace's deterministic `rand` stub.)
 
-use hail::core::{default_splits, hail_splits};
+use hail::exec::{default_splits, hail_splits};
 use hail::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -22,52 +26,81 @@ fn storage() -> StorageConfig {
     s
 }
 
-fn rows_strategy() -> impl Strategy<Value = Vec<(i32, String, i32)>> {
-    prop::collection::vec((0..500i32, "[a-z]{1,6}", -100..100i32), 10..250)
+fn random_rows(rng: &mut StdRng) -> Vec<(i32, String, i32)> {
+    let n = rng.random_range(10..250usize);
+    (0..n)
+        .map(|_| {
+            let len = rng.random_range(1..7usize);
+            let name: String = (0..len)
+                .map(|_| (b'a' + rng.random_range(0..26u8)) as char)
+                .collect();
+            (
+                rng.random_range(0..500i32),
+                name,
+                rng.random_range(-100..100i32),
+            )
+        })
+        .collect()
 }
 
 fn to_text(rows: &[(i32, String, i32)]) -> String {
-    rows.iter().map(|(k, n, v)| format!("{k}|{n}|{v}\n")).collect()
+    rows.iter()
+        .map(|(k, n, v)| format!("{k}|{n}|{v}\n"))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Index path ≡ scan path ≡ Hadoop ≡ oracle for random range queries.
-    #[test]
-    fn all_paths_agree(rows in rows_strategy(), lo in 0..500i32, len in 0..200i32) {
+/// Index path ≡ scan path ≡ Hadoop ≡ oracle for random range queries.
+#[test]
+fn all_paths_agree() {
+    let mut rng = StdRng::seed_from_u64(0xA11_A6EE);
+    for case in 0..32 {
+        let rows = random_rows(&mut rng);
+        let lo = rng.random_range(0..500i32);
+        let hi = lo.saturating_add(rng.random_range(0..200i32));
         let schema = schema();
         let texts = vec![(0usize, to_text(&rows))];
         let spec = ClusterSpec::new(3, HardwareProfile::physical());
-        let hi = lo.saturating_add(len);
-        let query = HailQuery::parse(
-            &format!("@1 between({lo}, {hi})"),
-            "{@2, @1}",
-            &schema,
-        ).unwrap();
+        let query =
+            HailQuery::parse(&format!("@1 between({lo}, {hi})"), "{@2, @1}", &schema).unwrap();
         let expected = canonical(&oracle_eval(&texts, &schema, &query));
 
         // HAIL with an index on @1.
         let mut hail_cluster = DfsCluster::new(3, storage());
         let hail = upload_hail(
-            &mut hail_cluster, &schema, "d", &texts,
+            &mut hail_cluster,
+            &schema,
+            "d",
+            &texts,
             &ReplicaIndexConfig::first_indexed(3, &[0]),
-        ).unwrap();
+        )
+        .unwrap();
         let format = HailInputFormat::new(hail.clone(), query.clone());
         let job = MapJob::collecting("q", hail.blocks.clone(), &format);
         let via_index = run_map_job(&hail_cluster, &spec, &job).unwrap();
-        prop_assert_eq!(canonical(&via_index.output), expected.clone());
+        assert_eq!(
+            canonical(&via_index.output),
+            expected,
+            "case {case}: index path"
+        );
 
         // HAIL with no index at all → scan path.
         let mut scan_cluster = DfsCluster::new(3, storage());
         let unindexed = upload_hail(
-            &mut scan_cluster, &schema, "d", &texts,
+            &mut scan_cluster,
+            &schema,
+            "d",
+            &texts,
             &ReplicaIndexConfig::unindexed(3),
-        ).unwrap();
+        )
+        .unwrap();
         let format = HailInputFormat::new(unindexed.clone(), query.clone());
         let job = MapJob::collecting("q", unindexed.blocks.clone(), &format);
         let via_scan = run_map_job(&scan_cluster, &spec, &job).unwrap();
-        prop_assert_eq!(canonical(&via_scan.output), expected.clone());
+        assert_eq!(
+            canonical(&via_scan.output),
+            expected,
+            "case {case}: scan path"
+        );
 
         // Hadoop text.
         let mut text_cluster = DfsCluster::new(3, storage());
@@ -75,19 +108,32 @@ proptest! {
         let format = HadoopInputFormat::new(text_ds.clone(), query.clone());
         let job = MapJob::collecting("q", text_ds.blocks.clone(), &format);
         let via_text = run_map_job(&text_cluster, &spec, &job).unwrap();
-        prop_assert_eq!(canonical(&via_text.output), expected);
+        assert_eq!(
+            canonical(&via_text.output),
+            expected,
+            "case {case}: text path"
+        );
     }
+}
 
-    /// Both splitting policies cover every block exactly once.
-    #[test]
-    fn splitting_partitions_input(rows in rows_strategy(), slots in 1usize..4) {
+/// Both splitting policies cover every block exactly once.
+#[test]
+fn splitting_partitions_input() {
+    let mut rng = StdRng::seed_from_u64(0x5F117);
+    for case in 0..16 {
+        let rows = random_rows(&mut rng);
+        let slots = rng.random_range(1..4usize);
         let schema = schema();
         let texts = vec![(0usize, to_text(&rows)), (1, to_text(&rows))];
         let mut cluster = DfsCluster::new(3, storage());
         let ds = upload_hail(
-            &mut cluster, &schema, "d", &texts,
+            &mut cluster,
+            &schema,
+            "d",
+            &texts,
             &ReplicaIndexConfig::first_indexed(3, &[0]),
-        ).unwrap();
+        )
+        .unwrap();
         let query = HailQuery::parse("@1 <= 250", "", &schema).unwrap();
 
         for plan in [
@@ -98,16 +144,22 @@ proptest! {
             covered.sort_unstable();
             let mut expected = ds.blocks.clone();
             expected.sort_unstable();
-            prop_assert_eq!(covered, expected);
+            assert_eq!(covered, expected, "case {case}");
             for split in &plan.splits {
-                prop_assert!(!split.locations.is_empty());
+                assert!(!split.locations.is_empty(), "case {case}");
             }
         }
     }
+}
 
-    /// Conjunctive predicates: intersected index bounds never lose rows.
-    #[test]
-    fn conjunction_correct(rows in rows_strategy(), a in 0..500i32, b in 0..500i32) {
+/// Conjunctive predicates: intersected index bounds never lose rows.
+#[test]
+fn conjunction_correct() {
+    let mut rng = StdRng::seed_from_u64(0xC0_17C7);
+    for case in 0..32 {
+        let rows = random_rows(&mut rng);
+        let a = rng.random_range(0..500i32);
+        let b = rng.random_range(0..500i32);
         let schema = schema();
         let (lo, hi) = (a.min(b), a.max(b));
         let texts = vec![(0usize, to_text(&rows))];
@@ -115,18 +167,23 @@ proptest! {
             &format!("@1 >= {lo} and @1 <= {hi} and @3 >= 0"),
             "{@1, @3}",
             &schema,
-        ).unwrap();
+        )
+        .unwrap();
         let expected = canonical(&oracle_eval(&texts, &schema, &query));
 
         let mut cluster = DfsCluster::new(3, storage());
         let ds = upload_hail(
-            &mut cluster, &schema, "d", &texts,
+            &mut cluster,
+            &schema,
+            "d",
+            &texts,
             &ReplicaIndexConfig::first_indexed(3, &[0]),
-        ).unwrap();
+        )
+        .unwrap();
         let spec = ClusterSpec::new(3, HardwareProfile::physical());
         let format = HailInputFormat::new(ds.clone(), query);
         let job = MapJob::collecting("q", ds.blocks.clone(), &format);
         let run = run_map_job(&cluster, &spec, &job).unwrap();
-        prop_assert_eq!(canonical(&run.output), expected);
+        assert_eq!(canonical(&run.output), expected, "case {case}");
     }
 }

@@ -1,13 +1,17 @@
-//! Property-based tests over the storage layer: PAX round trips, sort
-//! permutations, packet framing, checksum detection, and the clustered
-//! index against a linear-scan oracle.
+//! Randomized property tests over the storage layer: PAX round trips,
+//! sort permutations, packet framing, checksum detection, and the
+//! clustered index against a linear-scan oracle.
+//!
+//! (Formerly proptest-based; the offline build vendors no proptest, so
+//! the cases are driven by the workspace's deterministic `rand` stub.)
 
 use hail::index::{ClusteredIndex, KeyBounds};
 use hail::pax::{
     blocks_from_text, chunk_checksums, packetize, reassemble, sort_block, verify_chunks,
 };
 use hail::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use std::ops::Bound;
 
 fn schema() -> Schema {
@@ -19,16 +23,22 @@ fn schema() -> Schema {
     .unwrap()
 }
 
-/// Strategy: a vector of (key, tag, weight) rows with printable tags.
-fn rows_strategy() -> impl Strategy<Value = Vec<(i32, String, f64)>> {
-    prop::collection::vec(
-        (
-            -5000..5000i32,
-            "[a-z]{0,12}",
-            prop::num::f64::NORMAL.prop_map(|f| (f % 1e6).abs()),
-        ),
-        1..200,
-    )
+/// A vector of (key, tag, weight) rows with printable tags.
+fn random_rows(rng: &mut StdRng) -> Vec<(i32, String, f64)> {
+    let n = rng.random_range(1..200usize);
+    (0..n)
+        .map(|_| {
+            let len = rng.random_range(0..13usize);
+            let tag: String = (0..len)
+                .map(|_| (b'a' + rng.random_range(0..26u8)) as char)
+                .collect();
+            (
+                rng.random_range(-5000..5000i32),
+                tag,
+                rng.random_range(0.0..1e6),
+            )
+        })
+        .collect()
 }
 
 fn to_text(rows: &[(i32, String, f64)]) -> String {
@@ -37,72 +47,82 @@ fn to_text(rows: &[(i32, String, f64)]) -> String {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Rows → PAX block → rows is the identity.
-    #[test]
-    fn pax_round_trip(rows in rows_strategy(), partition in 1usize..64) {
+/// Rows → PAX block → rows is the identity.
+#[test]
+fn pax_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x9A_0CAF);
+    for case in 0..64 {
+        let rows = random_rows(&mut rng);
+        let partition = rng.random_range(1..64usize);
         let mut storage = StorageConfig::test_scale(1 << 30);
         storage.index_partition_size = partition;
         let blocks = blocks_from_text(&to_text(&rows), &schema(), &storage).unwrap();
-        prop_assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks.len(), 1, "case {case}");
         let b = &blocks[0];
-        prop_assert_eq!(b.row_count(), rows.len());
+        assert_eq!(b.row_count(), rows.len(), "case {case}");
         for (i, (k, t, w)) in rows.iter().enumerate() {
             let row = b.reconstruct_full(i).unwrap();
-            prop_assert_eq!(row.get(0).unwrap().as_i32(), Some(*k));
-            prop_assert_eq!(row.get(1).unwrap().as_str(), Some(t.as_str()));
+            assert_eq!(row.get(0).unwrap().as_i32(), Some(*k));
+            assert_eq!(row.get(1).unwrap().as_str(), Some(t.as_str()));
             let got = row.get(2).unwrap().as_f64().unwrap();
             // Values go through text formatting; compare via re-parse.
             let expected: f64 = format!("{w}").parse().unwrap();
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected);
         }
     }
+}
 
-    /// Sorting a block on any column yields sorted keys and preserves
-    /// the multiset of rows.
-    #[test]
-    fn sort_preserves_rows(rows in rows_strategy(), col in 0usize..3) {
+/// Sorting a block on any column yields sorted keys and preserves the
+/// multiset of rows.
+#[test]
+fn sort_preserves_rows() {
+    let mut rng = StdRng::seed_from_u64(0x50_127);
+    for case in 0..48 {
+        let rows = random_rows(&mut rng);
+        let col = rng.random_range(0..3usize);
         let storage = StorageConfig::test_scale(1 << 30);
         let blocks = blocks_from_text(&to_text(&rows), &schema(), &storage).unwrap();
         let (sorted, perm) = sort_block(&blocks[0], col).unwrap();
         // perm is a permutation.
         let mut seen = vec![false; rows.len()];
         for &p in &perm {
-            prop_assert!(!seen[p]);
+            assert!(!seen[p], "case {case}");
             seen[p] = true;
         }
         // Keys ascend.
         for i in 1..sorted.row_count() {
             let a = sorted.value(col, i - 1).unwrap();
             let b = sorted.value(col, i).unwrap();
-            prop_assert!(a <= b);
+            assert!(a <= b, "case {case}");
         }
         // Row multiset unchanged.
-        let mut before: Vec<String> =
-            (0..rows.len()).map(|i| blocks[0].reconstruct_full(i).unwrap().to_string()).collect();
-        let mut after: Vec<String> =
-            (0..rows.len()).map(|i| sorted.reconstruct_full(i).unwrap().to_string()).collect();
+        let mut before: Vec<String> = (0..rows.len())
+            .map(|i| blocks[0].reconstruct_full(i).unwrap().to_string())
+            .collect();
+        let mut after: Vec<String> = (0..rows.len())
+            .map(|i| sorted.reconstruct_full(i).unwrap().to_string())
+            .collect();
         before.sort();
         after.sort();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}");
     }
+}
 
-    /// Index lookup over sorted keys finds exactly the rows a linear
-    /// scan finds (the index may over-approximate partitions, never
-    /// under-approximate rows).
-    #[test]
-    fn clustered_index_complete(
-        mut keys in prop::collection::vec(-1000..1000i32, 1..500),
-        partition in 1usize..64,
-        lo in -1100..1100i32,
-        len in 0..300i32,
-    ) {
+/// Index lookup over sorted keys finds exactly the rows a linear scan
+/// finds (the index may over-approximate partitions, never
+/// under-approximate rows).
+#[test]
+fn clustered_index_complete() {
+    let mut rng = StdRng::seed_from_u64(0x1DE_CAFE);
+    for case in 0..64 {
+        let n = rng.random_range(1..500usize);
+        let mut keys: Vec<i32> = (0..n).map(|_| rng.random_range(-1000..1000i32)).collect();
         keys.sort_unstable();
+        let partition = rng.random_range(1..64usize);
+        let lo = rng.random_range(-1100..1100i32);
+        let hi = lo.saturating_add(rng.random_range(0..300i32));
         let values: Vec<Value> = keys.iter().map(|&k| Value::Int(k)).collect();
         let idx = ClusteredIndex::build(0, DataType::Int, partition, &values).unwrap();
-        let hi = lo.saturating_add(len);
         let bounds = KeyBounds::between(Value::Int(lo), Value::Int(hi));
         let expected: Vec<usize> = keys
             .iter()
@@ -111,24 +131,34 @@ proptest! {
             .map(|(i, _)| i)
             .collect();
         match idx.lookup(&bounds) {
-            None => prop_assert!(expected.is_empty(), "lookup missed {} rows", expected.len()),
+            None => assert!(
+                expected.is_empty(),
+                "case {case}: lookup missed {} rows",
+                expected.len()
+            ),
             Some((first, last)) => {
                 let range = idx.partition_rows(first, last);
                 for &row in &expected {
-                    prop_assert!(range.contains(&row), "row {row} outside {range:?}");
+                    assert!(
+                        range.contains(&row),
+                        "case {case}: row {row} outside {range:?}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Exclusive bounds behave identically to a linear scan.
-    #[test]
-    fn clustered_index_exclusive_bounds(
-        mut keys in prop::collection::vec(0..200i32, 1..300),
-        partition in 1usize..32,
-        pivot in 0..200i32,
-    ) {
+/// Exclusive bounds behave identically to a linear scan.
+#[test]
+fn clustered_index_exclusive_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xEC5);
+    for case in 0..48 {
+        let n = rng.random_range(1..300usize);
+        let mut keys: Vec<i32> = (0..n).map(|_| rng.random_range(0..200i32)).collect();
         keys.sort_unstable();
+        let partition = rng.random_range(1..32usize);
+        let pivot = rng.random_range(0..200i32);
         let values: Vec<Value> = keys.iter().map(|&k| Value::Int(k)).collect();
         let idx = ClusteredIndex::build(0, DataType::Int, partition, &values).unwrap();
         let bounds = KeyBounds {
@@ -143,51 +173,78 @@ proptest! {
                 .filter(|&r| keys[r] > pivot)
                 .count(),
         };
-        prop_assert_eq!(covered, expected);
+        assert_eq!(covered, expected, "case {case}");
     }
+}
 
-    /// Intersecting two random bound pairs never admits a value both
-    /// original bounds reject.
-    #[test]
-    fn bounds_intersection_sound(a in -100..100i32, b in -100..100i32, c in -100..100i32, d in -100..100i32, probe in -150..150i32) {
-        let (a, b) = (a.min(b), a.max(b));
-        let (c, d) = (c.min(d), c.max(d));
+/// Intersecting two random bound pairs never admits a value both
+/// original bounds reject.
+#[test]
+fn bounds_intersection_sound() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for _ in 0..256 {
+        let (mut a, mut b) = (
+            rng.random_range(-100..100i32),
+            rng.random_range(-100..100i32),
+        );
+        let (mut c, mut d) = (
+            rng.random_range(-100..100i32),
+            rng.random_range(-100..100i32),
+        );
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        if c > d {
+            std::mem::swap(&mut c, &mut d);
+        }
+        let probe = rng.random_range(-150..150i32);
         let x = KeyBounds::between(Value::Int(a), Value::Int(b));
         let y = KeyBounds::between(Value::Int(c), Value::Int(d));
         let both = x.intersect(&y);
         let v = Value::Int(probe);
-        prop_assert_eq!(both.contains(&v), x.contains(&v) && y.contains(&v));
+        assert_eq!(both.contains(&v), x.contains(&v) && y.contains(&v));
     }
+}
 
-    /// Packetize → reassemble is the identity for arbitrary payloads.
-    #[test]
-    fn packets_round_trip(data in prop::collection::vec(any::<u8>(), 0..200_000)) {
+/// Packetize → reassemble is the identity for arbitrary payloads.
+#[test]
+fn packets_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x9AC_4E7);
+    for case in 0..16 {
+        let n = rng.random_range(0..200_000usize);
+        let data: Vec<u8> = (0..n).map(|_| rng.random_range(0..256u32) as u8).collect();
         let packets = packetize(&data);
         for p in &packets {
             p.verify().unwrap();
         }
-        prop_assert_eq!(reassemble(&packets).unwrap(), data);
+        assert_eq!(reassemble(&packets).unwrap(), data, "case {case}");
     }
+}
 
-    /// Any single-byte corruption is caught by the chunk checksums.
-    #[test]
-    fn checksums_detect_any_flip(
-        mut data in prop::collection::vec(any::<u8>(), 1..8192),
-        at in any::<prop::sample::Index>(),
-        bit in 0u8..8,
-    ) {
+/// Any single-byte corruption is caught by the chunk checksums.
+#[test]
+fn checksums_detect_any_flip() {
+    let mut rng = StdRng::seed_from_u64(0xC4EC);
+    for case in 0..64 {
+        let n = rng.random_range(1..8192usize);
+        let mut data: Vec<u8> = (0..n).map(|_| rng.random_range(0..256u32) as u8).collect();
         let sums = chunk_checksums(&data);
-        let i = at.index(data.len());
+        let i = rng.random_range(0..data.len());
+        let bit = rng.random_range(0..8u8);
         data[i] ^= 1 << bit;
-        prop_assert!(verify_chunks(&data, &sums).is_err());
+        assert!(verify_chunks(&data, &sums).is_err(), "case {case}");
     }
+}
 
-    /// Dates round-trip through the text format for the whole supported
-    /// range.
-    #[test]
-    fn dates_round_trip(days in -700_000..2_900_000i32) {
+/// Dates round-trip through the text format for the whole supported
+/// range.
+#[test]
+fn dates_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xDA7E5);
+    for _ in 0..512 {
+        let days = rng.random_range(-700_000..2_900_000i32);
         let s = Value::Date(days).to_string();
         let back = hail::types::value::parse_date(&s).unwrap();
-        prop_assert_eq!(back, days);
+        assert_eq!(back, days);
     }
 }
