@@ -64,7 +64,7 @@ fn main() {
         // Unclustered: read the dense index, then one seek per
         // non-adjacent matching rowid.
         let rowids = unclustered.lookup_rowids(&bounds);
-        let seeks = UnclusteredIndex::seek_count(rowids.clone()) as f64;
+        let seeks = UnclusteredIndex::seek_count(&rowids) as f64;
         let unclustered_ms = (unclustered.byte_len() as f64 / rate
             + seeks * hw.seek_s
             + rowids.len() as f64 * ROW_BYTES / rate)

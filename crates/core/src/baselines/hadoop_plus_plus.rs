@@ -388,6 +388,7 @@ pub fn upload_hadoop_plus_plus(
                     key_column: Some(key),
                     index_bytes: index_len,
                     index_offset: 20,
+                    sidecars: Vec::new(),
                 };
                 indexed_blocks.push(store_transformed_block(cluster, reader, payload, meta)?);
             }

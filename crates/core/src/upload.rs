@@ -117,7 +117,7 @@ pub fn upload_hail(
                     cluster,
                     *node,
                     &pax,
-                    index_config.orders(),
+                    index_config,
                     &FaultPlan::none(),
                 )?);
             }
@@ -128,7 +128,7 @@ pub fn upload_hail(
                 cluster,
                 *node,
                 &pax,
-                index_config.orders(),
+                index_config,
                 &FaultPlan::none(),
             )?);
         }
@@ -189,7 +189,7 @@ pub fn upload_hail_naive(
             cluster,
             writer,
             &pax,
-            index_config.orders(),
+            index_config,
             &FaultPlan::none(),
         )?);
     }

@@ -110,8 +110,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, b)| {
-                hail_upload_block(&mut cluster, i % 4, b, orders.orders(), &FaultPlan::none())
-                    .unwrap()
+                hail_upload_block(&mut cluster, i % 4, b, &orders, &FaultPlan::none()).unwrap()
             })
             .collect();
         (cluster, ids)

@@ -110,6 +110,35 @@ impl Namenode {
             .collect())
     }
 
+    /// Live datanodes whose replica of the block stores a sidecar bitmap
+    /// over the given 0-based column (§3.5 extension, mirrored into
+    /// `Dir_rep` at upload time).
+    pub fn get_hosts_with_bitmap(&self, block: BlockId, column: usize) -> Result<Vec<DatanodeId>> {
+        let hosts = self.get_hosts(block)?;
+        Ok(hosts
+            .into_iter()
+            .filter(|&d| {
+                self.dir_rep
+                    .get(&(block, d))
+                    .is_some_and(|info| info.index.bitmap_on(column).is_some())
+            })
+            .collect())
+    }
+
+    /// Live datanodes whose replica of the block stores a sidecar
+    /// inverted list over its bad-record section.
+    pub fn get_hosts_with_inverted_list(&self, block: BlockId) -> Result<Vec<DatanodeId>> {
+        let hosts = self.get_hosts(block)?;
+        Ok(hosts
+            .into_iter()
+            .filter(|&d| {
+                self.dir_rep
+                    .get(&(block, d))
+                    .is_some_and(|info| info.index.inverted_list().is_some())
+            })
+            .collect())
+    }
+
     /// Detailed replica info (one main-memory lookup per replica, §3.3).
     pub fn replica_info(
         &self,
@@ -168,6 +197,7 @@ mod tests {
             key_column: Some(col),
             index_bytes: 128,
             index_offset: 1000,
+            sidecars: Vec::new(),
         }
     }
 
@@ -204,6 +234,51 @@ mod tests {
         assert!(nn.get_hosts_with_index(b, 1).unwrap().is_empty());
         assert_eq!(nn.live_replicas(b).len(), 2);
         assert!(nn.is_dead(1));
+    }
+
+    #[test]
+    fn sidecar_lookups_filter_by_dir_rep() {
+        use hail_index::SidecarMetadata;
+        let mut nn = Namenode::new();
+        let b = nn.allocate_block(vec![0, 1, 2]).unwrap();
+        // DN0: bitmap on column 5 + inverted list; DN1: bitmap only;
+        // DN2: no sidecars.
+        let with_both = IndexMetadata {
+            sidecars: vec![
+                SidecarMetadata {
+                    kind: IndexKind::Bitmap { column: 5 },
+                    sidecar_bytes: 100,
+                    sidecar_offset: 0,
+                },
+                SidecarMetadata {
+                    kind: IndexKind::InvertedList,
+                    sidecar_bytes: 50,
+                    sidecar_offset: 100,
+                },
+            ],
+            ..IndexMetadata::none()
+        };
+        let with_bitmap = IndexMetadata {
+            sidecars: vec![SidecarMetadata {
+                kind: IndexKind::Bitmap { column: 5 },
+                sidecar_bytes: 90,
+                sidecar_offset: 0,
+            }],
+            ..IndexMetadata::none()
+        };
+        nn.register_replica(HailBlockReplicaInfo::new(b, 0, with_both, 1000))
+            .unwrap();
+        nn.register_replica(HailBlockReplicaInfo::new(b, 1, with_bitmap, 1000))
+            .unwrap();
+        nn.register_replica(HailBlockReplicaInfo::new(b, 2, IndexMetadata::none(), 1000))
+            .unwrap();
+        assert_eq!(nn.get_hosts_with_bitmap(b, 5).unwrap(), vec![0, 1]);
+        assert_eq!(nn.get_hosts_with_bitmap(b, 4).unwrap(), Vec::<usize>::new());
+        assert_eq!(nn.get_hosts_with_inverted_list(b).unwrap(), vec![0]);
+        // Dead nodes drop out of sidecar lookups too.
+        nn.mark_dead(0);
+        assert_eq!(nn.get_hosts_with_bitmap(b, 5).unwrap(), vec![1]);
+        assert!(nn.get_hosts_with_inverted_list(b).unwrap().is_empty());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::cluster::DfsCluster;
 use bytes::Bytes;
-use hail_index::{HailBlockReplicaInfo, IndexMetadata, IndexedBlock, SortOrder};
+use hail_index::{HailBlockReplicaInfo, IndexMetadata, IndexedBlock, ReplicaIndexConfig};
 use hail_pax::checksum::{chunk_checksums, packetize, reassemble, Packet};
 use hail_pax::PaxBlock;
 use hail_types::{BlockId, DatanodeId, HailError, Result};
@@ -167,22 +167,25 @@ pub fn hdfs_upload_block(
 
 /// Uploads one block the HAIL way (Fig. 1): the client ships the binary
 /// PAX block; each datanode buffers, sorts in its own order, indexes,
-/// re-checksums, flushes, and registers its replica with the namenode.
+/// builds the configured §3.5 sidecar extension indexes, re-checksums,
+/// flushes, and registers its replica — sidecar directory included —
+/// with the namenode.
 ///
-/// `orders[i]` is the sort order for the replica at chain position `i`;
-/// its length must equal the replication factor.
+/// `config.orders()[i]` is the sort order and `config.sidecar(i)` the
+/// sidecar spec for the replica at chain position `i`; the config's
+/// replication must equal the cluster's.
 pub fn hail_upload_block(
     cluster: &mut DfsCluster,
     writer: DatanodeId,
     pax: &PaxBlock,
-    orders: &[SortOrder],
+    config: &ReplicaIndexConfig,
     fault: &FaultPlan,
 ) -> Result<BlockId> {
     let replication = cluster.config().replication;
-    if orders.len() != replication {
+    if config.replication() != replication {
         return Err(HailError::Job(format!(
             "{} sort orders for replication factor {replication}",
-            orders.len()
+            config.replication()
         )));
     }
     let (block, chain) = cluster.allocate(writer, replication)?;
@@ -198,7 +201,9 @@ pub fn hail_upload_block(
         }
     };
 
-    for ((dn, order), packets) in chain.iter().zip(orders).zip(received) {
+    for ((pos, dn), packets) in chain.iter().enumerate().zip(received) {
+        let order = config.orders()[pos];
+        let spec = config.sidecar(pos);
         // Step 6: reassemble the block in main memory — nothing flushed
         // yet.
         let data = reassemble(&packets)?;
@@ -207,11 +212,19 @@ pub fn hail_upload_block(
         // Step 7: sort + index in memory, forming the HAIL block. This is
         // pure CPU; charge the binary block size (sort + permute +
         // index build all stream over it).
-        let indexed = IndexedBlock::build(&pax_block, *order)?;
+        let indexed = IndexedBlock::build_with(&pax_block, order, spec)?;
         if order.column().is_some() {
             cluster
                 .datanode_mut(*dn)?
                 .add_sort_cpu(pax_block.byte_len() as u64);
+        }
+        // Building sidecars streams once over the indexed columns / bad
+        // records; charge their serialized size as CPU.
+        let sidecar_total = indexed.metadata().sidecar_bytes_total();
+        if sidecar_total > 0 {
+            cluster
+                .datanode_mut(*dn)?
+                .add_sort_cpu(sidecar_total as u64);
         }
 
         // Recompute checksums over this replica's (unique) bytes and
@@ -268,7 +281,7 @@ pub fn store_transformed_block(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hail_index::ReplicaIndexConfig;
+    use hail_index::{ReplicaIndexConfig, SortOrder};
     use hail_pax::blocks_from_text;
     use hail_types::{DataType, Field, Schema, StorageConfig, Value};
 
@@ -320,8 +333,7 @@ mod tests {
         let mut c = cluster();
         let pax = pax_block();
         let orders = ReplicaIndexConfig::first_indexed(3, &[0, 1]);
-        let block =
-            hail_upload_block(&mut c, 1, &pax, orders.orders(), &FaultPlan::none()).unwrap();
+        let block = hail_upload_block(&mut c, 1, &pax, &orders, &FaultPlan::none()).unwrap();
 
         let hosts = c.namenode().get_hosts(block).unwrap();
         assert_eq!(hosts[0], 1, "writer holds the first replica");
@@ -373,8 +385,7 @@ mod tests {
         let mut c = cluster();
         let pax = pax_block();
         let orders = ReplicaIndexConfig::first_indexed(3, &[0, 1]);
-        let block =
-            hail_upload_block(&mut c, 0, &pax, orders.orders(), &FaultPlan::none()).unwrap();
+        let block = hail_upload_block(&mut c, 0, &pax, &orders, &FaultPlan::none()).unwrap();
         let hosts = c.namenode().get_hosts(block).unwrap();
         let mut ledger = hail_sim::CostLedger::new();
         let bytes: Vec<Bytes> = hosts
@@ -399,12 +410,12 @@ mod tests {
             corrupt_after_hop: Some((1, 0)),
             ..Default::default()
         };
-        let err = hail_upload_block(&mut c, 0, &pax, orders.orders(), &fault).unwrap_err();
+        let err = hail_upload_block(&mut c, 0, &pax, &orders, &fault).unwrap_err();
         assert!(matches!(err, HailError::ChecksumMismatch { .. }));
         // The failed block was abandoned: the namenode has no trace of
         // it, and a subsequent clean upload succeeds.
         assert_eq!(c.namenode().block_count(), 0);
-        let ok = hail_upload_block(&mut c, 0, &pax, orders.orders(), &FaultPlan::none());
+        let ok = hail_upload_block(&mut c, 0, &pax, &orders, &FaultPlan::none());
         assert!(ok.is_ok());
     }
 
@@ -422,14 +433,8 @@ mod tests {
             reorder_acks: true,
             ..Default::default()
         };
-        let err = hail_upload_block(
-            &mut c,
-            0,
-            &pax,
-            ReplicaIndexConfig::unindexed(3).orders(),
-            &fault,
-        )
-        .unwrap_err();
+        let err = hail_upload_block(&mut c, 0, &pax, &ReplicaIndexConfig::unindexed(3), &fault)
+            .unwrap_err();
         assert!(matches!(err, HailError::Pipeline(_)));
     }
 
@@ -443,14 +448,8 @@ mod tests {
         };
         // Writer 1 is the first replica target; killing it mid-stream
         // aborts.
-        let err = hail_upload_block(
-            &mut c,
-            1,
-            &pax,
-            ReplicaIndexConfig::unindexed(3).orders(),
-            &fault,
-        )
-        .unwrap_err();
+        let err = hail_upload_block(&mut c, 1, &pax, &ReplicaIndexConfig::unindexed(3), &fault)
+            .unwrap_err();
         assert!(matches!(err, HailError::DeadDatanode(1)));
     }
 
@@ -462,7 +461,7 @@ mod tests {
             &mut c,
             0,
             &pax,
-            ReplicaIndexConfig::unindexed(3).orders(),
+            &ReplicaIndexConfig::unindexed(3),
             &FaultPlan::none(),
         )
         .unwrap();
@@ -482,7 +481,7 @@ mod tests {
             &mut c,
             0,
             &pax,
-            ReplicaIndexConfig::first_indexed(3, &[0, 1, 0]).orders(),
+            &ReplicaIndexConfig::first_indexed(3, &[0, 1, 0]),
             &FaultPlan::none(),
         )
         .unwrap();
@@ -494,7 +493,7 @@ mod tests {
             &mut c2,
             0,
             &pax,
-            ReplicaIndexConfig::unindexed(3).orders(),
+            &ReplicaIndexConfig::unindexed(3),
             &FaultPlan::none(),
         )
         .unwrap();
@@ -510,7 +509,7 @@ mod tests {
             &mut c,
             0,
             &pax,
-            ReplicaIndexConfig::unindexed(2).orders(),
+            &ReplicaIndexConfig::unindexed(2),
             &FaultPlan::none(),
         );
         assert!(err.is_err());

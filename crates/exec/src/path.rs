@@ -19,8 +19,9 @@
 
 use hail_core::{CmpOp, HailQuery, Predicate, RowBlock};
 use hail_dfs::DfsCluster;
-use hail_index::{BitmapIndex, IndexedBlock, InvertedList, UnclusteredIndex};
+use hail_index::{IndexKind, IndexedBlock, UnclusteredIndex};
 use hail_mr::{MapRecord, TaskStats};
+use hail_pax::PaxBlock;
 use hail_types::{AccessPathKind, BlockId, DatanodeId, HailError, Result, Schema, Value};
 use std::fmt;
 
@@ -54,6 +55,14 @@ pub trait AccessPath: fmt::Debug {
     /// `clustered-index-scan(@3)`.
     fn describe(&self) -> String {
         self.kind().to_string()
+    }
+
+    /// The sidecar extension index this path reads from the serving
+    /// replica, if any. The planner's locality resolution only reroutes
+    /// a sidecar path to a node whose own replica stores this sidecar
+    /// (per the namenode's `Dir_rep`).
+    fn required_sidecar(&self) -> Option<IndexKind> {
+        None
     }
 
     /// Reads the block via this path, emitting qualifying records and
@@ -105,12 +114,7 @@ impl FullScan {
 
         let projection = a.query.projected_columns(a.schema);
         for row in 0..pax.row_count() {
-            let ok = a.query.predicates.iter().all(|p| {
-                pax.value(p.column(), row)
-                    .map(|v| p.matches_value(&v))
-                    .unwrap_or(false)
-            });
-            if ok {
+            if full_predicate_match(a.query, pax, row)? {
                 emit(MapRecord::good(pax.reconstruct(row, &projection)?));
                 stats.records += 1;
             }
@@ -269,12 +273,7 @@ impl AccessPath for ClusteredIndexScan {
                 // Post-filter with the *full* conjunction — other
                 // predicates may touch other columns or even the index
                 // column again (e.g. `@4 >= 1 and @4 <= 10`).
-                let full_ok = a.query.predicates.iter().all(|p| {
-                    pax.value(p.column(), row)
-                        .map(|v| p.matches_value(&v))
-                        .unwrap_or(false)
-                });
-                if !full_ok {
+                if !full_predicate_match(a.query, pax, row)? {
                     continue;
                 }
                 emit(MapRecord::good(pax.reconstruct(row, &projection)?));
@@ -358,8 +357,10 @@ impl AccessPath for TrojanIndexScan {
 }
 
 /// Sidecar bitmap scan over a low-cardinality column (§3.5): read the
-/// bitmaps, OR/AND in memory, then fetch only the matching rows.
-/// Sort-order independent, so it can serve any replica.
+/// *persisted* bitmap sidecar stored with the replica, probe it in
+/// memory, then fetch only the matching rows. Sort-order independent,
+/// so it can serve any replica whose `Dir_rep` entry carries the
+/// sidecar; the planner never routes it elsewhere.
 #[derive(Debug, Clone, Copy)]
 pub struct BitmapScan {
     /// The bitmap-indexed 0-based column.
@@ -390,6 +391,12 @@ impl AccessPath for BitmapScan {
         format!("bitmap-scan(@{})", self.column + 1)
     }
 
+    fn required_sidecar(&self) -> Option<IndexKind> {
+        Some(IndexKind::Bitmap {
+            column: self.column,
+        })
+    }
+
     fn execute(&self, a: &BlockAccess<'_>, emit: &mut dyn FnMut(MapRecord)) -> Result<TaskStats> {
         let probe = self
             .probe_value(a.query)
@@ -399,35 +406,30 @@ impl AccessPath for BitmapScan {
         let indexed = IndexedBlock::parse(bytes)?;
         let pax = indexed.pax();
 
-        // Materialize the sidecar bitmap for this (block, column). The
-        // simulation rebuilds it from the stored column; physically it
-        // would be read from a sidecar file, so the cost charged is the
-        // bitmap's serialized size.
-        let col = pax.decode_column(self.column)?;
-        let values: Vec<Value> = (0..col.len()).map(|i| col.value(i)).collect();
-        let bitmap = BitmapIndex::build(self.column, &values, usize::MAX)?;
+        // The sidecar was built at upload time and stored with the
+        // replica; a replica routed here without one is a planner or
+        // directory bug, not something to paper over by rebuilding.
+        let (sidecar, bitmap) = indexed.bitmap_sidecar(self.column)?.ok_or_else(|| {
+            HailError::Internal("replica advertised a bitmap sidecar it lacks".into())
+        })?;
+        let sidecar_bytes = sidecar.sidecar_bytes;
 
         let mut stats = TaskStats {
             serial_pricing: true,
             ..Default::default()
         };
-        dn.charge_range_read(bitmap.byte_len(), &mut stats.ledger)?;
-        let mut remote_bytes = bitmap.byte_len() as u64;
+        dn.charge_range_read(sidecar_bytes, &mut stats.ledger)?;
+        stats.sidecar_bytes_read += sidecar_bytes as u64;
+        let mut remote_bytes = sidecar_bytes as u64;
 
         let rows = bitmap.rows_equal(&probe);
         // Matching rows cluster into runs; each run costs one seek, and
         // the fetched bytes are charged per reconstructed row.
-        stats.ledger.seeks +=
-            UnclusteredIndex::seek_count(rows.iter().map(|&r| r as u32).collect()) as u64;
+        stats.ledger.seeks += UnclusteredIndex::seek_count(&rows) as u64;
 
         let projection = a.query.projected_columns(a.schema);
         for row in rows {
-            let full_ok = a.query.predicates.iter().all(|p| {
-                pax.value(p.column(), row)
-                    .map(|v| p.matches_value(&v))
-                    .unwrap_or(false)
-            });
-            if !full_ok {
+            if !full_predicate_match(a.query, pax, row)? {
                 continue;
             }
             let out = pax.reconstruct(row, &projection)?;
@@ -447,8 +449,11 @@ impl AccessPath for BitmapScan {
 }
 
 /// Sidecar inverted-list scan over the block's bad-record section
-/// (§3.5): serve token searches over schema-less records without
-/// scanning them. Emits *only* matching bad records.
+/// (§3.5): serve token searches over schema-less records from the
+/// *persisted* inverted-list sidecar, without scanning them. Emits
+/// *only* matching bad records. An empty token list is the empty
+/// conjunction and matches every bad record (see
+/// [`hail_index::InvertedList::search_all`]).
 #[derive(Debug, Clone)]
 pub struct InvertedListScan {
     /// Tokens every returned bad record must contain (conjunctive).
@@ -464,34 +469,60 @@ impl AccessPath for InvertedListScan {
         format!("inverted-list-scan({})", self.tokens.join(" & "))
     }
 
+    fn required_sidecar(&self) -> Option<IndexKind> {
+        Some(IndexKind::InvertedList)
+    }
+
     fn execute(&self, a: &BlockAccess<'_>, emit: &mut dyn FnMut(MapRecord)) -> Result<TaskStats> {
         let dn = a.cluster.datanode(a.replica)?;
         let bytes = dn.peek_replica(a.block)?;
         let indexed = IndexedBlock::parse(bytes)?;
-        let bad = indexed.pax().bad_records()?;
-        // The sidecar list would be read from disk; charge its size.
-        let list = InvertedList::build(&bad);
+
+        // Read the persisted sidecar; the replica must carry it or the
+        // planner mis-routed the read.
+        let (sidecar, list) = indexed.inverted_list_sidecar()?.ok_or_else(|| {
+            HailError::Internal("replica advertised an inverted-list sidecar it lacks".into())
+        })?;
+        let sidecar_bytes = sidecar.sidecar_bytes;
+
         let mut stats = TaskStats {
             serial_pricing: true,
             ..Default::default()
         };
-        let list_bytes = list.to_bytes().len();
-        dn.charge_range_read(list_bytes, &mut stats.ledger)?;
-        let mut remote_bytes = list_bytes as u64;
+        dn.charge_range_read(sidecar_bytes, &mut stats.ledger)?;
+        stats.sidecar_bytes_read += sidecar_bytes as u64;
+        let mut remote_bytes = sidecar_bytes as u64;
 
         let token_refs: Vec<&str> = self.tokens.iter().map(String::as_str).collect();
-        for id in list.search_all(&token_refs) {
-            let line = &bad[id as usize];
-            let line_bytes = line.len() as u64;
-            stats.ledger.disk_read += line_bytes;
-            remote_bytes += line_bytes;
-            emit(MapRecord::bad(line.clone()));
-            stats.records += 1;
+        let hits = list.search_all(&token_refs);
+        // Only the matching bad records are fetched from the block.
+        if !hits.is_empty() {
+            let bad = indexed.pax().bad_records()?;
+            for id in hits {
+                let line = &bad[id as usize];
+                let line_bytes = line.len() as u64;
+                stats.ledger.disk_read += line_bytes;
+                remote_bytes += line_bytes;
+                emit(MapRecord::bad(line.clone()));
+                stats.records += 1;
+            }
         }
         a.charge_remote(&mut stats, remote_bytes);
         stats.paths.record(self.kind());
         Ok(stats)
     }
+}
+
+/// Evaluates the query's full conjunction against one PAX row.
+/// Decode errors propagate: a corrupt block must fail the read rather
+/// than silently dropping rows that no longer decode.
+fn full_predicate_match(query: &HailQuery, pax: &PaxBlock, row: usize) -> Result<bool> {
+    for p in &query.predicates {
+        if !p.matches_value(&pax.value(p.column(), row)?) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 fn emit_pax_bad_records(

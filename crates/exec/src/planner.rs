@@ -4,12 +4,17 @@
 //! For each block of a dataset the planner consults the namenode's
 //! per-replica directory (`Dir_rep`, §3.3) for what each replica
 //! physically offers — clustered index and key column, trojan header,
-//! replica size — enumerates the candidate `(replica, access path)`
-//! pairs, prices each with the `hail-sim` cost model, and picks the
-//! cheapest. The result is an explainable [`QueryPlan`] that the input
-//! formats turn into input splits (scheduling) and per-block reads
-//! (execution), so neither the scheduler nor the record readers
-//! re-derive replica or index choices anywhere else.
+//! replica size, and the §3.5 sidecar extension indexes (bitmaps over
+//! low-cardinality columns, the inverted list over bad records) with
+//! their stored sizes — enumerates the candidate `(replica, access
+//! path)` pairs, prices each with the `hail-sim` cost model, and picks
+//! the cheapest. Sidecar paths are offered *only* for replicas whose
+//! `Dir_rep` entry records the sidecar, priced from its stored byte
+//! size, and annotated in `explain()` output as `[sidecar N B]`. The
+//! result is an explainable [`QueryPlan`] that the input formats turn
+//! into input splits (scheduling) and per-block reads (execution), so
+//! neither the scheduler nor the record readers re-derive replica or
+//! index choices anywhere else.
 //!
 //! # Worked example
 //!
@@ -152,18 +157,18 @@ impl SelectivityEstimate {
     }
 }
 
-/// Planner configuration: cost model, selectivity estimates, and which
-/// sidecar extension indexes exist.
+/// Planner configuration: cost model, selectivity estimates, and the
+/// query-shape knobs. Which sidecar extension indexes exist is *not*
+/// configured here: the planner discovers them per replica from the
+/// namenode's `Dir_rep` directory, where the upload pipeline registered
+/// them.
 #[derive(Debug, Clone, Default)]
 pub struct PlannerConfig {
     pub cost: CostModel,
     pub estimate: SelectivityEstimate,
-    /// Columns with a sidecar bitmap index (low-cardinality domains,
-    /// §3.5). The planner may route equality predicates on them through
-    /// [`BitmapScan`] on any replica.
-    pub bitmap_columns: Vec<usize>,
     /// When non-empty, the query is a bad-record token search: every
-    /// block is served by [`InvertedListScan`] over these tokens.
+    /// block is served by [`InvertedListScan`] over these tokens, on a
+    /// replica whose `Dir_rep` entry records an inverted-list sidecar.
     pub bad_record_tokens: Vec<String>,
     /// Field delimiter for text (Hadoop) blocks; `None` uses the
     /// cluster's [`hail_types::StorageConfig::delimiter`].
@@ -177,6 +182,9 @@ pub struct Candidate {
     pub kind: AccessPathKind,
     pub detail: String,
     pub est_seconds: f64,
+    /// Stored size of the sidecar this candidate reads, for the sidecar
+    /// paths (from `Dir_rep`, not a guess).
+    pub sidecar_bytes: Option<usize>,
 }
 
 /// The planner's decision for one block.
@@ -197,6 +205,9 @@ pub struct BlockPlan {
     /// True if the query wanted an index but no live replica offers one
     /// — HAIL's failover story, surfaced as `fell_back_to_scan`.
     pub fallback: bool,
+    /// Stored sidecar size behind the chosen path, when it is a sidecar
+    /// path.
+    pub sidecar_bytes: Option<usize>,
 }
 
 /// A full, explainable query plan: one [`BlockPlan`] per input block.
@@ -248,15 +259,20 @@ impl QueryPlan {
             },
         );
         for bp in &self.blocks {
+            let sidecar = match bp.sidecar_bytes {
+                Some(n) => format!("  [sidecar {n} B]"),
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "  block {}: DN{} {}  est {:.3}s  ({} candidate{}){}",
+                "  block {}: DN{} {}  est {:.3}s  ({} candidate{}){}{}",
                 bp.block,
                 bp.replica + 1,
                 bp.path.describe(),
                 bp.est_seconds,
                 bp.candidates.len(),
                 if bp.candidates.len() == 1 { "" } else { "s" },
+                sidecar,
                 if bp.fallback { "  [fallback]" } else { "" },
             );
         }
@@ -326,7 +342,10 @@ impl<'a> QueryPlanner<'a> {
     /// all dead degrades to a full-scan plan over the namenode's
     /// (possibly empty) location list instead of erroring — as in HDFS,
     /// split computation succeeds and the failure surfaces at read
-    /// time. Unknown blocks still error.
+    /// time. Unknown blocks still error, and so do bad-record token
+    /// searches that cannot be served (no live replica stores the
+    /// inverted-list sidecar): a full scan is not a substitute for a
+    /// token search, so there is nothing to degrade to.
     pub fn plan_lenient(
         &self,
         format: DatasetFormat,
@@ -339,7 +358,13 @@ impl<'a> QueryPlanner<'a> {
             by_block.insert(b, plans.len());
             match self.plan_block(format, b, query) {
                 Ok(bp) => plans.push(bp),
-                Err(_) => {
+                Err(e) => {
+                    // A token search cannot degrade to a full scan — the
+                    // scan would emit good records the search never
+                    // asked for. Surface the missing sidecar instead.
+                    if !self.config.bad_record_tokens.is_empty() {
+                        return Err(e);
+                    }
                     // Distinguish "unknown block" (propagate) from "no
                     // live replica" (degrade).
                     let hosts = self.cluster.namenode().get_hosts(b)?;
@@ -354,6 +379,7 @@ impl<'a> QueryPlanner<'a> {
                         candidates: Vec::new(),
                         fallback: format != DatasetFormat::HadoopText
                             && !query.filter_columns().is_empty(),
+                        sidecar_bytes: None,
                     });
                 }
             }
@@ -406,7 +432,8 @@ impl<'a> QueryPlanner<'a> {
                         path: Arc<dyn AccessPath + Send + Sync>,
                         ledger: CostLedger,
                         serial: bool,
-                        replica_bytes: usize| {
+                        replica_bytes: usize,
+                        sidecar_bytes: Option<usize>| {
             let cost = &self.config.cost;
             let scale = cost.scale_for(replica_bytes);
             let est_seconds = if serial {
@@ -420,6 +447,7 @@ impl<'a> QueryPlanner<'a> {
                     kind: path.kind(),
                     detail: path.describe(),
                     est_seconds,
+                    sidecar_bytes,
                 },
                 path,
             });
@@ -435,10 +463,15 @@ impl<'a> QueryPlanner<'a> {
                     "bad-record token search requires a HAIL PAX dataset, got {format:?}"
                 )));
             }
+            // Only replicas whose Dir_rep entry records an inverted-list
+            // sidecar can serve the search; the read never rebuilds one.
             for info in &replicas {
+                let Some(sidecar) = info.index.inverted_list() else {
+                    continue;
+                };
                 let ledger = CostLedger {
-                    // The sidecar list is small relative to the block.
-                    disk_read: (info.replica_bytes as u64 / 64).max(1),
+                    // The persisted list's stored size, not a guess.
+                    disk_read: sidecar.sidecar_bytes as u64,
                     seeks: 1,
                     ..Default::default()
                 };
@@ -450,11 +483,22 @@ impl<'a> QueryPlanner<'a> {
                     ledger,
                     true,
                     info.replica_bytes,
+                    Some(sidecar.sidecar_bytes),
                 );
+            }
+            if priced.is_empty() {
+                return Err(HailError::Job(format!(
+                    "bad-record token search on block {block}: no live replica stores an \
+                     inverted-list sidecar (upload with \
+                     `ReplicaIndexConfig::with_inverted_list`)"
+                )));
             }
         } else {
             for info in &replicas {
-                let data_bytes = info.replica_bytes.saturating_sub(info.index.index_bytes) as u64;
+                let data_bytes = info
+                    .replica_bytes
+                    .saturating_sub(info.index.index_bytes + info.index.sidecar_bytes_total())
+                    as u64;
 
                 // Full scan: always possible, streams everything.
                 let scan_layout = self.scan_layout(format);
@@ -469,6 +513,7 @@ impl<'a> QueryPlanner<'a> {
                     },
                     false,
                     info.replica_bytes,
+                    None,
                 );
 
                 // Index scan on this replica's own index (clustered on a
@@ -502,39 +547,53 @@ impl<'a> QueryPlanner<'a> {
                                 },
                                 true,
                                 info.replica_bytes,
+                                None,
                             );
                         }
                     }
                 }
 
-                // Sidecar bitmap scan for equality on a registered
-                // low-cardinality column (PAX blocks only).
-                if format == DatasetFormat::HailPax {
-                    for &column in &self.config.bitmap_columns {
-                        let has_eq = query.predicates.iter().any(|p| {
-                            matches!(p, Predicate::Cmp { column: c, op: CmpOp::Eq, .. } if *c == column)
-                        });
-                        if has_eq {
-                            let sel = self.config.estimate.for_column(column);
-                            let touched = (sel * data_bytes as f64) as u64;
-                            push(
-                                info.datanode,
-                                Arc::new(BitmapScan { column }),
-                                CostLedger {
-                                    // A few bits per row per distinct
-                                    // value: ≈1/32 of the data.
-                                    disk_read: data_bytes / 32 + touched,
-                                    scan_cpu: touched,
-                                    // Matching rows scatter: estimate a
-                                    // seek per 16 touched KB.
-                                    seeks: 2 + touched / (16 * 1024),
-                                    ..Default::default()
-                                },
-                                true,
-                                info.replica_bytes,
-                            );
-                        }
+                // Sidecar bitmap scan for equality on a column whose
+                // bitmap this replica physically stores (per Dir_rep).
+                // Replicas without the sidecar never produce a bitmap
+                // candidate — there is nothing to read there. Only HAIL
+                // PAX containers carry a sidecar region, so other
+                // formats are excluded at plan time even if a crafted
+                // Dir_rep entry claims one.
+                let sidecars = if format == DatasetFormat::HailPax {
+                    info.index.sidecars.as_slice()
+                } else {
+                    &[]
+                };
+                for sidecar in sidecars {
+                    let IndexKind::Bitmap { column } = sidecar.kind else {
+                        continue;
+                    };
+                    let has_eq = query.predicates.iter().any(|p| {
+                        matches!(p, Predicate::Cmp { column: c, op: CmpOp::Eq, .. } if *c == column)
+                    });
+                    if !has_eq {
+                        continue;
                     }
+                    let sel = self.config.estimate.for_column(column);
+                    let touched = (sel * data_bytes as f64) as u64;
+                    push(
+                        info.datanode,
+                        Arc::new(BitmapScan { column }),
+                        CostLedger {
+                            // The persisted sidecar's stored size plus
+                            // the qualifying fraction of the data.
+                            disk_read: sidecar.sidecar_bytes as u64 + touched,
+                            scan_cpu: touched,
+                            // Matching rows scatter: estimate a seek per
+                            // 16 touched KB.
+                            seeks: 2 + touched / (16 * 1024),
+                            ..Default::default()
+                        },
+                        true,
+                        info.replica_bytes,
+                        Some(sidecar.sidecar_bytes),
+                    );
                 }
             }
         }
@@ -560,13 +619,24 @@ impl<'a> QueryPlanner<'a> {
         let chosen_kind = best.candidate.kind;
         let path = Arc::clone(&best.path);
         let est_seconds = best.candidate.est_seconds;
+        let sidecar_bytes = best.candidate.sidecar_bytes;
 
         // Locations: chosen replica first, then remaining live holders.
+        // A sidecar path can only run where the sidecar is stored, so
+        // the scheduler must not treat sidecar-less holders as local
+        // placements for it.
+        let required_sidecar = path.required_sidecar();
         let mut locations = vec![chosen_replica];
         for info in &replicas {
-            if !locations.contains(&info.datanode) {
-                locations.push(info.datanode);
+            if locations.contains(&info.datanode) {
+                continue;
             }
+            if let Some(kind) = required_sidecar {
+                if !info.index.sidecars.iter().any(|s| s.kind == kind) {
+                    continue;
+                }
+            }
+            locations.push(info.datanode);
         }
 
         Ok(BlockPlan {
@@ -580,6 +650,7 @@ impl<'a> QueryPlanner<'a> {
             fallback: wanted_index
                 && !had_index_candidate
                 && chosen_kind == AccessPathKind::FullScan,
+            sidecar_bytes,
         })
     }
 
@@ -644,7 +715,11 @@ impl<'a> QueryPlanner<'a> {
         match bp.kind {
             // A full scan can read any replica.
             AccessPathKind::FullScan => task_node,
-            // Bitmap/inverted sidecars are sort-order independent.
+            // Bitmap/inverted sidecars are sort-order independent, and
+            // `plan_block` already restricted `locations` to replicas
+            // whose Dir_rep entry stores the required sidecar — any
+            // task node that passed the membership guard above can
+            // serve the read.
             AccessPathKind::BitmapScan | AccessPathKind::InvertedListScan => task_node,
             // Trojan indexes are identical on every replica (§5).
             AccessPathKind::TrojanIndexScan => task_node,
@@ -893,8 +968,8 @@ mod tests {
         }
     }
 
-    /// Equality on a registered low-cardinality column routes through
-    /// the sidecar bitmap path and still matches a scan's results.
+    /// Equality on a column with a persisted bitmap sidecar routes
+    /// through the bitmap path and still matches a scan's results.
     #[test]
     fn bitmap_scan_chosen_and_correct() {
         let mut storage = StorageConfig::test_scale(1 << 20);
@@ -914,18 +989,24 @@ mod tests {
             &schema,
             "t",
             &[(0, text)],
-            &ReplicaIndexConfig::first_indexed(3, &[1]),
+            &ReplicaIndexConfig::first_indexed(3, &[1]).with_bitmap(0),
         )
         .unwrap();
 
         let q = HailQuery::parse("@1 = 'DEU'", "{@2}", &schema).unwrap();
-        let config = PlannerConfig {
-            bitmap_columns: vec![0],
-            ..Default::default()
-        };
-        let planner = QueryPlanner::with_config(&c, config);
+        let planner = QueryPlanner::new(&c);
         let plan = planner.plan_dataset(&ds, &q).unwrap();
         assert_eq!(plan.blocks[0].kind, AccessPathKind::BitmapScan);
+        // The plan carries the stored sidecar size and explains it.
+        let stored = c
+            .namenode()
+            .replica_index(ds.blocks[0], plan.blocks[0].replica)
+            .unwrap()
+            .bitmap_on(0)
+            .unwrap()
+            .sidecar_bytes;
+        assert_eq!(plan.blocks[0].sidecar_bytes, Some(stored));
+        assert!(plan.explain().contains(&format!("[sidecar {stored} B]")));
 
         let mut via_bitmap = Vec::new();
         let stats = planner
@@ -934,6 +1015,7 @@ mod tests {
             })
             .unwrap();
         assert!(stats.paths.get(AccessPathKind::BitmapScan) == 1);
+        assert_eq!(stats.sidecar_bytes_read, stored as u64);
 
         // Oracle: full scan with the default planner.
         let scan_planner = QueryPlanner::new(&c);
@@ -981,7 +1063,7 @@ mod tests {
             &schema,
             "t",
             &[(0, text.into())],
-            &ReplicaIndexConfig::first_indexed(3, &[0]),
+            &ReplicaIndexConfig::first_indexed(3, &[0]).with_inverted_list(),
         )
         .unwrap();
 
@@ -1012,10 +1094,11 @@ mod tests {
     }
 
     /// Bad-record searches are rejected up front on formats whose
-    /// blocks carry no queryable bad-record section.
+    /// blocks carry no queryable bad-record section, and on PAX
+    /// datasets uploaded without the inverted-list sidecar.
     #[test]
-    fn bad_record_search_rejected_on_non_pax_formats() {
-        let (c, ds) = setup(100);
+    fn bad_record_search_rejected_without_sidecar() {
+        let (c, ds) = setup(100); // uploaded without sidecars
         let config = PlannerConfig {
             bad_record_tokens: vec!["error".into()],
             ..Default::default()
@@ -1026,7 +1109,16 @@ mod tests {
             let err = planner.plan(format, &ds.blocks, &q).unwrap_err();
             assert!(err.to_string().contains("HAIL PAX"), "{format:?}: {err}");
         }
-        assert!(planner.plan(DatasetFormat::HailPax, &ds.blocks, &q).is_ok());
+        // PAX, but no replica persisted an inverted list: the search
+        // cannot run (and must not silently degrade to a full scan).
+        let err = planner
+            .plan(DatasetFormat::HailPax, &ds.blocks, &q)
+            .unwrap_err();
+        assert!(err.to_string().contains("inverted-list sidecar"), "{err}");
+        let err = planner
+            .plan_lenient(DatasetFormat::HailPax, &ds.blocks, &q)
+            .unwrap_err();
+        assert!(err.to_string().contains("inverted-list sidecar"), "{err}");
     }
 
     /// Planner estimates scale with the logical block: a candidate's

@@ -57,6 +57,19 @@ impl BitmapIndex {
         })
     }
 
+    /// Like [`BitmapIndex::build`], but a column exceeding the
+    /// cardinality limit yields `None` instead of an error — the upload
+    /// pipeline's fallback when a configured column turns out not to be
+    /// low-cardinality after all.
+    pub fn build_if_low_cardinality(
+        column: usize,
+        values: &[Value],
+        cardinality_limit: usize,
+    ) -> Option<BitmapIndex> {
+        // Cardinality overflow is build()'s only failure mode.
+        Self::build(column, values, cardinality_limit).ok()
+    }
+
     /// The indexed 0-based column.
     pub fn column(&self) -> usize {
         self.column

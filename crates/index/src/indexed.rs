@@ -2,8 +2,10 @@
 //!
 //! This is the physical file each datanode flushes for one replica
 //! (Fig. 1's *HAIL Block*): the (sorted) PAX block, followed by the
-//! serialized clustered index, followed by a fixed-size trailer holding
-//! the index metadata and layout offsets.
+//! serialized clustered index, followed by the §3.5 sidecar extension
+//! indexes (bitmaps over low-cardinality columns, an inverted list over
+//! the bad-record section), followed by a trailer holding the index
+//! metadata — sidecar directory included — and layout offsets.
 //!
 //! ```text
 //! ┌──────────────────────────────┐
@@ -11,26 +13,35 @@
 //! ├──────────────────────────────┤
 //! │ index bytes (may be empty)   │
 //! ├──────────────────────────────┤
-//! │ IndexMetadata (16 B)         │
-//! │ pax_len u32 · index_len u32  │
+//! │ sidecar region (may be empty)│
+//! │   bitmap(s) · inverted list  │
+//! ├──────────────────────────────┤
+//! │ IndexMetadata (variable:     │
+//! │   primary + sidecar dir)     │
+//! │ pax_len · index_len          │
+//! │ sidecar_len · meta_len (u32) │
 //! │ trailer magic u32            │
 //! └──────────────────────────────┘
 //! ```
 
+use crate::bitmap::{BitmapIndex, DEFAULT_CARDINALITY_LIMIT};
 use crate::clustered::ClusteredIndex;
-use crate::metadata::{IndexKind, IndexMetadata};
-use crate::sort::SortOrder;
+use crate::inverted::InvertedList;
+use crate::metadata::{IndexKind, IndexMetadata, SidecarMetadata};
+use crate::sort::{SidecarSpec, SortOrder};
 use bytes::Bytes;
 use hail_pax::{sort_block, PaxBlock};
 use hail_types::{HailError, Result};
 
 /// Trailer magic ("LIAH").
 pub const TRAILER_MAGIC: u32 = 0x4841_494C;
-/// Fixed trailer size: 16-byte metadata + two u32 lengths + magic.
-pub const TRAILER_LEN: usize = 16 + 4 + 4 + 4;
+/// Fixed-size footer closing every block: four section lengths + magic.
+pub const TRAILER_LEN: usize = 5 * 4;
 
 /// A replica's physical content, parsed: the PAX data plus its optional
-/// clustered index.
+/// clustered index. Sidecar extension indexes stay serialized in
+/// `bytes` and decode lazily via [`IndexedBlock::bitmap`] /
+/// [`IndexedBlock::inverted_list`].
 #[derive(Debug, Clone)]
 pub struct IndexedBlock {
     pax: PaxBlock,
@@ -46,8 +57,21 @@ impl IndexedBlock {
     ///
     /// This is exactly the per-datanode work of upload step 7.
     pub fn build(block: &PaxBlock, order: SortOrder) -> Result<IndexedBlock> {
-        match order {
-            SortOrder::Unsorted => Self::assemble(block.clone(), None),
+        Self::build_with(block, order, &SidecarSpec::default())
+    }
+
+    /// Like [`IndexedBlock::build`], but additionally builds the §3.5
+    /// sidecar extension indexes the spec asks for. Bitmap columns whose
+    /// cardinality exceeds [`DEFAULT_CARDINALITY_LIMIT`] are skipped
+    /// (the replica simply stores no bitmap for them) rather than
+    /// failing the upload.
+    pub fn build_with(
+        block: &PaxBlock,
+        order: SortOrder,
+        spec: &SidecarSpec,
+    ) -> Result<IndexedBlock> {
+        let (pax, index) = match order {
+            SortOrder::Unsorted => (block.clone(), None),
             SortOrder::Clustered { column } => {
                 let (sorted, _perm) = sort_block(block, column)?;
                 let col = sorted.decode_column(column)?;
@@ -55,32 +79,106 @@ impl IndexedBlock {
                 let key_type = sorted.schema().field(column)?.data_type;
                 let index =
                     ClusteredIndex::build(column, key_type, sorted.partition_size(), &keys)?;
-                Self::assemble(sorted, Some(index))
+                (sorted, Some(index))
+            }
+        };
+        // Sidecars index rowids of the *stored* (possibly sorted) block.
+        let mut bitmaps: Vec<BitmapIndex> = Vec::new();
+        for &column in &spec.bitmap_columns {
+            // A hand-built spec may repeat a column; one sidecar is
+            // enough.
+            if bitmaps.iter().any(|b| b.column() == column) {
+                continue;
+            }
+            let col = pax.decode_column(column)?;
+            let values: Vec<_> = (0..col.len()).map(|i| col.value(i)).collect();
+            if let Some(bm) =
+                BitmapIndex::build_if_low_cardinality(column, &values, DEFAULT_CARDINALITY_LIMIT)
+            {
+                bitmaps.push(bm);
             }
         }
+        let inverted = if spec.inverted_list {
+            Some(InvertedList::build(&pax.bad_records()?))
+        } else {
+            None
+        };
+        Self::assemble_with(pax, index, bitmaps, inverted)
     }
 
     /// Serializes a (pax, index) pair into the container format.
     pub fn assemble(pax: PaxBlock, index: Option<ClusteredIndex>) -> Result<IndexedBlock> {
+        Self::assemble_with(pax, index, Vec::new(), None)
+    }
+
+    /// Serializes PAX data, an optional clustered index, and the built
+    /// sidecar extension indexes into the container format.
+    pub fn assemble_with(
+        pax: PaxBlock,
+        index: Option<ClusteredIndex>,
+        bitmaps: Vec<BitmapIndex>,
+        inverted: Option<InvertedList>,
+    ) -> Result<IndexedBlock> {
         let index_bytes = index
             .as_ref()
             .map(ClusteredIndex::to_bytes)
             .unwrap_or_default();
+
+        // Sidecar region: bitmaps in configuration order, then the
+        // inverted list; offsets are absolute within the replica file.
+        let mut sidecar_region = Vec::new();
+        let mut sidecars = Vec::new();
+        let sidecar_base = pax.byte_len() + index_bytes.len();
+        for bm in &bitmaps {
+            let encoded = bm.to_bytes();
+            sidecars.push(SidecarMetadata {
+                kind: IndexKind::Bitmap {
+                    column: bm.column(),
+                },
+                sidecar_bytes: encoded.len(),
+                sidecar_offset: sidecar_base + sidecar_region.len(),
+            });
+            sidecar_region.extend_from_slice(&encoded);
+        }
+        if let Some(list) = &inverted {
+            let encoded = list.to_bytes();
+            sidecars.push(SidecarMetadata {
+                kind: IndexKind::InvertedList,
+                sidecar_bytes: encoded.len(),
+                sidecar_offset: sidecar_base + sidecar_region.len(),
+            });
+            sidecar_region.extend_from_slice(&encoded);
+        }
+
         let meta = match &index {
             Some(idx) => IndexMetadata {
                 kind: IndexKind::Clustered,
                 key_column: Some(idx.key_column()),
                 index_bytes: index_bytes.len(),
                 index_offset: pax.byte_len(),
+                sidecars,
             },
-            None => IndexMetadata::none(),
+            None => IndexMetadata {
+                sidecars,
+                ..IndexMetadata::none()
+            },
         };
-        let mut buf = Vec::with_capacity(pax.byte_len() + index_bytes.len() + TRAILER_LEN);
+        let meta_bytes = meta.to_bytes();
+        let mut buf = Vec::with_capacity(
+            pax.byte_len()
+                + index_bytes.len()
+                + sidecar_region.len()
+                + meta_bytes.len()
+                + TRAILER_LEN,
+        );
         buf.extend_from_slice(pax.bytes());
         buf.extend_from_slice(&index_bytes);
-        buf.extend_from_slice(&meta.to_bytes());
+        buf.extend_from_slice(&sidecar_region);
+        buf.extend_from_slice(&meta_bytes);
         buf.extend_from_slice(&(pax.byte_len() as u32).to_le_bytes());
         buf.extend_from_slice(&(index_bytes.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(sidecar_region.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(meta_bytes.len() as u32).to_le_bytes());
         buf.extend_from_slice(&TRAILER_MAGIC.to_le_bytes());
         Ok(IndexedBlock {
             pax,
@@ -99,21 +197,27 @@ impl IndexedBlock {
             )));
         }
         let t = bytes.len() - TRAILER_LEN;
-        let meta = IndexMetadata::from_bytes(&bytes[t..t + 16])?;
-        let pax_len = u32::from_le_bytes(bytes[t + 16..t + 20].try_into().unwrap()) as usize;
-        let index_len = u32::from_le_bytes(bytes[t + 20..t + 24].try_into().unwrap()) as usize;
-        let magic = u32::from_le_bytes(bytes[t + 24..t + 28].try_into().unwrap());
+        let word =
+            |i: usize| u32::from_le_bytes(bytes[t + 4 * i..t + 4 * i + 4].try_into().unwrap());
+        let pax_len = word(0) as usize;
+        let index_len = word(1) as usize;
+        let sidecar_len = word(2) as usize;
+        let meta_len = word(3) as usize;
+        let magic = word(4);
         if magic != TRAILER_MAGIC {
             return Err(HailError::Corrupt(format!(
                 "bad trailer magic {magic:#010x}"
             )));
         }
-        if pax_len + index_len + TRAILER_LEN != bytes.len() {
+        if pax_len + index_len + sidecar_len + meta_len + TRAILER_LEN != bytes.len() {
             return Err(HailError::Corrupt(format!(
-                "trailer lengths ({pax_len} + {index_len}) inconsistent with block of {} bytes",
+                "trailer lengths ({pax_len} + {index_len} + {sidecar_len} + {meta_len}) \
+                 inconsistent with block of {} bytes",
                 bytes.len()
             )));
         }
+        let meta_start = pax_len + index_len + sidecar_len;
+        let meta = IndexMetadata::from_bytes(&bytes[meta_start..meta_start + meta_len])?;
         let pax = PaxBlock::parse(bytes.slice(0..pax_len))?;
         let index = if meta.kind == IndexKind::Clustered && index_len > 0 {
             Some(ClusteredIndex::from_bytes(
@@ -122,6 +226,21 @@ impl IndexedBlock {
         } else {
             None
         };
+
+        // Validate the sidecar directory against the region; the
+        // sidecar *contents* decode lazily on access, so scans that
+        // never touch a sidecar never pay to decode it.
+        for s in &meta.sidecars {
+            let start = s.sidecar_offset;
+            let end = start.saturating_add(s.sidecar_bytes);
+            if start < pax_len + index_len || end > meta_start {
+                return Err(HailError::Corrupt(format!(
+                    "sidecar `{}` at {start}..{end} outside sidecar region {}..{meta_start}",
+                    s.kind,
+                    pax_len + index_len,
+                )));
+            }
+        }
         Ok(IndexedBlock {
             pax,
             index,
@@ -138,6 +257,44 @@ impl IndexedBlock {
     /// The clustered index, if the replica has one.
     pub fn index(&self) -> Option<&ClusteredIndex> {
         self.index.as_ref()
+    }
+
+    /// The raw bytes of one sidecar (directory offsets were validated
+    /// at parse time).
+    fn sidecar_raw(&self, s: &SidecarMetadata) -> &[u8] {
+        &self.bytes[s.sidecar_offset..s.sidecar_offset + s.sidecar_bytes]
+    }
+
+    /// The sidecar bitmap over `column` together with its directory
+    /// entry (stored size and offset), if this replica stores one — one
+    /// directory lookup. Decoding happens on access so non-sidecar
+    /// scans never pay for it; errors only on a corrupt stored sidecar.
+    pub fn bitmap_sidecar(&self, column: usize) -> Result<Option<(SidecarMetadata, BitmapIndex)>> {
+        self.meta
+            .bitmap_on(column)
+            .map(|s| Ok((*s, BitmapIndex::from_bytes(self.sidecar_raw(s))?)))
+            .transpose()
+    }
+
+    /// Decodes the sidecar bitmap over `column`, if this replica stores
+    /// one (see [`IndexedBlock::bitmap_sidecar`]).
+    pub fn bitmap(&self, column: usize) -> Result<Option<BitmapIndex>> {
+        Ok(self.bitmap_sidecar(column)?.map(|(_, b)| b))
+    }
+
+    /// The sidecar inverted list over bad records together with its
+    /// directory entry, if stored (lazily, like
+    /// [`IndexedBlock::bitmap_sidecar`]).
+    pub fn inverted_list_sidecar(&self) -> Result<Option<(SidecarMetadata, InvertedList)>> {
+        self.meta
+            .inverted_list()
+            .map(|s| Ok((*s, InvertedList::from_bytes(self.sidecar_raw(s))?)))
+            .transpose()
+    }
+
+    /// Decodes the sidecar inverted list over bad records, if stored.
+    pub fn inverted_list(&self) -> Result<Option<InvertedList>> {
+        Ok(self.inverted_list_sidecar()?.map(|(_, l)| l))
     }
 
     /// The replica's index metadata.
@@ -214,6 +371,78 @@ mod tests {
     }
 
     #[test]
+    fn sidecars_round_trip_with_clustered_index() {
+        let spec = SidecarSpec {
+            bitmap_columns: vec![0],
+            inverted_list: true,
+        };
+        let b = IndexedBlock::build_with(&pax_block(), SortOrder::Clustered { column: 0 }, &spec)
+            .unwrap();
+        assert!(
+            b.index().is_some(),
+            "sidecars coexist with the primary index"
+        );
+        let bm = b.bitmap(0).unwrap().expect("bitmap sidecar");
+        assert_eq!(bm.row_count(), 5);
+        assert!(b.inverted_list().unwrap().is_some());
+        assert_eq!(b.metadata().sidecars.len(), 2);
+        assert!(b.metadata().bitmap_on(0).is_some());
+        assert!(b.metadata().inverted_list().is_some());
+
+        let parsed = IndexedBlock::parse(b.bytes().clone()).unwrap();
+        assert_eq!(parsed.bitmap(0).unwrap().unwrap(), bm);
+        assert_eq!(parsed.inverted_list().unwrap(), b.inverted_list().unwrap());
+        assert_eq!(parsed.metadata(), b.metadata());
+        // The sidecar lookup answers the same rows as a scan of the
+        // sorted column.
+        assert_eq!(
+            parsed
+                .bitmap(0)
+                .unwrap()
+                .unwrap()
+                .rows_equal(&Value::Int(7)),
+            [3]
+        );
+    }
+
+    #[test]
+    fn duplicate_bitmap_columns_store_one_sidecar() {
+        let spec = SidecarSpec {
+            bitmap_columns: vec![0, 0, 0],
+            inverted_list: false,
+        };
+        let b = IndexedBlock::build_with(&pax_block(), SortOrder::Unsorted, &spec).unwrap();
+        assert_eq!(b.metadata().sidecars.len(), 1);
+        assert!(b.bitmap(0).unwrap().is_some());
+    }
+
+    #[test]
+    fn high_cardinality_bitmap_column_is_skipped() {
+        // Column 1 (varchar names) is unique per row; with a limit of 64
+        // and only 5 rows it fits, so craft a wide block instead.
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::VarChar),
+        ])
+        .unwrap();
+        let text: String = (0..200).map(|i| format!("{i}|name{i}\n")).collect();
+        let block = blocks_from_text(&text, &schema, &StorageConfig::test_scale(1 << 20))
+            .unwrap()
+            .pop()
+            .unwrap();
+        let spec = SidecarSpec {
+            bitmap_columns: vec![0, 1],
+            inverted_list: false,
+        };
+        // Both columns exceed the limit: the build succeeds with no
+        // bitmaps instead of erroring the upload.
+        let b = IndexedBlock::build_with(&block, SortOrder::Unsorted, &spec).unwrap();
+        assert!(b.bitmap(0).unwrap().is_none());
+        assert!(b.bitmap(1).unwrap().is_none());
+        assert!(b.metadata().sidecars.is_empty());
+    }
+
+    #[test]
     fn replicas_differ_physically() {
         let pax = pax_block();
         let r0 = IndexedBlock::build(&pax, SortOrder::Clustered { column: 0 }).unwrap();
@@ -239,6 +468,22 @@ mod tests {
         let mut raw = b.bytes().to_vec();
         let n = raw.len();
         raw[n - 1] ^= 0xFF; // clobber magic
+        assert!(IndexedBlock::parse(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_sidecar_directory() {
+        let spec = SidecarSpec {
+            bitmap_columns: vec![0],
+            inverted_list: false,
+        };
+        let b = IndexedBlock::build_with(&pax_block(), SortOrder::Unsorted, &spec).unwrap();
+        let meta_len = b.metadata().to_bytes().len();
+        let mut raw = b.bytes().to_vec();
+        // The sidecar descriptor's kind tag sits 20 bytes into the
+        // metadata record, which precedes the fixed footer.
+        let tag_pos = raw.len() - TRAILER_LEN - meta_len + 20;
+        raw[tag_pos] = 200;
         assert!(IndexedBlock::parse(Bytes::from(raw)).is_err());
     }
 

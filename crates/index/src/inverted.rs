@@ -65,11 +65,16 @@ impl InvertedList {
 
     /// Record ids containing *all* the tokens (posting-list
     /// intersection).
+    ///
+    /// An empty token slice is the empty conjunction, which is
+    /// vacuously true: it matches **every** indexed bad record, the
+    /// same records a token-free scan of the bad-record section would
+    /// return.
     pub fn search_all(&self, tokens: &[&str]) -> Vec<u32> {
         let mut lists: Vec<&[u32]> = tokens.iter().map(|t| self.search(t)).collect();
         lists.sort_by_key(|l| l.len());
         let Some((first, rest)) = lists.split_first() else {
-            return Vec::new();
+            return (0..self.record_count).collect();
         };
         first
             .iter()
@@ -143,7 +148,16 @@ mod tests {
         assert_eq!(idx.search_all(&["error", "timeout"]), vec![0]);
         assert_eq!(idx.search_all(&["error", "parse"]), vec![2]);
         assert!(idx.search_all(&["error", "garbage"]).is_empty());
-        assert!(idx.search_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_conjunction_matches_every_record() {
+        // No tokens = no constraints: all four bad records qualify,
+        // mirroring what a full scan of the bad-record section returns.
+        let idx = sample();
+        assert_eq!(idx.search_all(&[]), vec![0, 1, 2, 3]);
+        // ...and an empty index still yields nothing.
+        assert!(InvertedList::build(&[]).search_all(&[]).is_empty());
     }
 
     #[test]

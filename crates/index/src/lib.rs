@@ -28,8 +28,10 @@ pub use bitmap::{BitmapIndex, DEFAULT_CARDINALITY_LIMIT};
 pub use clustered::{ClusteredIndex, KeyBounds};
 pub use indexed::{IndexedBlock, TRAILER_LEN, TRAILER_MAGIC};
 pub use inverted::{tokenize, InvertedList};
-pub use metadata::{HailBlockReplicaInfo, IndexKind, IndexMetadata};
+pub use metadata::{
+    HailBlockReplicaInfo, IndexKind, IndexMetadata, SidecarMetadata, SIDECAR_META_LEN,
+};
 pub use selection::{select_for_workload, select_manual, WorkloadFilter};
-pub use sort::{ReplicaIndexConfig, SortOrder};
+pub use sort::{ReplicaIndexConfig, SidecarSpec, SortOrder};
 pub use trojan::{TrojanIndex, TROJAN_GRANULARITY};
 pub use unclustered::UnclusteredIndex;

@@ -17,6 +17,10 @@ pub enum IndexKind {
     Trojan,
     /// Unclustered rowid index (ablation only).
     Unclustered,
+    /// Sidecar bitmap index over a low-cardinality column (§3.5).
+    Bitmap { column: usize },
+    /// Sidecar inverted list over the block's bad-record section (§3.5).
+    InvertedList,
 }
 
 impl IndexKind {
@@ -26,29 +30,101 @@ impl IndexKind {
             IndexKind::Clustered => 1,
             IndexKind::Trojan => 2,
             IndexKind::Unclustered => 3,
+            IndexKind::Bitmap { .. } => 4,
+            IndexKind::InvertedList => 5,
         }
     }
 
-    fn from_tag(t: u8) -> Result<Self> {
+    /// Reconstructs a kind from its tag; `column` feeds the kinds that
+    /// carry one (currently only [`IndexKind::Bitmap`]).
+    fn from_tag(t: u8, column: usize) -> Result<Self> {
         Ok(match t {
             0 => IndexKind::None,
             1 => IndexKind::Clustered,
             2 => IndexKind::Trojan,
             3 => IndexKind::Unclustered,
+            4 => IndexKind::Bitmap { column },
+            5 => IndexKind::InvertedList,
             other => return Err(HailError::Corrupt(format!("unknown index kind {other}"))),
         })
+    }
+
+    /// True for the sidecar extension kinds that ride along with a
+    /// replica's primary (clustered/trojan) index.
+    pub fn is_sidecar(self) -> bool {
+        matches!(self, IndexKind::Bitmap { .. } | IndexKind::InvertedList)
     }
 }
 
 impl fmt::Display for IndexKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            IndexKind::None => "none",
-            IndexKind::Clustered => "clustered",
-            IndexKind::Trojan => "trojan",
-            IndexKind::Unclustered => "unclustered",
+        match self {
+            IndexKind::None => f.write_str("none"),
+            IndexKind::Clustered => f.write_str("clustered"),
+            IndexKind::Trojan => f.write_str("trojan"),
+            IndexKind::Unclustered => f.write_str("unclustered"),
+            IndexKind::Bitmap { column } => write!(f, "bitmap(@{})", column + 1),
+            IndexKind::InvertedList => f.write_str("inverted-list"),
+        }
+    }
+}
+
+/// One sidecar extension index stored with a replica, next to the PAX
+/// data and the primary index: what it is, where it starts in the
+/// replica's file, and how many bytes it occupies. Mirrored into the
+/// namenode's `Dir_rep` so the planner can price a sidecar read without
+/// touching the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SidecarMetadata {
+    /// [`IndexKind::Bitmap`] or [`IndexKind::InvertedList`].
+    pub kind: IndexKind,
+    /// Serialized sidecar size in bytes.
+    pub sidecar_bytes: usize,
+    /// Byte offset of the sidecar within the replica's file.
+    pub sidecar_offset: usize,
+}
+
+/// Fixed size of one serialized [`SidecarMetadata`] descriptor.
+pub const SIDECAR_META_LEN: usize = 16;
+
+impl SidecarMetadata {
+    /// Fixed-size binary encoding (16 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(SIDECAR_META_LEN);
+        buf.push(self.kind.tag());
+        buf.extend_from_slice(&[0u8; 3]); // padding
+        let column = match self.kind {
+            IndexKind::Bitmap { column } => column,
+            _ => 0,
         };
-        f.write_str(s)
+        put_u32(&mut buf, column as u32);
+        put_u32(&mut buf, self.sidecar_bytes as u32);
+        put_u32(&mut buf, self.sidecar_offset as u32);
+        buf
+    }
+
+    /// Parses the 16-byte encoding, rejecting tags that do not name a
+    /// sidecar kind.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let tag = r.u8()?;
+        r.u8()?;
+        r.u8()?;
+        r.u8()?;
+        let column = r.u32()? as usize;
+        let kind = IndexKind::from_tag(tag, column)?;
+        if !kind.is_sidecar() {
+            return Err(HailError::Corrupt(format!(
+                "index kind `{kind}` is not a sidecar extension index"
+            )));
+        }
+        let sidecar_bytes = r.u32()? as usize;
+        let sidecar_offset = r.u32()? as usize;
+        Ok(SidecarMetadata {
+            kind,
+            sidecar_bytes,
+            sidecar_offset,
+        })
     }
 }
 
@@ -64,6 +140,9 @@ pub struct IndexMetadata {
     pub index_bytes: usize,
     /// Byte offset of the index region within the replica's file.
     pub index_offset: usize,
+    /// Sidecar extension indexes (bitmaps, inverted list) stored with
+    /// this replica, in file order.
+    pub sidecars: Vec<SidecarMetadata>,
 }
 
 impl IndexMetadata {
@@ -74,7 +153,27 @@ impl IndexMetadata {
             key_column: None,
             index_bytes: 0,
             index_offset: 0,
+            sidecars: Vec::new(),
         }
+    }
+
+    /// The sidecar bitmap over `column`, if this replica stores one.
+    pub fn bitmap_on(&self, column: usize) -> Option<&SidecarMetadata> {
+        self.sidecars
+            .iter()
+            .find(|s| s.kind == IndexKind::Bitmap { column })
+    }
+
+    /// The sidecar inverted list over bad records, if stored.
+    pub fn inverted_list(&self) -> Option<&SidecarMetadata> {
+        self.sidecars
+            .iter()
+            .find(|s| s.kind == IndexKind::InvertedList)
+    }
+
+    /// Total bytes of all sidecar extension indexes on this replica.
+    pub fn sidecar_bytes_total(&self) -> usize {
+        self.sidecars.iter().map(|s| s.sidecar_bytes).sum()
     }
 
     /// The sort order this metadata implies.
@@ -90,33 +189,54 @@ impl IndexMetadata {
         self.kind != IndexKind::None && self.key_column == Some(column)
     }
 
-    /// Fixed-size binary encoding (16 bytes) embedded in block trailers.
+    /// Binary encoding embedded in block trailers: a fixed 16-byte
+    /// header (primary index), then a u32 sidecar count followed by one
+    /// fixed-size [`SidecarMetadata`] descriptor per sidecar.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(16);
+        let mut buf = Vec::with_capacity(20 + self.sidecars.len() * SIDECAR_META_LEN);
         buf.push(self.kind.tag());
         buf.push(self.key_column.is_some() as u8);
         buf.extend_from_slice(&[0u8; 2]); // padding
         put_u32(&mut buf, self.key_column.unwrap_or(0) as u32);
         put_u32(&mut buf, self.index_bytes as u32);
         put_u32(&mut buf, self.index_offset as u32);
+        put_u32(&mut buf, self.sidecars.len() as u32);
+        for s in &self.sidecars {
+            buf.extend_from_slice(&s.to_bytes());
+        }
         buf
     }
 
-    /// Parses the 16-byte encoding.
+    /// Parses the encoding produced by [`IndexMetadata::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = ByteReader::new(bytes);
-        let kind = IndexKind::from_tag(r.u8()?)?;
+        let tag = r.u8()?;
         let has_col = r.u8()? != 0;
         r.u8()?;
         r.u8()?;
         let col = r.u32()? as usize;
+        let kind = IndexKind::from_tag(tag, col)?;
+        // Sidecar kinds live in the sidecar directory, never in the
+        // primary header — mirroring SidecarMetadata's reverse check.
+        if kind.is_sidecar() {
+            return Err(HailError::Corrupt(format!(
+                "sidecar kind `{kind}` in primary index header"
+            )));
+        }
         let index_bytes = r.u32()? as usize;
         let index_offset = r.u32()? as usize;
+        let n_sidecars = r.u32()? as usize;
+        let mut sidecars = Vec::with_capacity(n_sidecars.min(64));
+        for _ in 0..n_sidecars {
+            let chunk = r.bytes(SIDECAR_META_LEN)?;
+            sidecars.push(SidecarMetadata::from_bytes(chunk)?);
+        }
         Ok(IndexMetadata {
             kind,
             key_column: has_col.then_some(col),
             index_bytes,
             index_offset,
+            sidecars,
         })
     }
 }
@@ -162,10 +282,78 @@ mod tests {
             key_column: Some(3),
             index_bytes: 2048,
             index_offset: 123_456,
+            sidecars: Vec::new(),
         };
         let bytes = m.to_bytes();
-        assert_eq!(bytes.len(), 16);
+        assert_eq!(bytes.len(), 20);
         assert_eq!(IndexMetadata::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn sidecar_metadata_round_trip() {
+        let m = IndexMetadata {
+            kind: IndexKind::Clustered,
+            key_column: Some(1),
+            index_bytes: 512,
+            index_offset: 9000,
+            sidecars: vec![
+                SidecarMetadata {
+                    kind: IndexKind::Bitmap { column: 5 },
+                    sidecar_bytes: 321,
+                    sidecar_offset: 9512,
+                },
+                SidecarMetadata {
+                    kind: IndexKind::InvertedList,
+                    sidecar_bytes: 77,
+                    sidecar_offset: 9833,
+                },
+            ],
+        };
+        let bytes = m.to_bytes();
+        assert_eq!(bytes.len(), 20 + 2 * SIDECAR_META_LEN);
+        let back = IndexMetadata::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.bitmap_on(5).unwrap().sidecar_bytes, 321);
+        assert!(back.bitmap_on(4).is_none());
+        assert_eq!(back.inverted_list().unwrap().sidecar_offset, 9833);
+        assert_eq!(back.sidecar_bytes_total(), 321 + 77);
+    }
+
+    #[test]
+    fn corrupt_sidecar_tag_rejected() {
+        let good = SidecarMetadata {
+            kind: IndexKind::Bitmap { column: 2 },
+            sidecar_bytes: 10,
+            sidecar_offset: 100,
+        };
+        // Unknown tag.
+        let mut bytes = good.to_bytes();
+        bytes[0] = 200;
+        assert!(SidecarMetadata::from_bytes(&bytes).is_err());
+        // A valid *primary* kind tag is still corrupt as a sidecar.
+        let mut bytes = good.to_bytes();
+        bytes[0] = IndexKind::Clustered.tag();
+        let err = SidecarMetadata::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("not a sidecar"), "{err}");
+        // And a corrupt descriptor inside a full metadata record fails
+        // the whole parse.
+        let m = IndexMetadata {
+            sidecars: vec![good],
+            ..IndexMetadata::none()
+        };
+        let mut bytes = m.to_bytes();
+        bytes[20] = 200; // first sidecar descriptor's tag byte
+        assert!(IndexMetadata::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn sidecar_kinds_display_and_classify() {
+        assert_eq!(IndexKind::Bitmap { column: 0 }.to_string(), "bitmap(@1)");
+        assert_eq!(IndexKind::InvertedList.to_string(), "inverted-list");
+        assert!(IndexKind::Bitmap { column: 3 }.is_sidecar());
+        assert!(IndexKind::InvertedList.is_sidecar());
+        assert!(!IndexKind::Clustered.is_sidecar());
+        assert!(!IndexKind::None.is_sidecar());
     }
 
     #[test]
@@ -183,6 +371,7 @@ mod tests {
             key_column: Some(2),
             index_bytes: 10,
             index_offset: 0,
+            sidecars: Vec::new(),
         };
         assert!(m.serves_column(2));
         assert!(!m.serves_column(1));
@@ -194,5 +383,17 @@ mod tests {
         let mut bytes = IndexMetadata::none().to_bytes();
         bytes[0] = 9;
         assert!(IndexMetadata::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn sidecar_tag_in_primary_header_rejected() {
+        // A flipped primary kind tag naming a sidecar kind is corruption,
+        // exactly as an unknown tag is.
+        for tag in [4u8, 5] {
+            let mut bytes = IndexMetadata::none().to_bytes();
+            bytes[0] = tag;
+            let err = IndexMetadata::from_bytes(&bytes).unwrap_err();
+            assert!(err.to_string().contains("primary index header"), "{err}");
+        }
     }
 }

@@ -40,8 +40,28 @@ impl fmt::Display for SortOrder {
     }
 }
 
+/// Which sidecar extension indexes (§3.5) one replica stores next to its
+/// PAX data and primary index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SidecarSpec {
+    /// 0-based columns to build a bitmap sidecar over. Columns whose
+    /// cardinality exceeds the limit at build time are silently skipped
+    /// (the upload must not fail on a mis-guessed domain).
+    pub bitmap_columns: Vec<usize>,
+    /// Build an inverted list over the block's bad-record section.
+    pub inverted_list: bool,
+}
+
+impl SidecarSpec {
+    /// True when no sidecar is requested.
+    pub fn is_empty(&self) -> bool {
+        self.bitmap_columns.is_empty() && !self.inverted_list
+    }
+}
+
 /// The per-replica index configuration for an upload: `orders[i]` is the
-/// sort order of replica `i`. Its length must equal the replication
+/// sort order of replica `i`, and `sidecars[i]` the sidecar extension
+/// indexes replica `i` stores. Its length must equal the replication
 /// factor.
 ///
 /// This is the paper's "configuration file" through which Bob (or a
@@ -50,19 +70,19 @@ impl fmt::Display for SortOrder {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplicaIndexConfig {
     orders: Vec<SortOrder>,
+    sidecars: Vec<SidecarSpec>,
 }
 
 impl ReplicaIndexConfig {
     pub fn new(orders: Vec<SortOrder>) -> Self {
-        ReplicaIndexConfig { orders }
+        let sidecars = vec![SidecarSpec::default(); orders.len()];
+        ReplicaIndexConfig { orders, sidecars }
     }
 
     /// All replicas unsorted (HAIL upload with zero indexes — still PAX,
     /// still binary, but no sorting).
     pub fn unindexed(replication: usize) -> Self {
-        ReplicaIndexConfig {
-            orders: vec![SortOrder::Unsorted; replication],
-        }
+        Self::new(vec![SortOrder::Unsorted; replication])
     }
 
     /// Clusters the first `columns.len()` replicas on the given columns,
@@ -76,19 +96,82 @@ impl ReplicaIndexConfig {
                 None => SortOrder::Unsorted,
             });
         }
-        ReplicaIndexConfig { orders }
+        Self::new(orders)
     }
 
     /// The same clustered index on every replica (the paper's HAIL-1Idx
     /// failover variant).
     pub fn uniform(replication: usize, column: usize) -> Self {
-        ReplicaIndexConfig {
-            orders: vec![SortOrder::Clustered { column }; replication],
+        Self::new(vec![SortOrder::Clustered { column }; replication])
+    }
+
+    /// The sidecar spec at one chain position, with the single bounds
+    /// check every `_on` builder routes through — a silently dropped
+    /// sidecar would only surface much later as a mysteriously
+    /// never-chosen access path.
+    fn spec_mut(&mut self, replica: usize) -> &mut SidecarSpec {
+        assert!(
+            replica < self.sidecars.len(),
+            "replica position {replica} out of range for replication {}",
+            self.sidecars.len()
+        );
+        &mut self.sidecars[replica]
+    }
+
+    /// Stores a bitmap sidecar over `column` on *every* replica (bitmaps
+    /// are sort-order independent, so any replica can serve them).
+    pub fn with_bitmap(mut self, column: usize) -> Self {
+        for spec in &mut self.sidecars {
+            if !spec.bitmap_columns.contains(&column) {
+                spec.bitmap_columns.push(column);
+            }
         }
+        self
+    }
+
+    /// Stores a bitmap sidecar over `column` on one replica chain
+    /// position only.
+    ///
+    /// # Panics
+    /// If `replica` is not a valid chain position.
+    pub fn with_bitmap_on(mut self, replica: usize, column: usize) -> Self {
+        let spec = self.spec_mut(replica);
+        if !spec.bitmap_columns.contains(&column) {
+            spec.bitmap_columns.push(column);
+        }
+        self
+    }
+
+    /// Stores an inverted-list sidecar over bad records on every replica.
+    pub fn with_inverted_list(mut self) -> Self {
+        for spec in &mut self.sidecars {
+            spec.inverted_list = true;
+        }
+        self
+    }
+
+    /// Stores an inverted-list sidecar on one replica chain position.
+    ///
+    /// # Panics
+    /// If `replica` is not a valid chain position.
+    pub fn with_inverted_list_on(mut self, replica: usize) -> Self {
+        self.spec_mut(replica).inverted_list = true;
+        self
     }
 
     pub fn orders(&self) -> &[SortOrder] {
         &self.orders
+    }
+
+    /// Sidecar specs per replica chain position (same length as
+    /// [`ReplicaIndexConfig::orders`]).
+    pub fn sidecars(&self) -> &[SidecarSpec] {
+        &self.sidecars
+    }
+
+    /// The sidecar spec for one replica chain position.
+    pub fn sidecar(&self, replica: usize) -> &SidecarSpec {
+        &self.sidecars[replica]
     }
 
     /// Replication factor implied by this configuration.
@@ -104,10 +187,15 @@ impl ReplicaIndexConfig {
             .count()
     }
 
-    /// Validates all orders against a schema.
+    /// Validates all orders and sidecar columns against a schema.
     pub fn validate(&self, schema: &Schema) -> Result<()> {
         for o in &self.orders {
             o.validate(schema)?;
+        }
+        for spec in &self.sidecars {
+            for &c in &spec.bitmap_columns {
+                schema.field(c)?;
+            }
         }
         Ok(())
     }
@@ -163,6 +251,48 @@ mod tests {
     fn validate_rejects_bad_column() {
         let c = ReplicaIndexConfig::uniform(3, 7);
         assert!(c.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn sidecar_knobs() {
+        let c = ReplicaIndexConfig::first_indexed(3, &[0])
+            .with_bitmap(1)
+            .with_inverted_list();
+        assert!(c.sidecars().iter().all(|s| s.bitmap_columns == [1]));
+        assert!(c.sidecars().iter().all(|s| s.inverted_list));
+        assert!(c.validate(&schema()).is_ok());
+
+        let c = ReplicaIndexConfig::unindexed(3)
+            .with_bitmap_on(0, 1)
+            .with_inverted_list_on(2);
+        assert_eq!(c.sidecar(0).bitmap_columns, [1]);
+        assert!(c.sidecar(1).is_empty());
+        assert!(c.sidecar(2).inverted_list);
+        assert!(c.sidecar(2).bitmap_columns.is_empty());
+
+        // Duplicate with_bitmap calls don't duplicate the column.
+        let c = ReplicaIndexConfig::unindexed(2)
+            .with_bitmap(0)
+            .with_bitmap(0);
+        assert_eq!(c.sidecar(0).bitmap_columns, [0]);
+    }
+
+    #[test]
+    fn sidecar_validate_rejects_bad_column() {
+        let c = ReplicaIndexConfig::unindexed(3).with_bitmap(9);
+        assert!(c.validate(&schema()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn with_bitmap_on_rejects_bad_position() {
+        let _ = ReplicaIndexConfig::unindexed(3).with_bitmap_on(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn with_inverted_list_on_rejects_bad_position() {
+        let _ = ReplicaIndexConfig::unindexed(3).with_inverted_list_on(5);
     }
 
     #[test]

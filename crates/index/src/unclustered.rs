@@ -57,7 +57,7 @@ impl UnclusteredIndex {
     /// Rowids (in the unsorted block) of all rows whose key satisfies the
     /// bounds. These accesses are *random I/O* — the cost the paper's
     /// design avoids.
-    pub fn lookup_rowids(&self, bounds: &KeyBounds) -> Vec<u32> {
+    pub fn lookup_rowids(&self, bounds: &KeyBounds) -> Vec<usize> {
         // Binary search the lower edge, then scan while within bounds.
         let start = match &bounds.lo {
             std::ops::Bound::Unbounded => 0,
@@ -71,7 +71,7 @@ impl UnclusteredIndex {
                 std::ops::Bound::Included(hi) => k <= hi,
                 std::ops::Bound::Excluded(hi) => k < hi,
             })
-            .map(|(_, r)| *r)
+            .map(|(_, r)| *r as usize)
             .collect()
     }
 
@@ -83,13 +83,19 @@ impl UnclusteredIndex {
     }
 
     /// Number of distinct disk "seeks" a retrieval of the given rowids
-    /// costs, merging adjacent rowids into one sequential run.
-    pub fn seek_count(mut rowids: Vec<u32>) -> usize {
+    /// costs, merging adjacent rowids into one sequential run. Already
+    /// sorted input (the common case: bitmap results are ascending) is
+    /// counted in place without copying.
+    pub fn seek_count(rowids: &[usize]) -> usize {
         if rowids.is_empty() {
             return 0;
         }
-        rowids.sort_unstable();
-        1 + rowids.windows(2).filter(|w| w[1] != w[0] + 1).count()
+        if rowids.windows(2).all(|w| w[0] <= w[1]) {
+            return 1 + rowids.windows(2).filter(|w| w[1] != w[0] + 1).count();
+        }
+        let mut sorted = rowids.to_vec();
+        sorted.sort_unstable();
+        Self::seek_count(&sorted)
     }
 }
 
@@ -128,10 +134,10 @@ mod tests {
 
     #[test]
     fn seek_count_merges_runs() {
-        assert_eq!(UnclusteredIndex::seek_count(vec![]), 0);
-        assert_eq!(UnclusteredIndex::seek_count(vec![5]), 1);
-        assert_eq!(UnclusteredIndex::seek_count(vec![1, 2, 3]), 1);
-        assert_eq!(UnclusteredIndex::seek_count(vec![1, 3, 4, 9]), 3);
-        assert_eq!(UnclusteredIndex::seek_count(vec![9, 1, 2]), 2);
+        assert_eq!(UnclusteredIndex::seek_count(&[]), 0);
+        assert_eq!(UnclusteredIndex::seek_count(&[5]), 1);
+        assert_eq!(UnclusteredIndex::seek_count(&[1, 2, 3]), 1);
+        assert_eq!(UnclusteredIndex::seek_count(&[1, 3, 4, 9]), 3);
+        assert_eq!(UnclusteredIndex::seek_count(&[9, 1, 2]), 2);
     }
 }

@@ -103,6 +103,9 @@ pub struct TaskStats {
     pub fell_back_to_scan: bool,
     /// Which access path served each block of this task's split.
     pub paths: PathCounts,
+    /// Bytes of persisted sidecar extension indexes (bitmaps, inverted
+    /// lists) read from replicas to serve this task.
+    pub sidecar_bytes_read: u64,
 }
 
 impl TaskStats {
@@ -122,6 +125,7 @@ impl TaskStats {
         self.records += other.records;
         self.fell_back_to_scan |= other.fell_back_to_scan;
         self.paths.merge(&other.paths);
+        self.sidecar_bytes_read += other.sidecar_bytes_read;
     }
 }
 

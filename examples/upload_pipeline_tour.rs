@@ -55,7 +55,7 @@ THIS LINE IS NOT A RECORD
     println!("\n== steps 5-14: stream through the chain, sort + index per replica ==");
     let mut cluster = DfsCluster::new(3, storage);
     let orders = ReplicaIndexConfig::first_indexed(3, &[1, 0, 2]); // visitDate, sourceIP, adRevenue
-    let block_id = hail_upload_block(&mut cluster, 0, pax, orders.orders(), &FaultPlan::none())?;
+    let block_id = hail_upload_block(&mut cluster, 0, pax, &orders, &FaultPlan::none())?;
 
     let hosts = cluster.namenode().get_hosts(block_id)?;
     println!("namenode Dir_block[{block_id}] = {hosts:?}");
@@ -102,7 +102,7 @@ THIS LINE IS NOT A RECORD
         corrupt_after_hop: Some((1, 0)),
         ..Default::default()
     };
-    let err = hail_upload_block(&mut cluster, 0, pax, orders.orders(), &fault).unwrap_err();
+    let err = hail_upload_block(&mut cluster, 0, pax, &orders, &fault).unwrap_err();
     println!("  chain tail detected it: {err}");
 
     println!("\n== every replica recovers the same logical block ==");

@@ -93,7 +93,8 @@ pub mod prelude {
         SelectivityEstimate,
     };
     pub use hail_index::{
-        ClusteredIndex, IndexKind, IndexedBlock, KeyBounds, ReplicaIndexConfig, SortOrder,
+        ClusteredIndex, IndexKind, IndexedBlock, KeyBounds, ReplicaIndexConfig, SidecarMetadata,
+        SidecarSpec, SortOrder,
     };
     pub use hail_mr::{
         run_map_job, run_map_job_with_failure, run_map_reduce_job, FailureScenario, InputFormat,

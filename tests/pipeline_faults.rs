@@ -39,7 +39,7 @@ fn corrupted_packet_at_every_hop_is_caught() {
             &mut cluster,
             0,
             &pax,
-            ReplicaIndexConfig::unindexed(3).orders(),
+            &ReplicaIndexConfig::unindexed(3),
             &fault,
         )
         .unwrap_err();
@@ -64,7 +64,7 @@ fn ack_reorder_fails_multi_packet_upload() {
         &mut cluster,
         0,
         &pax,
-        ReplicaIndexConfig::unindexed(3).orders(),
+        &ReplicaIndexConfig::unindexed(3),
         &fault,
     )
     .unwrap_err();
@@ -85,7 +85,7 @@ fn node_death_mid_stream_aborts_cleanly() {
         &mut cluster,
         2,
         &pax,
-        ReplicaIndexConfig::unindexed(3).orders(),
+        &ReplicaIndexConfig::unindexed(3),
         &fault,
     )
     .unwrap_err();
@@ -95,7 +95,7 @@ fn node_death_mid_stream_aborts_cleanly() {
         &mut cluster,
         0,
         &pax,
-        ReplicaIndexConfig::unindexed(3).orders(),
+        &ReplicaIndexConfig::unindexed(3),
         &FaultPlan::none(),
     );
     assert!(ok.is_ok());
@@ -148,7 +148,7 @@ fn insufficient_live_nodes_rejects_upload() {
         &mut cluster,
         0,
         &pax,
-        ReplicaIndexConfig::unindexed(3).orders(),
+        &ReplicaIndexConfig::unindexed(3),
         &FaultPlan::none(),
     )
     .unwrap_err();
@@ -172,7 +172,7 @@ fn replication_ten_needs_ten_nodes() {
         &mut small,
         0,
         &pax,
-        ReplicaIndexConfig::unindexed(10).orders(),
+        &ReplicaIndexConfig::unindexed(10),
         &FaultPlan::none()
     )
     .is_err());
@@ -182,7 +182,7 @@ fn replication_ten_needs_ten_nodes() {
         &mut big,
         0,
         &pax,
-        ReplicaIndexConfig::unindexed(10).orders(),
+        &ReplicaIndexConfig::unindexed(10),
         &FaultPlan::none(),
     )
     .unwrap();

@@ -1,0 +1,366 @@
+//! End-to-end tests for persisted §3.5 sidecar extension indexes:
+//! build → upload → `Dir_rep` registration → parse → sidecar-served
+//! scans that match a full-scan oracle, plus the failure modes — a
+//! corrupt sidecar directory, a failover onto a sidecar-less replica,
+//! and planning against a dataset that never stored sidecars.
+
+use hail::index::DEFAULT_CARDINALITY_LIMIT;
+use hail::prelude::*;
+use hail::workloads::badness::inject_bad_records;
+
+fn weblog_cluster(
+    bad_fraction: f64,
+    index_config: &ReplicaIndexConfig,
+) -> (DfsCluster, Dataset, Schema, usize) {
+    let schema = bob_schema();
+    let clean = UserVisitsGenerator::default().node_text(0, 900);
+    let (text, n_bad) = inject_bad_records(&clean, &schema, bad_fraction, 5);
+    let mut storage = StorageConfig::test_scale(1 << 20); // one big block
+    storage.index_partition_size = 32;
+    let mut cluster = DfsCluster::new(3, storage);
+    let dataset = upload_hail(&mut cluster, &schema, "uv", &[(0, text)], index_config).unwrap();
+    (cluster, dataset, schema, n_bad)
+}
+
+fn replica_bytes(
+    cluster: &DfsCluster,
+    block: hail::types::BlockId,
+    dn: hail::types::DatanodeId,
+) -> bytes::Bytes {
+    let mut ledger = CostLedger::new();
+    cluster
+        .datanode(dn)
+        .unwrap()
+        .read_replica(block, &mut ledger)
+        .unwrap()
+}
+
+/// Upload with sidecars on every replica: each stored replica parses
+/// back with the sidecars present, and the namenode's `Dir_rep` entry
+/// mirrors exactly what the replica physically stores.
+#[test]
+fn uploaded_sidecars_round_trip_and_mirror_dir_rep() {
+    let schema = bob_schema();
+    let country = schema.index_of("countryCode").unwrap();
+    let config = ReplicaIndexConfig::first_indexed(3, &[2])
+        .with_bitmap(country)
+        .with_inverted_list();
+    let (cluster, dataset, _, n_bad) = weblog_cluster(0.05, &config);
+    assert!(n_bad > 10);
+
+    for &block in &dataset.blocks {
+        for dn in cluster.namenode().get_hosts(block).unwrap() {
+            let parsed = IndexedBlock::parse(replica_bytes(&cluster, block, dn)).unwrap();
+            // The sidecars were persisted with the replica...
+            let bitmap = parsed
+                .bitmap(country)
+                .unwrap()
+                .expect("bitmap sidecar stored");
+            assert!(bitmap.cardinality() <= DEFAULT_CARDINALITY_LIMIT);
+            let inverted = parsed
+                .inverted_list()
+                .unwrap()
+                .expect("inverted list stored");
+            assert_eq!(inverted.record_count(), n_bad);
+            // ...and Dir_rep mirrors the replica's trailer exactly.
+            let info = cluster.namenode().replica_info(block, dn).unwrap();
+            assert_eq!(&info.index, parsed.metadata());
+            assert_eq!(info.replica_bytes, parsed.byte_len());
+            let side = info.index.bitmap_on(country).unwrap();
+            assert_eq!(side.sidecar_bytes, bitmap.byte_len());
+            assert!(info.index.inverted_list().is_some());
+        }
+        assert_eq!(
+            cluster
+                .namenode()
+                .get_hosts_with_bitmap(block, country)
+                .unwrap()
+                .len(),
+            3
+        );
+        assert_eq!(
+            cluster
+                .namenode()
+                .get_hosts_with_inverted_list(block)
+                .unwrap()
+                .len(),
+            3
+        );
+    }
+}
+
+/// The planner routes equality on the bitmapped column through the
+/// persisted sidecar, and the results equal a full-scan oracle.
+#[test]
+fn bitmap_scan_over_persisted_sidecar_matches_oracle() {
+    let schema = bob_schema();
+    let country = schema.index_of("countryCode").unwrap();
+    let config = ReplicaIndexConfig::first_indexed(3, &[2]).with_bitmap(country);
+    let (cluster, dataset, schema, _) = weblog_cluster(0.0, &config);
+
+    let filter = format!("@{} = 'USA'", country + 1);
+    let query = HailQuery::parse(&filter, "{@1}", &schema).unwrap();
+    let planner = QueryPlanner::new(&cluster);
+    let plan = planner.plan_dataset(&dataset, &query).unwrap();
+
+    let mut via_bitmap: Vec<String> = Vec::new();
+    for bp in &plan.blocks {
+        assert_eq!(bp.kind, AccessPathKind::BitmapScan);
+        assert!(bp.sidecar_bytes.is_some(), "priced from the stored size");
+        let mut stats_records = Vec::new();
+        let stats = planner
+            .execute_block(&plan, bp.block, bp.replica, &schema, &query, &mut |r| {
+                stats_records.push(r)
+            })
+            .unwrap();
+        assert!(stats.sidecar_bytes_read > 0, "the sidecar was read");
+        via_bitmap.extend(
+            stats_records
+                .iter()
+                .filter(|r| !r.bad)
+                .map(|r| r.row.to_string()),
+        );
+    }
+
+    // Oracle: full scan of every block, filtered by hand.
+    let scan_query = HailQuery::full_scan();
+    let scan_plan = planner.plan_dataset(&dataset, &scan_query).unwrap();
+    let mut via_scan: Vec<String> = Vec::new();
+    for bp in &scan_plan.blocks {
+        planner
+            .execute_block(
+                &scan_plan,
+                bp.block,
+                bp.replica,
+                &schema,
+                &scan_query,
+                &mut |r| {
+                    if !r.bad && r.row.get(country).unwrap().as_str() == Some("USA") {
+                        via_scan.push(r.row.project(&[0]).to_string());
+                    }
+                },
+            )
+            .unwrap();
+    }
+    via_bitmap.sort();
+    via_scan.sort();
+    assert_eq!(via_bitmap, via_scan);
+    assert!(!via_bitmap.is_empty());
+}
+
+/// Token searches run off the persisted inverted list and return
+/// exactly the bad records a manual scan of the bad-record section
+/// finds.
+#[test]
+fn inverted_list_scan_over_persisted_sidecar_matches_oracle() {
+    let config = ReplicaIndexConfig::first_indexed(3, &[2]).with_inverted_list();
+    let (cluster, dataset, schema, n_bad) = weblog_cluster(0.08, &config);
+    assert!(n_bad > 20);
+
+    // The ExtraFields mangle appends `|unexpected|trailing` to a row;
+    // "trailing" is a token only bad records contain.
+    let planner_config = PlannerConfig {
+        bad_record_tokens: vec!["trailing".into()],
+        ..Default::default()
+    };
+    let planner = QueryPlanner::with_config(&cluster, planner_config);
+    let query = HailQuery::full_scan();
+    let plan = planner.plan_dataset(&dataset, &query).unwrap();
+
+    let mut found: Vec<String> = Vec::new();
+    for bp in &plan.blocks {
+        assert_eq!(bp.kind, AccessPathKind::InvertedListScan);
+        let stats = planner
+            .execute_block(&plan, bp.block, bp.replica, &schema, &query, &mut |r| {
+                assert!(r.bad);
+                found.push(r.row.get(0).unwrap().as_str().unwrap().to_string());
+            })
+            .unwrap();
+        assert!(stats.sidecar_bytes_read > 0);
+    }
+
+    // Oracle: every stored bad record containing the token, by hand.
+    let mut expected: Vec<String> = Vec::new();
+    for &block in &dataset.blocks {
+        let dn = cluster.namenode().get_hosts(block).unwrap()[0];
+        let parsed = IndexedBlock::parse(replica_bytes(&cluster, block, dn)).unwrap();
+        expected.extend(
+            parsed
+                .pax()
+                .bad_records()
+                .unwrap()
+                .into_iter()
+                .filter(|l| l.to_lowercase().contains("trailing")),
+        );
+    }
+    found.sort();
+    expected.sort();
+    assert_eq!(found, expected);
+    assert!(!found.is_empty());
+}
+
+/// Acceptance: on a dataset whose replicas never stored sidecars, the
+/// planner does not merely avoid *choosing* the sidecar paths — it
+/// never even enumerates them as candidates.
+#[test]
+fn sidecar_less_replicas_never_offer_sidecar_paths() {
+    let schema = bob_schema();
+    let country = schema.index_of("countryCode").unwrap();
+    let config = ReplicaIndexConfig::first_indexed(3, &[2]); // no sidecars
+    let (cluster, dataset, schema, _) = weblog_cluster(0.05, &config);
+
+    let filter = format!("@{} = 'USA'", country + 1);
+    let query = HailQuery::parse(&filter, "", &schema).unwrap();
+    let plan = QueryPlanner::new(&cluster)
+        .plan_dataset(&dataset, &query)
+        .unwrap();
+    for bp in &plan.blocks {
+        assert_ne!(bp.kind, AccessPathKind::BitmapScan);
+        assert!(
+            bp.candidates
+                .iter()
+                .all(|c| c.kind != AccessPathKind::BitmapScan),
+            "no bitmap candidate may exist without a stored sidecar"
+        );
+    }
+
+    // A token search has no fallback path at all: it errors loudly.
+    let planner_config = PlannerConfig {
+        bad_record_tokens: vec!["garbage".into()],
+        ..Default::default()
+    };
+    let err = QueryPlanner::with_config(&cluster, planner_config)
+        .plan_dataset(&dataset, &HailQuery::full_scan())
+        .unwrap_err();
+    assert!(err.to_string().contains("inverted-list sidecar"), "{err}");
+}
+
+/// Failover: when the only replica storing the bitmap sidecar dies, the
+/// planner falls back to a full scan — and flags it — instead of
+/// routing a bitmap scan to a replica that cannot serve it.
+#[test]
+fn failover_to_full_scan_when_sidecar_replica_dies() {
+    let schema = bob_schema();
+    let country = schema.index_of("countryCode").unwrap();
+    // Only chain position 0 stores the bitmap; no clustered indexes, so
+    // losing the sidecar leaves nothing but scanning.
+    let config = ReplicaIndexConfig::unindexed(3).with_bitmap_on(0, country);
+    let (mut cluster, dataset, schema, _) = weblog_cluster(0.0, &config);
+
+    let filter = format!("@{} = 'USA'", country + 1);
+    let query = HailQuery::parse(&filter, "", &schema).unwrap();
+    let block = dataset.blocks[0];
+
+    let holders = cluster
+        .namenode()
+        .get_hosts_with_bitmap(block, country)
+        .unwrap();
+    assert_eq!(holders.len(), 1, "sidecar on one chain position only");
+    let planner = QueryPlanner::new(&cluster);
+    let before = planner.plan_dataset(&dataset, &query).unwrap();
+    let bp = before.block_plan(block).unwrap();
+    assert_eq!(bp.kind, AccessPathKind::BitmapScan);
+    assert_eq!(bp.replica, holders[0], "only the holder can serve it");
+    assert_eq!(
+        bp.locations,
+        vec![holders[0]],
+        "scheduling locations exclude sidecar-less replicas for a sidecar path"
+    );
+
+    cluster.kill_node(holders[0]).unwrap();
+    let planner = QueryPlanner::new(&cluster);
+    let after = planner.plan_dataset(&dataset, &query).unwrap();
+    let bp = after.block_plan(block).unwrap();
+    assert_eq!(bp.kind, AccessPathKind::FullScan);
+    assert!(bp.fallback, "index wanted, sidecar lost → fallback");
+    assert!(
+        bp.candidates
+            .iter()
+            .all(|c| c.kind != AccessPathKind::BitmapScan),
+        "survivors carry no bitmap, so no bitmap candidate"
+    );
+
+    // The surviving replicas still answer the query correctly.
+    let mut rows = Vec::new();
+    planner
+        .execute_block(&after, block, bp.replica, &schema, &query, &mut |r| {
+            if !r.bad {
+                rows.push(r.row.clone());
+            }
+        })
+        .unwrap();
+    assert!(!rows.is_empty());
+    assert!(rows
+        .iter()
+        .all(|r| r.get(country).unwrap().as_str() == Some("USA")));
+}
+
+/// A configured bitmap column that turns out to be high-cardinality is
+/// skipped at build time: the upload succeeds, `Dir_rep` records no
+/// sidecar, and the planner never offers the path.
+#[test]
+fn high_cardinality_bitmap_falls_back_to_no_sidecar() {
+    let schema = bob_schema();
+    let ip = schema.index_of("sourceIP").unwrap(); // ~unique per row
+    let country = schema.index_of("countryCode").unwrap();
+    let config = ReplicaIndexConfig::unindexed(3)
+        .with_bitmap(ip)
+        .with_bitmap(country);
+    let (cluster, dataset, schema, _) = weblog_cluster(0.0, &config);
+
+    let block = dataset.blocks[0];
+    assert!(
+        cluster
+            .namenode()
+            .get_hosts_with_bitmap(block, ip)
+            .unwrap()
+            .is_empty(),
+        "high-cardinality column stores no bitmap"
+    );
+    assert_eq!(
+        cluster
+            .namenode()
+            .get_hosts_with_bitmap(block, country)
+            .unwrap()
+            .len(),
+        3,
+        "the low-cardinality column still does"
+    );
+
+    let filter = format!("@{} = '158.112.27.3'", ip + 1);
+    let query = HailQuery::parse(&filter, "", &schema).unwrap();
+    let plan = QueryPlanner::new(&cluster)
+        .plan_dataset(&dataset, &query)
+        .unwrap();
+    for bp in &plan.blocks {
+        assert!(bp
+            .candidates
+            .iter()
+            .all(|c| c.kind != AccessPathKind::BitmapScan));
+    }
+}
+
+/// A corrupt sidecar directory entry (bad kind tag) fails the replica
+/// parse instead of yielding a half-readable block.
+#[test]
+fn corrupt_sidecar_tag_fails_replica_parse() {
+    let schema = bob_schema();
+    let country = schema.index_of("countryCode").unwrap();
+    let config = ReplicaIndexConfig::unindexed(3).with_bitmap(country);
+    let (cluster, dataset, _, _) = weblog_cluster(0.0, &config);
+
+    let block = dataset.blocks[0];
+    let dn = cluster.namenode().get_hosts(block).unwrap()[0];
+    let raw = replica_bytes(&cluster, block, dn);
+    let good = IndexedBlock::parse(raw.clone()).unwrap();
+    assert!(good.bitmap(country).unwrap().is_some());
+
+    // The sidecar descriptor's kind tag sits 20 bytes into the metadata
+    // record, which sits right before the fixed 20-byte footer.
+    let meta_len = good.metadata().to_bytes().len();
+    let mut corrupt = raw.to_vec();
+    let tag_pos = corrupt.len() - 20 - meta_len + 20;
+    corrupt[tag_pos] = 250;
+    let err = IndexedBlock::parse(bytes::Bytes::from(corrupt)).unwrap_err();
+    assert!(err.to_string().contains("unknown index kind"), "{err}");
+}
