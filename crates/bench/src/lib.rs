@@ -2,7 +2,8 @@
 //!
 //! The experiment harness: every table and figure of the paper's §6 has
 //! a bench target under `benches/` that prints a paper-vs-measured
-//! report.
+//! report, plus repo-grown targets such as `planning_overhead` (the
+//! stateless planner vs the warm fingerprinted plan cache).
 //!
 //! - [`setup`] — scaled testbeds, per-system upload, query execution
 //! - [`report`] — table rendering

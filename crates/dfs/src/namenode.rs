@@ -2,9 +2,13 @@
 //!
 //! Standard HDFS keeps `Dir_block: blockID → {datanodes}` and treats all
 //! replicas of a block as byte-equivalent. HAIL adds
-//! `Dir_rep: (blockID, datanode) → HailBlockReplicaInfo` so the scheduler
-//! can route map tasks to the replica carrying a suitable clustered
-//! index — the `get_hosts_with_index` path the `HailRecordReader` uses.
+//! `Dir_rep: (blockID, datanode) → HailBlockReplicaInfo` so map tasks
+//! can be routed to the replica carrying a suitable clustered index —
+//! the per-replica metadata `hail-exec`'s `QueryPlanner` prices its
+//! `(replica, access path)` candidates from, and the material its plan
+//! cache fingerprints. The [`Namenode::death_log`] is the matching
+//! notification feed: plans derived from `Dir_rep` state are invalidated
+//! when a replica holder dies.
 
 use hail_index::{HailBlockReplicaInfo, IndexMetadata};
 use hail_types::{BlockId, DatanodeId, HailError, Result};
@@ -22,6 +26,11 @@ pub struct Namenode {
     dir_rep: BTreeMap<(BlockId, DatanodeId), HailBlockReplicaInfo>,
     /// Datanodes declared dead (expired heartbeats).
     dead: BTreeSet<DatanodeId>,
+    /// Deaths in declaration order — the pull-based death notification
+    /// feed. Consumers that cache planning state derived from `Dir_rep`
+    /// (the `hail-exec` plan cache) remember how much of this log they
+    /// have processed and invalidate the affected entries on growth.
+    death_log: Vec<DatanodeId>,
     next_block: BlockId,
 }
 
@@ -156,9 +165,19 @@ impl Namenode {
     }
 
     /// Marks a datanode dead (heartbeat expiry). Its replicas stop being
-    /// returned by `get_hosts*`.
+    /// returned by `get_hosts*`, and the death is appended to the
+    /// [`Namenode::death_log`] notification feed (once per datanode).
     pub fn mark_dead(&mut self, datanode: DatanodeId) {
-        self.dead.insert(datanode);
+        if self.dead.insert(datanode) {
+            self.death_log.push(datanode);
+        }
+    }
+
+    /// Every death declared so far, in order. Monotonically growing;
+    /// cache layers compare its length against what they last processed
+    /// to learn which datanodes died since (replica-death invalidation).
+    pub fn death_log(&self) -> &[DatanodeId] {
+        &self.death_log
     }
 
     /// True if the datanode has been marked dead.
@@ -279,6 +298,16 @@ mod tests {
         nn.mark_dead(0);
         assert_eq!(nn.get_hosts_with_bitmap(b, 5).unwrap(), vec![1]);
         assert!(nn.get_hosts_with_inverted_list(b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn death_log_grows_once_per_datanode() {
+        let (mut nn, _b) = setup();
+        assert!(nn.death_log().is_empty());
+        nn.mark_dead(1);
+        nn.mark_dead(2);
+        nn.mark_dead(1); // duplicate declaration: no new notification
+        assert_eq!(nn.death_log(), &[1, 2]);
     }
 
     #[test]

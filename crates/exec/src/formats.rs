@@ -207,6 +207,13 @@ impl InputFormat for HadoopPlusPlusInputFormat {
 /// Planning is deterministic, so this reproduces the split-time plan on
 /// a healthy cluster; after a mid-job failure it transparently re-plans
 /// around dead replicas (HAIL's failover story).
+///
+/// This is also where the adaptive loop closes: plan-cache hits and
+/// misses incurred by this split are recorded into its [`TaskStats`],
+/// and after the split finishes, every per-block selectivity the access
+/// paths observed is folded into the configured
+/// [`crate::cache::SelectivityFeedback`] store — subsequent splits (and
+/// jobs sharing the store) plan from corrected estimates.
 fn read_split_via_planner(
     cluster: &DfsCluster,
     config: &PlannerConfig,
@@ -219,9 +226,19 @@ fn read_split_via_planner(
     let planner = QueryPlanner::with_config(cluster, config.clone());
     let plan = planner.plan(dataset.format, &split.blocks, query)?;
     let mut total = TaskStats::default();
+    // Attribute cache effectiveness from this plan's own blocks (not a
+    // diff of the shared cache's global counters, which would misassign
+    // other tasks' lookups once splits execute concurrently).
+    if config.plan_cache.is_some() {
+        total.plan_cache_hits = plan.blocks.iter().filter(|b| b.cached).count() as u64;
+        total.plan_cache_misses = plan.blocks.len() as u64 - total.plan_cache_hits;
+    }
     for &block in &split.blocks {
         let stats = planner.execute_block(&plan, block, task_node, &dataset.schema, query, emit)?;
         total.merge(&stats);
+    }
+    if let Some(feedback) = &config.feedback {
+        feedback.absorb(&total);
     }
     Ok(total)
 }

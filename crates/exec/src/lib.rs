@@ -16,23 +16,78 @@
 //!   the namenode's per-replica index metadata (`Dir_rep`), price each
 //!   `(replica, access path)` candidate with the `hail-sim` cost model,
 //!   and emit an explainable [`QueryPlan`]
+//! - [`cache`] — the adaptive layer: a fingerprinted [`PlanCache`] that
+//!   memoizes per-block plans across queries with the same filter
+//!   shape, and a [`SelectivityFeedback`] store that blends observed
+//!   per-block selectivities back into the [`SelectivityEstimate`] prior
 //! - [`splitting`] — default Hadoop splitting and `HailSplitting`
 //!   (§4.3), consuming plans instead of re-deriving replica choices
 //! - [`formats`] — the three `InputFormat`s (Hadoop, Hadoop++, HAIL),
 //!   all routed through `QueryPlanner::plan` → `AccessPath::execute`
 //! - [`readers`] — single-block reader entry points (planner-backed)
 //!
-//! Future work (caching, async execution, new index types) plugs into
-//! the planner's candidate enumeration — nothing else needs to change.
+//! New access paths or index types plug into the planner's candidate
+//! enumeration — nothing else needs to change; cross-query planning
+//! state (memoized plans, selectivity feedback) lives in [`cache`] and
+//! is shared by plugging `Arc`s into the [`PlannerConfig`].
+//!
+//! # Adaptive planning in five lines
+//!
+//! The plan cache and feedback store are opt-in knobs on the planner
+//! configuration, and `explain()` shows them working:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hail_core::{upload_hail, HailQuery};
+//! use hail_dfs::DfsCluster;
+//! use hail_exec::{PlanCache, PlannerConfig, QueryPlanner, SelectivityFeedback};
+//! use hail_index::ReplicaIndexConfig;
+//! use hail_types::{DataType, Field, Schema, StorageConfig};
+//!
+//! let schema = Schema::new(vec![
+//!     Field::new("k", DataType::Int),
+//!     Field::new("v", DataType::VarChar),
+//! ]).unwrap();
+//! let mut config = StorageConfig::test_scale(4096);
+//! config.index_partition_size = 16;
+//! let mut cluster = DfsCluster::new(4, config);
+//! let text: String = (0..400).map(|i| format!("{}|w{}\n", i % 89, i)).collect();
+//! let dataset = upload_hail(&mut cluster, &schema, "t", &[(0, text)],
+//!     &ReplicaIndexConfig::first_indexed(3, &[0])).unwrap();
+//!
+//! let planner_config = PlannerConfig {
+//!     plan_cache: Some(Arc::new(PlanCache::default())),
+//!     feedback: Some(Arc::new(SelectivityFeedback::default())),
+//!     ..Default::default()
+//! };
+//! let planner = QueryPlanner::with_config(&cluster, planner_config);
+//! let query = HailQuery::parse("@1 between(10, 20)", "{@2}", &schema).unwrap();
+//!
+//! // Cold cache: every block is freshly priced from the static prior.
+//! let cold = planner.plan_dataset(&dataset, &query).unwrap();
+//! assert!(cold.explain().contains("[priced]"));
+//! assert!(cold.explain().contains("sel @1=0.050(prior)"));
+//!
+//! // Same filter shape again: served from the cache, nothing priced.
+//! let warm = planner.plan_dataset(&dataset, &query).unwrap();
+//! assert!(warm.explain().contains("[cached]"));
+//! let stats = planner.config().plan_cache.as_ref().unwrap().stats();
+//! assert_eq!(stats.hits, warm.blocks.len() as u64);
+//! ```
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod formats;
 pub mod path;
 pub mod planner;
 pub mod readers;
 pub mod splitting;
 
+pub use cache::{
+    BlockFingerprint, CacheStats, FilterShape, PlanCache, SelectivityChoice, SelectivityFeedback,
+    SelectivitySource,
+};
 pub use formats::{HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat};
 pub use path::{
     AccessPath, BitmapScan, BlockAccess, ClusteredIndexScan, FullScan, InvertedListScan,

@@ -15,12 +15,15 @@
 //!
 //! An access path receives a fully resolved [`BlockAccess`] (the block,
 //! the serving replica, the task's node) and performs the read: real
-//! bytes, real filtering, and cost accounting into a [`TaskStats`].
+//! bytes, real filtering, and cost accounting into a [`TaskStats`] —
+//! including, where the read can attribute its row counts to a single
+//! filter column, a [`SelectivityObservation`] that feeds the planner's
+//! [`crate::cache::SelectivityFeedback`] store.
 
 use hail_core::{CmpOp, HailQuery, Predicate, RowBlock};
 use hail_dfs::DfsCluster;
 use hail_index::{IndexKind, IndexedBlock, UnclusteredIndex};
-use hail_mr::{MapRecord, TaskStats};
+use hail_mr::{MapRecord, SelectivityObservation, TaskStats};
 use hail_pax::PaxBlock;
 use hail_types::{AccessPathKind, BlockId, DatanodeId, HailError, Result, Schema, Value};
 use std::fmt;
@@ -112,12 +115,25 @@ impl FullScan {
         stats.ledger.scan_cpu += pax.byte_len() as u64;
         a.charge_remote(&mut stats, pax.byte_len() as u64);
 
+        // When the whole conjunction sits on one column, the match count
+        // below doubles as that column's selectivity observation — no
+        // extra per-row decode.
+        let mut matched = 0u64;
         let projection = a.query.projected_columns(a.schema);
         for row in 0..pax.row_count() {
             if full_predicate_match(a.query, pax, row)? {
+                matched += 1;
                 emit(MapRecord::good(pax.reconstruct(row, &projection)?));
                 stats.records += 1;
             }
+        }
+        if let Some((column, eq)) = sole_filter_column(a.query) {
+            stats.selectivity.push(SelectivityObservation {
+                column,
+                eq,
+                matched,
+                total: pax.row_count() as u64,
+            });
         }
         emit_pax_bad_records(&indexed, &mut stats, emit)?;
         Ok(stats)
@@ -138,11 +154,14 @@ impl FullScan {
         a.charge_remote(&mut stats, bytes.len() as u64);
         let text = std::str::from_utf8(&bytes)
             .map_err(|_| HailError::Corrupt("text block is not UTF-8".into()))?;
+        let (mut matched, mut total) = (0u64, 0u64);
         let projection = a.query.projected_columns(a.schema);
         for line in text.lines() {
             match hail_types::parse_line(line, a.schema, delimiter) {
                 hail_types::ParsedRecord::Good(row) => {
+                    total += 1;
                     if a.query.matches(&row) {
+                        matched += 1;
                         emit(MapRecord::good(row.project(&projection)));
                         stats.records += 1;
                     }
@@ -152,6 +171,14 @@ impl FullScan {
                     stats.records += 1;
                 }
             }
+        }
+        if let Some((column, eq)) = sole_filter_column(a.query) {
+            stats.selectivity.push(SelectivityObservation {
+                column,
+                eq,
+                matched,
+                total,
+            });
         }
         Ok(stats)
     }
@@ -165,13 +192,23 @@ impl FullScan {
         dn.charge_range_read(blen, &mut stats.ledger)?;
         stats.ledger.scan_cpu += blen as u64;
         a.charge_remote(&mut stats, blen as u64);
+        let mut matched = 0u64;
         let projection = a.query.projected_columns(a.schema);
         for r in 0..row_block.row_count() {
             let row = row_block.row(a.schema, r)?;
             if a.query.matches(&row) {
+                matched += 1;
                 emit(MapRecord::good(row.project(&projection)));
                 stats.records += 1;
             }
+        }
+        if let Some((column, eq)) = sole_filter_column(a.query) {
+            stats.selectivity.push(SelectivityObservation {
+                column,
+                eq,
+                matched,
+                total: row_block.row_count() as u64,
+            });
         }
         for bad in row_block.bad_records(a.schema)? {
             emit(MapRecord::bad(bad));
@@ -251,6 +288,11 @@ impl AccessPath for ClusteredIndexScan {
             .bounds_on(self.column)
             .ok_or_else(|| HailError::Internal("index scan without predicate".into()))?;
 
+        // The index is clustered and sound: every row satisfying the
+        // bounds lies inside the qualifying partitions, so counting
+        // bound matches there observes the key column's true per-block
+        // selectivity — the feedback the planner's estimates learn from.
+        let mut bounds_matched = 0u64;
         if let Some((first, last)) = index.lookup(&bounds) {
             let needed = a.query.needed_columns(a.schema);
             let scan_bytes = pax.partition_scan_bytes(&needed, first, last)?;
@@ -270,6 +312,7 @@ impl AccessPath for ClusteredIndexScan {
                 if !bounds.contains(&key) {
                     continue;
                 }
+                bounds_matched += 1;
                 // Post-filter with the *full* conjunction — other
                 // predicates may touch other columns or even the index
                 // column again (e.g. `@4 >= 1 and @4 <= 10`).
@@ -280,6 +323,12 @@ impl AccessPath for ClusteredIndexScan {
                 stats.records += 1;
             }
         }
+        stats.selectivity.push(SelectivityObservation {
+            column: self.column,
+            eq: crate::cache::has_eq_on(a.query, self.column),
+            matched: bounds_matched,
+            total: pax.row_count() as u64,
+        });
 
         // Bad records ride along to the map function (§4.3).
         emit_pax_bad_records(&indexed, &mut stats, emit)?;
@@ -328,6 +377,10 @@ impl AccessPath for TrojanIndexScan {
         let mut remote_bytes = row_block.header_bytes() as u64;
 
         let projection = a.query.projected_columns(a.schema);
+        // The dense trojan index is sound too: all bound matches lie in
+        // the looked-up range, so the bound-match count there is the key
+        // column's observed per-block selectivity.
+        let mut bounds_matched = 0u64;
         if let Some(range) = index.lookup_rows(&bounds) {
             let scan_bytes =
                 row_block.row_range_bytes(a.schema, range.start, range.end)? + 4 * range.len(); // the offsets slice for the range
@@ -339,12 +392,21 @@ impl AccessPath for TrojanIndexScan {
                     break;
                 }
                 let row = row_block.row(a.schema, r)?;
+                if row.get(self.column).is_some_and(|v| bounds.contains(v)) {
+                    bounds_matched += 1;
+                }
                 if a.query.matches(&row) {
                     emit(MapRecord::good(row.project(&projection)));
                     stats.records += 1;
                 }
             }
         }
+        stats.selectivity.push(SelectivityObservation {
+            column: self.column,
+            eq: crate::cache::has_eq_on(a.query, self.column),
+            matched: bounds_matched,
+            total: row_block.row_count() as u64,
+        });
 
         for bad in row_block.bad_records(a.schema)? {
             emit(MapRecord::bad(bad));
@@ -423,6 +485,14 @@ impl AccessPath for BitmapScan {
         let mut remote_bytes = sidecar_bytes as u64;
 
         let rows = bitmap.rows_equal(&probe);
+        // The bitmap gives the equality predicate's exact match count —
+        // the observed selectivity of the probe on this column.
+        stats.selectivity.push(SelectivityObservation {
+            column: self.column,
+            eq: true,
+            matched: rows.len() as u64,
+            total: pax.row_count() as u64,
+        });
         // Matching rows cluster into runs; each run costs one seek, and
         // the fetched bytes are charged per reconstructed row.
         stats.ledger.seeks += UnclusteredIndex::seek_count(&rows) as u64;
@@ -511,6 +581,22 @@ impl AccessPath for InvertedListScan {
         stats.paths.record(self.kind());
         Ok(stats)
     }
+}
+
+/// The one column a full scan can attribute its match counts to — and
+/// its predicate class: `Some((column, eq))` only when *every* predicate
+/// is index-friendly and on that one column, so the full conjunction's
+/// match count *is* the column's bound-match count and no extra
+/// per-row decode is needed. Conjunctions over several columns (or with
+/// an unattributable `!=`) yield `None` — attributing the combined
+/// selectivity to one column would poison the per-column feedback.
+fn sole_filter_column(query: &HailQuery) -> Option<(usize, bool)> {
+    let column = query.predicates.first()?.column();
+    query
+        .predicates
+        .iter()
+        .all(|p| p.column() == column && p.index_friendly())
+        .then(|| (column, crate::cache::has_eq_on(query, column)))
 }
 
 /// Evaluates the query's full conjunction against one PAX row.

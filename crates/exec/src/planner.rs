@@ -16,6 +16,16 @@
 //! neither the scheduler nor the record readers re-derive replica or
 //! index choices anywhere else.
 //!
+//! Planning is adaptive when the two [`crate::cache`] stores are plugged
+//! into the [`PlannerConfig`]: a [`crate::cache::PlanCache`] memoizes
+//! per-block plans keyed on (canonical filter shape, replica-index
+//! fingerprint) so a repeated `read_split` with an identical filter
+//! shape prices nothing, and a [`crate::cache::SelectivityFeedback`]
+//! store blends observed per-block selectivities into the static
+//! [`SelectivityEstimate`] prior. `explain()` annotates both: every
+//! block line says whether its plan was `[cached]` or `[priced]`, and
+//! each filter column's selectivity is tagged `(prior)` or `(observed)`.
+//!
 //! # Worked example
 //!
 //! ```
@@ -44,8 +54,8 @@
 //! //
 //! //   QueryPlan for 2 blocks (format HailPax)
 //! //     filter: @1 between(10, 20)   projection: {@2}
-//! //     block 0: DN1 clustered-index-scan(@1)  est 0.011s  (5 candidates)
-//! //     block 1: DN1 clustered-index-scan(@1)  est 0.011s  (5 candidates)
+//! //     block 0: DN1 clustered-index-scan(@1)  est 0.011s  (5 candidates)  sel @1=0.050(prior)  [priced]
+//! //     block 1: DN1 clustered-index-scan(@1)  est 0.011s  (5 candidates)  sel @1=0.050(prior)  [priced]
 //! //   paths: clustered-index-scan×2
 //! let explain = plan.explain();
 //! assert!(explain.contains("clustered-index-scan(@1)"));
@@ -54,11 +64,15 @@
 //! }
 //! ```
 
+use crate::cache::{
+    BlockFingerprint, FilterShape, PlanCache, SelectivityChoice, SelectivityFeedback,
+    SelectivitySource,
+};
 use crate::path::{
     AccessPath, BitmapScan, BlockAccess, ClusteredIndexScan, FullScan, InvertedListScan,
     ScanLayout, TrojanIndexScan,
 };
-use hail_core::{CmpOp, Dataset, DatasetFormat, HailQuery, Predicate};
+use hail_core::{Dataset, DatasetFormat, HailQuery, Predicate};
 use hail_dfs::DfsCluster;
 use hail_index::IndexKind;
 use hail_mr::{MapRecord, TaskStats};
@@ -111,14 +125,56 @@ impl CostModel {
             }
         }
     }
+
+    /// FNV-1a digest of every input the pricing functions read, so
+    /// plans priced under different hardware profiles or scale rules
+    /// never share a cache key (planners with different cost models may
+    /// share one [`PlanCache`]).
+    fn digest(&self) -> u64 {
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                digest ^= b as u64;
+                digest = digest.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        let p = &self.profile;
+        for rate in [
+            p.disk_read_mb_s,
+            p.disk_write_mb_s,
+            p.seek_s,
+            p.net_mb_s,
+            p.parse_mb_s,
+            p.sort_mb_s,
+            p.scan_cpu_mb_s,
+        ] {
+            fold(&rate.to_bits().to_le_bytes());
+        }
+        fold(&(p.cores as u64).to_le_bytes());
+        match self.scale {
+            CostScale::Fixed(s) => {
+                fold(&[0]);
+                fold(&s.0.to_bits().to_le_bytes());
+            }
+            CostScale::PerBlock { logical_block } => {
+                fold(&[1]);
+                fold(&(logical_block as u64).to_le_bytes());
+            }
+        }
+        digest
+    }
 }
 
-/// Per-column selectivity estimates feeding the cost model.
+/// Per-column selectivity estimates feeding the cost model — the
+/// *static prior*.
 ///
 /// The planner has no histograms; callers that know their workload (the
 /// benchmark harness knows each query's paper selectivity) can override
 /// the default, and tests use the override to walk a query across the
-/// index-vs-scan break-even point.
+/// index-vs-scan break-even point. When a
+/// [`crate::cache::SelectivityFeedback`] store is configured, observed
+/// per-block selectivities are blended into this prior for subsequent
+/// plans; `explain()` reports which source each number came from.
 #[derive(Debug, Clone)]
 pub struct SelectivityEstimate {
     default: f64,
@@ -173,6 +229,14 @@ pub struct PlannerConfig {
     /// Field delimiter for text (Hadoop) blocks; `None` uses the
     /// cluster's [`hail_types::StorageConfig::delimiter`].
     pub text_delimiter: Option<char>,
+    /// Memoized per-block plans keyed on (filter shape, replica-index
+    /// fingerprint); `None` (the default) prices every plan freshly.
+    /// Share one instance across planners via `Arc`.
+    pub plan_cache: Option<Arc<PlanCache>>,
+    /// Observed-selectivity feedback blended into
+    /// [`PlannerConfig::estimate`]; `None` (the default) plans from the
+    /// static prior alone.
+    pub feedback: Option<Arc<SelectivityFeedback>>,
 }
 
 /// One priced `(replica, access path)` alternative.
@@ -208,6 +272,12 @@ pub struct BlockPlan {
     /// Stored sidecar size behind the chosen path, when it is a sidecar
     /// path.
     pub sidecar_bytes: Option<usize>,
+    /// True if this plan came out of the [`PlanCache`] (no candidate was
+    /// priced); false if it was freshly priced.
+    pub cached: bool,
+    /// The per-column selectivities this plan was priced with, each
+    /// tagged with its source (static prior vs observed feedback).
+    pub selectivity: Vec<SelectivityChoice>,
 }
 
 /// A full, explainable query plan: one [`BlockPlan`] per input block.
@@ -263,16 +333,33 @@ impl QueryPlan {
                 Some(n) => format!("  [sidecar {n} B]"),
                 None => String::new(),
             };
+            // Selectivity provenance: which estimate priced this plan
+            // and whether it was the static prior or observed feedback.
+            let mut sel = String::new();
+            for sc in &bp.selectivity {
+                let src = match sc.source {
+                    SelectivitySource::Prior => "prior",
+                    SelectivitySource::Observed { .. } => "observed",
+                };
+                let sep = if sel.is_empty() { "  sel " } else { ", " };
+                let _ = write!(sel, "{sep}@{}={:.3}({src})", sc.column + 1, sc.value);
+            }
             let _ = writeln!(
                 out,
-                "  block {}: DN{} {}  est {:.3}s  ({} candidate{}){}{}",
+                "  block {}: DN{} {}  est {:.3}s  ({} candidate{}){}{}{}{}",
                 bp.block,
                 bp.replica + 1,
                 bp.path.describe(),
                 bp.est_seconds,
                 bp.candidates.len(),
                 if bp.candidates.len() == 1 { "" } else { "s" },
+                sel,
                 sidecar,
+                if bp.cached {
+                    "  [cached]"
+                } else {
+                    "  [priced]"
+                },
                 if bp.fallback { "  [fallback]" } else { "" },
             );
         }
@@ -290,6 +377,14 @@ impl QueryPlan {
 pub struct QueryPlanner<'a> {
     cluster: &'a DfsCluster,
     config: PlannerConfig,
+}
+
+/// Block-invariant state shared by every `plan_block` of one plan:
+/// effective selectivities and, when the cache participates, the
+/// filter-shape key. See [`QueryPlanner::plan_context`].
+struct PlanContext {
+    selectivity: Vec<SelectivityChoice>,
+    shape: Option<FilterShape>,
 }
 
 impl<'a> QueryPlanner<'a> {
@@ -323,11 +418,12 @@ impl<'a> QueryPlanner<'a> {
         blocks: &[BlockId],
         query: &HailQuery,
     ) -> Result<QueryPlan> {
+        let ctx = self.plan_context(format, query);
         let mut plans = Vec::with_capacity(blocks.len());
         let mut by_block = BTreeMap::new();
         for &b in blocks {
             by_block.insert(b, plans.len());
-            plans.push(self.plan_block(format, b, query)?);
+            plans.push(self.plan_block_in(&ctx, format, b, query)?);
         }
         Ok(QueryPlan {
             format,
@@ -352,11 +448,12 @@ impl<'a> QueryPlanner<'a> {
         blocks: &[BlockId],
         query: &HailQuery,
     ) -> Result<QueryPlan> {
+        let ctx = self.plan_context(format, query);
         let mut plans = Vec::with_capacity(blocks.len());
         let mut by_block = BTreeMap::new();
         for &b in blocks {
             by_block.insert(b, plans.len());
-            match self.plan_block(format, b, query) {
+            match self.plan_block_in(&ctx, format, b, query) {
                 Ok(bp) => plans.push(bp),
                 Err(e) => {
                     // A token search cannot degrade to a full scan — the
@@ -380,6 +477,8 @@ impl<'a> QueryPlanner<'a> {
                         fallback: format != DatasetFormat::HadoopText
                             && !query.filter_columns().is_empty(),
                         sidecar_bytes: None,
+                        cached: false,
+                        selectivity: Vec::new(),
                     });
                 }
             }
@@ -407,14 +506,129 @@ impl<'a> QueryPlanner<'a> {
         }
     }
 
-    /// Plans one block: enumerate candidates, price them, pick the
-    /// cheapest (deterministic tie-break on replica id then kind).
+    /// The effective per-column selectivities for a query's filter
+    /// columns: the static prior, blended with observed feedback when a
+    /// [`SelectivityFeedback`] store is configured.
+    fn effective_selectivities(&self, query: &HailQuery) -> Vec<SelectivityChoice> {
+        let mut columns = query.filter_columns();
+        columns.sort_unstable();
+        columns.dedup();
+        columns
+            .into_iter()
+            .map(|column| {
+                let prior = self.config.estimate.for_column(column);
+                // Feedback is class-keyed: a column filtered by equality
+                // reads the eq-class estimate, ranges the range-class.
+                let eq = crate::cache::has_eq_on(query, column);
+                let (value, source) = match &self.config.feedback {
+                    Some(fb) => fb.adjusted(column, eq, prior),
+                    None => (prior, SelectivitySource::Prior),
+                };
+                SelectivityChoice {
+                    column,
+                    value,
+                    source,
+                }
+            })
+            .collect()
+    }
+
+    /// The canonical cache shape of a query over `format`, under the
+    /// effective selectivities.
+    fn filter_shape(
+        &self,
+        format: DatasetFormat,
+        query: &HailQuery,
+        selectivity: &[SelectivityChoice],
+    ) -> FilterShape {
+        let delimiter = match format {
+            DatasetFormat::HadoopText => Some(
+                self.config
+                    .text_delimiter
+                    .unwrap_or(self.cluster.config().delimiter),
+            ),
+            _ => None,
+        };
+        let sels: Vec<(usize, f64)> = selectivity.iter().map(|s| (s.column, s.value)).collect();
+        FilterShape::of(format, query, delimiter, &sels, self.config.cost.digest())
+    }
+
+    /// The block-invariant planning state, computed **once per plan**
+    /// rather than per block: effective selectivities (one feedback
+    /// lookup per filter column), and — when the cache participates —
+    /// the filter-shape key (cost-model digest included) with the cache
+    /// synced against the namenode's death log. Bad-record token
+    /// searches never get a shape: they bypass the cache, their
+    /// candidate enumeration being a single directory probe.
+    fn plan_context(&self, format: DatasetFormat, query: &HailQuery) -> PlanContext {
+        let selectivity = self.effective_selectivities(query);
+        let shape = match &self.config.plan_cache {
+            Some(cache) if self.config.bad_record_tokens.is_empty() => {
+                cache.sync_deaths(self.cluster.namenode().death_log());
+                Some(self.filter_shape(format, query, &selectivity))
+            }
+            _ => None,
+        };
+        PlanContext { selectivity, shape }
+    }
+
+    /// Plans one block, through the [`PlanCache`] when one is
+    /// configured: a hit returns the memoized plan with **zero**
+    /// cost-model evaluations; a miss runs the full pricing pass and
+    /// memoizes the result.
     pub fn plan_block(
         &self,
         format: DatasetFormat,
         block: BlockId,
         query: &HailQuery,
     ) -> Result<BlockPlan> {
+        self.plan_block_in(&self.plan_context(format, query), format, block, query)
+    }
+
+    /// [`QueryPlanner::plan_block`] under an already-computed
+    /// [`PlanContext`] — the per-block step of `plan`/`plan_lenient`.
+    fn plan_block_in(
+        &self,
+        ctx: &PlanContext,
+        format: DatasetFormat,
+        block: BlockId,
+        query: &HailQuery,
+    ) -> Result<BlockPlan> {
+        if let (Some(shape), Some(cache)) = (&ctx.shape, &self.config.plan_cache) {
+            let fingerprint = BlockFingerprint::of(self.cluster.namenode(), block);
+            if let Some(mut plan) = cache.lookup(shape, block, &fingerprint) {
+                // The hit proves the *quantized* estimates match, but
+                // the provenance may have moved (e.g. feedback arrived
+                // without leaving the bucket): report the current
+                // selectivity sources, not the insert-time snapshot.
+                plan.selectivity.clone_from(&ctx.selectivity);
+                return Ok(plan);
+            }
+            let plan = self.price_block(format, block, query, ctx.selectivity.clone())?;
+            cache.record_cost_evaluations(plan.candidates.len() as u64);
+            cache.insert(shape, block, fingerprint, plan.clone());
+            Ok(plan)
+        } else {
+            self.price_block(format, block, query, ctx.selectivity.clone())
+        }
+    }
+
+    /// Prices one block: enumerate candidates, price them, pick the
+    /// cheapest (deterministic tie-break on replica id then kind).
+    fn price_block(
+        &self,
+        format: DatasetFormat,
+        block: BlockId,
+        query: &HailQuery,
+        selectivity: Vec<SelectivityChoice>,
+    ) -> Result<BlockPlan> {
+        let sel_for = |column: usize| {
+            selectivity
+                .iter()
+                .find(|s| s.column == column)
+                .map(|s| s.value)
+                .unwrap_or_else(|| self.config.estimate.for_column(column))
+        };
         let replicas = self.cluster.namenode().live_replicas(block);
         if replicas.is_empty() {
             // The block exists but no live node serves it (or it is
@@ -534,7 +748,7 @@ impl<'a> QueryPlanner<'a> {
                     };
                     if let Some((path, seeks)) = index_path {
                         if query.bounds_on(column).is_some() {
-                            let sel = self.config.estimate.for_column(column);
+                            let sel = sel_for(column);
                             let touched = (sel * data_bytes as f64) as u64;
                             push(
                                 info.datanode,
@@ -569,13 +783,10 @@ impl<'a> QueryPlanner<'a> {
                     let IndexKind::Bitmap { column } = sidecar.kind else {
                         continue;
                     };
-                    let has_eq = query.predicates.iter().any(|p| {
-                        matches!(p, Predicate::Cmp { column: c, op: CmpOp::Eq, .. } if *c == column)
-                    });
-                    if !has_eq {
+                    if !crate::cache::has_eq_on(query, column) {
                         continue;
                     }
-                    let sel = self.config.estimate.for_column(column);
+                    let sel = sel_for(column);
                     let touched = (sel * data_bytes as f64) as u64;
                     push(
                         info.datanode,
@@ -651,6 +862,8 @@ impl<'a> QueryPlanner<'a> {
                 && !had_index_candidate
                 && chosen_kind == AccessPathKind::FullScan,
             sidecar_bytes,
+            cached: false,
+            selectivity,
         })
     }
 
@@ -740,6 +953,26 @@ impl<'a> QueryPlanner<'a> {
                     bp.replica
                 }
             }
+        }
+    }
+}
+
+#[cfg(test)]
+impl QueryPlanner<'_> {
+    /// A minimal, clusterless [`BlockPlan`] for cache unit tests.
+    pub(crate) fn test_block_plan(block: BlockId) -> BlockPlan {
+        BlockPlan {
+            block,
+            replica: 0,
+            path: Arc::new(FullScan::new(ScanLayout::HailPax)),
+            kind: AccessPathKind::FullScan,
+            est_seconds: 0.0,
+            locations: vec![0],
+            candidates: Vec::new(),
+            fallback: false,
+            sidecar_bytes: None,
+            cached: false,
+            selectivity: Vec::new(),
         }
     }
 }

@@ -5,7 +5,8 @@
 //! point: HAIL ships `HailInputFormat` + `HailRecordReader` and changes
 //! nothing else in the engine (§4.3). The engine in this crate likewise
 //! only sees this trait; the Hadoop, Hadoop++ and HAIL behaviours live in
-//! `hail-core`.
+//! `hail-exec`, routed through its cost-based `QueryPlanner` and
+//! `AccessPath` implementations.
 
 use crate::job::{MapRecord, TaskStats};
 use hail_dfs::DfsCluster;

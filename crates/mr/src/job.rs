@@ -86,6 +86,30 @@ impl fmt::Display for PathCounts {
     }
 }
 
+/// One block's observed selectivity on a single filter column: of
+/// `total` rows in the block, `matched` satisfied the query's bounds on
+/// `column`.
+///
+/// Recorded by the access paths that can attribute their row counts to
+/// one column (index scans always can; a full scan only when the query
+/// filters a single column), and aggregated into the execution layer's
+/// selectivity-feedback store after each split — the adaptive loop that
+/// corrects mispriced static priors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectivityObservation {
+    /// 0-based filter column the observation is about.
+    pub column: usize,
+    /// Predicate class: true when the query filtered this column with an
+    /// equality predicate, false for range bounds. Feedback is
+    /// aggregated per (column, class) so broad range scans don't poison
+    /// the estimates needle lookups are priced with.
+    pub eq: bool,
+    /// Rows of the block satisfying the query's bounds on `column`.
+    pub matched: u64,
+    /// Rows in the block.
+    pub total: u64,
+}
+
 /// What one map task's record reader did, as reported by the
 /// `InputFormat`.
 #[derive(Debug, Clone, Default)]
@@ -106,6 +130,18 @@ pub struct TaskStats {
     /// Bytes of persisted sidecar extension indexes (bitmaps, inverted
     /// lists) read from replicas to serve this task.
     pub sidecar_bytes_read: u64,
+    /// Per-block, per-column observed selectivities, for the planner's
+    /// feedback store.
+    pub selectivity: Vec<SelectivityObservation>,
+    /// Block plans this task obtained from the memoized plan cache
+    /// (zero cost-model evaluations each). Only counted when a cache is
+    /// configured; with no cache both counters stay zero even though
+    /// every block is freshly priced.
+    pub plan_cache_hits: u64,
+    /// Block plans this task had to price freshly because the cache was
+    /// cold or invalidated. Zero (not "all blocks") when no cache is
+    /// configured — see [`TaskStats::plan_cache_hits`].
+    pub plan_cache_misses: u64,
 }
 
 impl TaskStats {
@@ -126,6 +162,9 @@ impl TaskStats {
         self.fell_back_to_scan |= other.fell_back_to_scan;
         self.paths.merge(&other.paths);
         self.sidecar_bytes_read += other.sidecar_bytes_read;
+        self.selectivity.extend_from_slice(&other.selectivity);
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
     }
 }
 
@@ -203,6 +242,17 @@ impl JobReport {
             .count()
     }
 
+    /// Block plans served from the planner's memoized cache across all
+    /// tasks (each hit skipped a full candidate-pricing pass).
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.tasks.iter().map(|t| t.stats.plan_cache_hits).sum()
+    }
+
+    /// Block plans priced freshly across all tasks.
+    pub fn plan_cache_misses(&self) -> u64 {
+        self.tasks.iter().map(|t| t.stats.plan_cache_misses).sum()
+    }
+
     /// Aggregated access-path usage across all tasks — how the job's
     /// blocks were physically read, as chosen by the planner layer.
     pub fn path_counts(&self) -> PathCounts {
@@ -272,18 +322,30 @@ mod tests {
     fn stats_merge() {
         let mut a = TaskStats {
             records: 3,
+            plan_cache_hits: 1,
             ..Default::default()
         };
         let b = TaskStats {
             records: 4,
             serial_pricing: true,
             fell_back_to_scan: true,
+            plan_cache_hits: 2,
+            plan_cache_misses: 5,
+            selectivity: vec![SelectivityObservation {
+                column: 3,
+                eq: false,
+                matched: 10,
+                total: 40,
+            }],
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.records, 7);
         assert!(a.serial_pricing);
         assert!(a.fell_back_to_scan);
+        assert_eq!(a.plan_cache_hits, 3);
+        assert_eq!(a.plan_cache_misses, 5);
+        assert_eq!(a.selectivity, b.selectivity);
     }
 
     #[test]

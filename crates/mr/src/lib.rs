@@ -8,6 +8,12 @@
 //!   per-task overhead model
 //! - [`shuffle`] — grouped reduce with costed shuffle
 //! - [`failover`] — mid-job node death, task re-execution, slowdown
+//!
+//! [`TaskStats`] is also the adaptive planner's sensor: each task
+//! carries per-block [`SelectivityObservation`]s (fed back into the
+//! execution layer's selectivity estimates after each split) and
+//! plan-cache hit/miss counters, which [`JobReport::plan_cache_hits`]
+//! and [`JobReport::plan_cache_misses`] aggregate per job.
 
 #![forbid(unsafe_code)]
 
@@ -19,6 +25,6 @@ pub mod shuffle;
 
 pub use failover::{run_map_job_with_failure, FailoverRun, FailureScenario};
 pub use input_format::{InputFormat, InputSplit, SplitPlan};
-pub use job::{JobReport, MapRecord, PathCounts, TaskReport, TaskStats};
+pub use job::{JobReport, MapRecord, PathCounts, SelectivityObservation, TaskReport, TaskStats};
 pub use scheduler::{run_map_job, JobRun, MapJob};
 pub use shuffle::{run_map_reduce_job, MapReduceJob, MapReduceRun};

@@ -11,7 +11,12 @@
 //! `QueryPlanner`: per block, it consults the namenode's per-replica
 //! index metadata, prices each `(replica, access path)` candidate with
 //! the `hail-sim` cost model, and emits an explainable `QueryPlan` that
-//! the scheduler and the record readers both consume.
+//! the scheduler and the record readers both consume. Planning is
+//! adaptive: a fingerprinted `PlanCache` memoizes per-block plans
+//! across queries with the same filter shape (invalidated on replica
+//! death and any `Dir_rep` change), and a `SelectivityFeedback` store
+//! blends observed per-block selectivities back into the estimates.
+//! See `ARCHITECTURE.md` for the full plan lifecycle.
 //!
 //! This crate is a facade re-exporting the workspace's layers:
 //!
@@ -88,9 +93,9 @@ pub mod prelude {
         DfsCluster, FaultPlan,
     };
     pub use hail_exec::{
-        default_splits, hail_splits, read_hail_block, AccessPath, HadoopInputFormat,
-        HadoopPlusPlusInputFormat, HailInputFormat, PlannerConfig, QueryPlan, QueryPlanner,
-        SelectivityEstimate,
+        default_splits, hail_splits, read_hail_block, AccessPath, CacheStats, HadoopInputFormat,
+        HadoopPlusPlusInputFormat, HailInputFormat, PlanCache, PlannerConfig, QueryPlan,
+        QueryPlanner, SelectivityEstimate, SelectivityFeedback,
     };
     pub use hail_index::{
         ClusteredIndex, IndexKind, IndexedBlock, KeyBounds, ReplicaIndexConfig, SidecarMetadata,
@@ -98,7 +103,7 @@ pub mod prelude {
     };
     pub use hail_mr::{
         run_map_job, run_map_job_with_failure, run_map_reduce_job, FailureScenario, InputFormat,
-        MapJob, MapRecord, MapReduceJob, PathCounts,
+        MapJob, MapRecord, MapReduceJob, PathCounts, SelectivityObservation, TaskStats,
     };
     pub use hail_pax::{blocks_from_text, PaxBlock, PaxBlockBuilder};
     pub use hail_sim::{ClusterSpec, CostLedger, HardwareProfile, ScaleFactor};
