@@ -250,6 +250,23 @@ pub fn run_query(
     run_map_job(&setup.cluster, spec, &job)
 }
 
+/// [`run_query`] with an explicit intra-split executor parallelism:
+/// each task's independent block reads fan out across this many
+/// workers. Results and simulated times are identical at any setting;
+/// only the measured `reader_wall_seconds` changes.
+pub fn run_query_at(
+    setup: &SystemSetup,
+    spec: &ClusterSpec,
+    query: &HailQuery,
+    hail_splitting: bool,
+    parallelism: usize,
+) -> Result<JobRun> {
+    let format = make_format(setup, spec, query, hail_splitting);
+    let job = MapJob::collecting("query", setup.dataset.blocks.clone(), format.as_ref())
+        .with_parallelism(parallelism);
+    run_map_job(&setup.cluster, spec, &job)
+}
+
 /// Builds the input format for a dataset (shared by the two runners).
 fn make_format(
     setup: &SystemSetup,

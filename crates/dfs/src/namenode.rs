@@ -13,12 +13,19 @@
 use hail_index::{HailBlockReplicaInfo, IndexMetadata};
 use hail_types::{BlockId, DatanodeId, HailError, Result};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide namenode instance ids, so consumers caching
+/// epoch-validated state (the `hail-exec` plan cache) can tell two
+/// namenodes' design epochs apart. Starts at 1; 0 is reserved as the
+/// "no namenode" sentinel.
+static NAMENODE_IDS: AtomicU64 = AtomicU64::new(1);
 
 /// The central namenode directory.
 ///
 /// Uses `BTreeMap` so iteration order — and therefore split order and
 /// scheduling — is deterministic across runs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Namenode {
     /// `Dir_block`: logical block → datanodes holding a replica.
     dir_block: BTreeMap<BlockId, Vec<DatanodeId>>,
@@ -31,7 +38,33 @@ pub struct Namenode {
     /// (the `hail-exec` plan cache) remember how much of this log they
     /// have processed and invalidate the affected entries on growth.
     death_log: Vec<DatanodeId>,
+    /// Physical-design epoch: bumped on every mutation that can change
+    /// what `Dir_rep` reports for some block — replica registration
+    /// (upload), datanode death (failover), block abandonment. An
+    /// unchanged epoch therefore proves an unchanged `Dir_rep`, which
+    /// lets warm plan-cache lookups skip recomputing per-replica
+    /// fingerprints entirely.
+    design_epoch: u64,
+    /// Process-unique instance id (≥ 1), qualifying `design_epoch`:
+    /// epochs are only comparable between calls against the **same**
+    /// namenode, and two in-process clusters can legitimately share a
+    /// plan cache.
+    instance_id: u64,
     next_block: BlockId,
+}
+
+impl Default for Namenode {
+    fn default() -> Self {
+        Namenode {
+            dir_block: BTreeMap::new(),
+            dir_rep: BTreeMap::new(),
+            dead: BTreeSet::new(),
+            death_log: Vec::new(),
+            design_epoch: 0,
+            instance_id: NAMENODE_IDS.fetch_add(1, Ordering::Relaxed),
+            next_block: 0,
+        }
+    }
 }
 
 impl Namenode {
@@ -70,6 +103,7 @@ impl Namenode {
             )));
         }
         self.dir_rep.insert((info.block, info.datanode), info);
+        self.design_epoch += 1;
         Ok(())
     }
 
@@ -77,7 +111,9 @@ impl Namenode {
     /// partially registered replicas) from both directories, as the
     /// HDFS client does when the pipeline errors out.
     pub fn abandon_block(&mut self, block: BlockId) {
-        self.dir_block.remove(&block);
+        if self.dir_block.remove(&block).is_some() {
+            self.design_epoch += 1;
+        }
         self.dir_rep.retain(|(b, _), _| *b != block);
     }
 
@@ -170,7 +206,26 @@ impl Namenode {
     pub fn mark_dead(&mut self, datanode: DatanodeId) {
         if self.dead.insert(datanode) {
             self.death_log.push(datanode);
+            self.design_epoch += 1;
         }
+    }
+
+    /// The current physical-design epoch. Monotonically increasing;
+    /// bumped by every replica registration, first-time datanode death,
+    /// and block abandonment. Two equal epochs from the **same**
+    /// namenode guarantee identical `Dir_rep` state, so cached plan
+    /// validations can compare this one counter instead of
+    /// re-serializing every replica's index metadata per lookup.
+    pub fn design_epoch(&self) -> u64 {
+        self.design_epoch
+    }
+
+    /// This namenode's process-unique instance id (≥ 1). Consumers
+    /// keying cached state on [`Namenode::design_epoch`] must store the
+    /// pair `(instance_id, design_epoch)` — equal epochs from different
+    /// namenodes prove nothing.
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
     }
 
     /// Every death declared so far, in order. Monotonically growing;
@@ -308,6 +363,30 @@ mod tests {
         nn.mark_dead(2);
         nn.mark_dead(1); // duplicate declaration: no new notification
         assert_eq!(nn.death_log(), &[1, 2]);
+    }
+
+    #[test]
+    fn design_epoch_tracks_dir_rep_mutations() {
+        let mut nn = Namenode::new();
+        assert_eq!(nn.design_epoch(), 0);
+        let b = nn.allocate_block(vec![0, 1]).unwrap();
+        // Allocation alone registers no replica metadata.
+        assert_eq!(nn.design_epoch(), 0);
+        nn.register_replica(HailBlockReplicaInfo::new(b, 0, meta_on(0), 100))
+            .unwrap();
+        assert_eq!(nn.design_epoch(), 1);
+        nn.register_replica(HailBlockReplicaInfo::new(b, 1, meta_on(1), 100))
+            .unwrap();
+        assert_eq!(nn.design_epoch(), 2);
+        // Death bumps once per datanode, like the death log.
+        nn.mark_dead(1);
+        nn.mark_dead(1);
+        assert_eq!(nn.design_epoch(), 3);
+        // Abandoning a known block bumps; a second abandon is a no-op.
+        nn.abandon_block(b);
+        assert_eq!(nn.design_epoch(), 4);
+        nn.abandon_block(b);
+        assert_eq!(nn.design_epoch(), 4);
     }
 
     #[test]

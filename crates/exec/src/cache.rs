@@ -42,10 +42,28 @@
 //! diagnostics whose candidate enumeration is a single directory probe,
 //! not worth cache slots.
 //!
-//! Both structures use interior mutability (`Mutex`) behind `Arc`, so one
-//! instance can be shared by every `QueryPlanner` a job constructs —
-//! plug them into [`crate::planner::PlannerConfig::plan_cache`] and
-//! [`crate::planner::PlannerConfig::feedback`].
+//! # Concurrency and lock hierarchy
+//!
+//! Both structures are **thread-safe** behind `Arc`: one instance is
+//! shared by every `QueryPlanner` a job constructs — including the
+//! worker threads of [`crate::executor::ExecutorContext`] fanning one
+//! split's block reads out in parallel. Internally each store is a
+//! single [`RwLock`]: concurrent `plan_block` calls take the read lock
+//! for warm hits, and only structural changes (inserts, evictions,
+//! death-log processing, fingerprint revalidation) take the write lock.
+//! Effectiveness counters are separate atomics so read-path hits never
+//! contend on a write lock.
+//!
+//! The lock hierarchy is strictly `PlanCache` → `SelectivityFeedback`
+//! (the planner consults feedback while building a plan context, before
+//! any cache lock is held, and never acquires feedback locks while
+//! holding a cache lock), so the two stores cannot deadlock against
+//! each other. Neither lock is ever held across an
+//! `AccessPath::execute` call. Death-log eviction
+//! ([`PlanCache::sync_deaths`]) and feedback absorption
+//! ([`SelectivityFeedback::absorb`]) each run under one continuous
+//! write-lock section, so an in-flight `plan_block` observes either
+//! none or all of a batch — never a torn prefix.
 
 use crate::planner::BlockPlan;
 use hail_core::{CmpOp, DatasetFormat, HailQuery, Predicate};
@@ -53,7 +71,8 @@ use hail_dfs::Namenode;
 use hail_mr::TaskStats;
 use hail_types::{BlockId, DatanodeId};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Quantization granularity for selectivities embedded in a
 /// [`FilterShape`]: 1/1000ths. Coarse enough that a converged feedback
@@ -176,6 +195,16 @@ impl BlockFingerprint {
     }
 }
 
+/// Outcome of an epoch-validated cache lookup
+/// ([`PlanCache::lookup_validated_full`]): a hit carries the memoized
+/// plan; a miss carries the [`BlockFingerprint`] the revalidation pass
+/// computed, if any, so the caller's insert need not recompute it.
+#[derive(Debug)]
+pub enum ValidatedLookup {
+    Hit(BlockPlan),
+    Miss(Option<BlockFingerprint>),
+}
+
 /// Cache effectiveness counters, exposed for job reports and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -194,10 +223,25 @@ pub struct CacheStats {
     pub cost_evaluations: u64,
 }
 
+/// Sentinel for entries inserted without epoch validation (the plain
+/// [`PlanCache::insert`] API): such entries always revalidate by
+/// fingerprint on their next lookup. Namenode instance ids start at 1,
+/// so instance 0 never matches a real namenode.
+const EPOCH_UNVALIDATED: (u64, u64) = (0, 0);
+
 #[derive(Debug)]
 struct CacheEntry {
     fingerprint: BlockFingerprint,
     plan: BlockPlan,
+    /// The `(namenode instance id, design epoch)` at which this entry's
+    /// fingerprint was last known to match `Dir_rep`. A lookup against
+    /// the same namenode at the same epoch is a hit with **zero**
+    /// fingerprint work (the O(1) warm path); any other watermark
+    /// recomputes the fingerprint once and, on a match, refreshes this
+    /// watermark. Qualifying by instance id keeps a cache shared
+    /// between clusters honest: equal epochs from different namenodes
+    /// prove nothing and fall back to fingerprint revalidation.
+    validated_at: (u64, u64),
 }
 
 #[derive(Debug, Default)]
@@ -207,17 +251,29 @@ struct CacheInner {
     order: VecDeque<(FilterShape, BlockId)>,
     /// Prefix of the namenode death log already processed.
     deaths_seen: usize,
-    stats: CacheStats,
+}
+
+/// Effectiveness counters as shared atomics, so warm read-path hits
+/// never take a write lock just to count themselves.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    fingerprint_invalidations: AtomicU64,
+    cost_evaluations: AtomicU64,
 }
 
 /// A bounded, fingerprinted memo of per-block plans.
 ///
-/// See the [module docs](self) for the key structure and the
-/// invalidation rules. Shared via `Arc` through
-/// [`crate::planner::PlannerConfig::plan_cache`].
+/// See the [module docs](self) for the key structure, the invalidation
+/// rules, and the locking discipline. Shared via `Arc` through
+/// [`crate::planner::PlannerConfig::plan_cache`]; all methods take
+/// `&self` and are safe to call from concurrent executor workers.
 #[derive(Debug)]
 pub struct PlanCache {
-    inner: Mutex<CacheInner>,
+    inner: RwLock<CacheInner>,
+    counters: CacheCounters,
     capacity: usize,
 }
 
@@ -233,7 +289,8 @@ impl PlanCache {
     /// entry is evicted when a new insert would exceed it.
     pub fn with_capacity(capacity: usize) -> Self {
         PlanCache {
-            inner: Mutex::new(CacheInner::default()),
+            inner: RwLock::new(CacheInner::default()),
+            counters: CacheCounters::default(),
             capacity: capacity.max(1),
         }
     }
@@ -251,7 +308,15 @@ impl PlanCache {
     /// of `live_replicas`, so rule 2's fingerprint mismatch catches any
     /// plan a missed death would have invalidated.
     pub fn sync_deaths(&self, death_log: &[DatanodeId]) {
-        let mut inner = self.inner.lock().unwrap();
+        // Fast path: nothing new — a read lock suffices, so concurrent
+        // planners only serialize when a death actually needs work.
+        {
+            let inner = self.inner.read().unwrap();
+            if death_log.len() == inner.deaths_seen {
+                return;
+            }
+        }
+        let mut inner = self.inner.write().unwrap();
         let seen = inner.deaths_seen;
         if death_log.len() < seen {
             // A shorter log than the one we tracked: this is a
@@ -260,11 +325,12 @@ impl PlanCache {
             inner.deaths_seen = death_log.len();
             return;
         }
-        if death_log.len() == seen {
-            return;
-        }
-        for &dn in &death_log[seen..] {
-            Self::evict_datanode(&mut inner, dn);
+        // One continuous write section covers every unseen death plus
+        // the cursor bump, so a concurrent `plan_block` sees either the
+        // pre-sync or the fully synced cache — never a torn prefix, and
+        // two racing sync calls cannot double-process a death.
+        for &dn in death_log.iter().skip(seen) {
+            self.evict_datanode_locked(&mut inner, dn);
         }
         inner.deaths_seen = death_log.len();
     }
@@ -273,11 +339,11 @@ impl PlanCache {
     /// death-log path calls this automatically; it is public for callers
     /// that learn about a failure out of band.
     pub fn invalidate_datanode(&self, datanode: DatanodeId) {
-        let mut inner = self.inner.lock().unwrap();
-        Self::evict_datanode(&mut inner, datanode);
+        let mut inner = self.inner.write().unwrap();
+        self.evict_datanode_locked(&mut inner, datanode);
     }
 
-    fn evict_datanode(inner: &mut CacheInner, datanode: DatanodeId) {
+    fn evict_datanode_locked(&self, inner: &mut CacheInner, datanode: DatanodeId) {
         let before = inner.entries.len();
         inner
             .entries
@@ -286,8 +352,22 @@ impl PlanCache {
         if evicted > 0 {
             let entries = &inner.entries;
             inner.order.retain(|k| entries.contains_key(k));
-            inner.stats.evictions += evicted as u64;
+            self.counters
+                .evictions
+                .fetch_add(evicted as u64, Ordering::Relaxed);
         }
+    }
+
+    /// Entries whose fingerprint involves `datanode` — diagnostics for
+    /// eviction tests; a fully synced cache reports zero for every dead
+    /// datanode.
+    pub fn entries_involving(&self, datanode: DatanodeId) -> usize {
+        let inner = self.inner.read().unwrap();
+        inner
+            .entries
+            .values()
+            .filter(|e| e.fingerprint.datanodes.contains(&datanode))
+            .count()
     }
 
     /// Looks up the memoized plan for `(shape, block)`. A hit requires
@@ -300,31 +380,142 @@ impl PlanCache {
         block: BlockId,
         fingerprint: &BlockFingerprint,
     ) -> Option<BlockPlan> {
-        let mut inner = self.inner.lock().unwrap();
         let key = (shape.clone(), block);
-        match inner.entries.get(&key) {
-            Some(e) if e.fingerprint == *fingerprint => {
-                let mut plan = e.plan.clone();
-                plan.cached = true;
-                inner.stats.hits += 1;
-                Some(plan)
+        // Hits resolve under the read lock; only dropping a stale entry
+        // needs the write lock.
+        {
+            let inner = self.inner.read().unwrap();
+            match inner.entries.get(&key) {
+                Some(e) if e.fingerprint == *fingerprint => {
+                    return Some(self.count_hit(&e.plan));
+                }
+                Some(_) => {}
+                None => {
+                    self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            }
+        }
+        self.drop_stale(&key, |e| e.fingerprint == *fingerprint)
+            .map(|p| self.count_hit(&p))
+    }
+
+    /// The O(1) warm path: looks up `(shape, block)` validated against
+    /// the namenode's [design epoch](Namenode::design_epoch) instead of
+    /// a freshly computed fingerprint. An entry last validated against
+    /// this namenode at the current epoch hits with **zero**
+    /// fingerprint work — no per-replica metadata serialization at all.
+    /// If the epoch has moved (any upload, death, or abandonment
+    /// anywhere on the cluster) — or the entry was last validated
+    /// against a *different* namenode — the fingerprint is recomputed
+    /// once: a match refreshes the entry's watermark (hit), a mismatch
+    /// drops the stale entry (invalidation rule 2, miss).
+    pub fn lookup_validated(
+        &self,
+        shape: &FilterShape,
+        block: BlockId,
+        namenode: &Namenode,
+    ) -> Option<BlockPlan> {
+        match self.lookup_validated_full(shape, block, namenode) {
+            ValidatedLookup::Hit(plan) => Some(plan),
+            ValidatedLookup::Miss(_) => None,
+        }
+    }
+
+    /// [`PlanCache::lookup_validated`], additionally handing a miss any
+    /// fingerprint the revalidation pass already computed — so the
+    /// caller's subsequent [`PlanCache::insert_validated`] reuses it
+    /// instead of serializing every replica's metadata a second time.
+    pub fn lookup_validated_full(
+        &self,
+        shape: &FilterShape,
+        block: BlockId,
+        namenode: &Namenode,
+    ) -> ValidatedLookup {
+        let key = (shape.clone(), block);
+        let watermark = (namenode.instance_id(), namenode.design_epoch());
+        {
+            let inner = self.inner.read().unwrap();
+            match inner.entries.get(&key) {
+                Some(e) if e.validated_at == watermark => {
+                    return ValidatedLookup::Hit(self.count_hit(&e.plan));
+                }
+                Some(_) => {}
+                None => {
+                    self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                    return ValidatedLookup::Miss(None);
+                }
+            }
+        }
+        // Epoch moved (or different namenode) since this entry was
+        // validated: pay the fingerprint once, then either refresh the
+        // watermark or evict.
+        let fingerprint = BlockFingerprint::of(namenode, block);
+        let mut inner = self.inner.write().unwrap();
+        match inner.entries.get_mut(&key) {
+            Some(e) if e.fingerprint == fingerprint => {
+                e.validated_at = watermark;
+                ValidatedLookup::Hit(self.count_hit(&e.plan))
             }
             Some(_) => {
                 inner.entries.remove(&key);
                 inner.order.retain(|k| *k != key);
-                inner.stats.fingerprint_invalidations += 1;
-                inner.stats.misses += 1;
+                self.counters
+                    .fingerprint_invalidations
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                ValidatedLookup::Miss(Some(fingerprint))
+            }
+            // Evicted between the read and write sections (death sync or
+            // capacity pressure racing this lookup): a plain miss, and
+            // the fingerprint — just computed against current state —
+            // is still good for the caller's insert.
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                ValidatedLookup::Miss(Some(fingerprint))
+            }
+        }
+    }
+
+    /// Clones a hit's plan, marking it cached and counting it.
+    fn count_hit(&self, plan: &BlockPlan) -> BlockPlan {
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        let mut plan = plan.clone();
+        plan.cached = true;
+        plan
+    }
+
+    /// Removes `key` unless `keep` approves the entry present at write
+    /// time; returns the kept entry's plan (a concurrent writer may
+    /// have replaced the stale entry we saw under the read lock).
+    fn drop_stale(
+        &self,
+        key: &(FilterShape, BlockId),
+        keep: impl Fn(&CacheEntry) -> bool,
+    ) -> Option<BlockPlan> {
+        let mut inner = self.inner.write().unwrap();
+        match inner.entries.get(key) {
+            Some(e) if keep(e) => Some(e.plan.clone()),
+            Some(_) => {
+                inner.entries.remove(key);
+                inner.order.retain(|k| k != key);
+                self.counters
+                    .fingerprint_invalidations
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
             None => {
-                inner.stats.misses += 1;
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
     /// Memoizes a freshly priced plan, evicting the oldest entry if the
-    /// cache is full.
+    /// cache is full. Entries inserted this way carry no epoch
+    /// watermark and revalidate by fingerprint on their next
+    /// epoch-based lookup; [`PlanCache::insert_validated`] stamps one.
     pub fn insert(
         &self,
         shape: &FilterShape,
@@ -332,11 +523,49 @@ impl PlanCache {
         fingerprint: BlockFingerprint,
         plan: BlockPlan,
     ) {
-        let mut inner = self.inner.lock().unwrap();
+        self.insert_at(shape, block, fingerprint, EPOCH_UNVALIDATED, plan);
+    }
+
+    /// Memoizes a freshly priced plan whose fingerprint was computed at
+    /// the namenode's current design epoch, enabling the O(1)
+    /// epoch-validated warm path of [`PlanCache::lookup_validated`].
+    pub fn insert_validated(
+        &self,
+        shape: &FilterShape,
+        block: BlockId,
+        fingerprint: BlockFingerprint,
+        namenode: &Namenode,
+        plan: BlockPlan,
+    ) {
+        self.insert_at(
+            shape,
+            block,
+            fingerprint,
+            (namenode.instance_id(), namenode.design_epoch()),
+            plan,
+        );
+    }
+
+    fn insert_at(
+        &self,
+        shape: &FilterShape,
+        block: BlockId,
+        fingerprint: BlockFingerprint,
+        validated_at: (u64, u64),
+        plan: BlockPlan,
+    ) {
+        let mut inner = self.inner.write().unwrap();
         let key = (shape.clone(), block);
         if inner
             .entries
-            .insert(key.clone(), CacheEntry { fingerprint, plan })
+            .insert(
+                key.clone(),
+                CacheEntry {
+                    fingerprint,
+                    plan,
+                    validated_at,
+                },
+            )
             .is_none()
         {
             inner.order.push_back(key);
@@ -346,7 +575,7 @@ impl PlanCache {
                 break;
             };
             inner.entries.remove(&oldest);
-            inner.stats.evictions += 1;
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -354,17 +583,31 @@ impl PlanCache {
     /// accounting (the planner reports every pricing pass it runs on a
     /// miss, so tests can assert a warm cache prices nothing).
     pub fn record_cost_evaluations(&self, n: u64) {
-        self.inner.lock().unwrap().stats.cost_evaluations += n;
+        self.counters
+            .cost_evaluations
+            .fetch_add(n, Ordering::Relaxed);
     }
 
-    /// A snapshot of the effectiveness counters.
+    /// A snapshot of the effectiveness counters. Each lookup counts as
+    /// exactly one hit or one miss, so under any interleaving of
+    /// concurrent planners `hits + misses` equals the number of lookups
+    /// issued.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().unwrap().stats
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            fingerprint_invalidations: self
+                .counters
+                .fingerprint_invalidations
+                .load(Ordering::Relaxed),
+            cost_evaluations: self.counters.cost_evaluations.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of memoized block plans.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().entries.len()
+        self.inner.read().unwrap().entries.len()
     }
 
     /// True if nothing is memoized.
@@ -374,11 +617,11 @@ impl PlanCache {
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.write().unwrap();
         let n = inner.entries.len() as u64;
         inner.entries.clear();
         inner.order.clear();
-        inner.stats.evictions += n;
+        self.counters.evictions.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -433,7 +676,7 @@ struct ColumnFeedback {
 /// shift.
 #[derive(Debug)]
 pub struct SelectivityFeedback {
-    inner: Mutex<BTreeMap<(usize, bool), ColumnFeedback>>,
+    inner: RwLock<BTreeMap<(usize, bool), ColumnFeedback>>,
     decay: f64,
     prior_weight: f64,
 }
@@ -453,39 +696,59 @@ impl SelectivityFeedback {
     /// prior weight (in units of observed blocks).
     pub fn new(decay: f64, prior_weight: f64) -> Self {
         SelectivityFeedback {
-            inner: Mutex::new(BTreeMap::new()),
+            inner: RwLock::new(BTreeMap::new()),
             decay: decay.clamp(0.0, 0.999),
             prior_weight: prior_weight.max(0.0),
         }
     }
 
-    /// Records one block's observed selectivity for a column under a
-    /// predicate class (`eq` = equality, else range).
-    pub fn observe(&self, column: usize, eq: bool, matched: u64, total: u64) {
+    /// Folds one observation into a (column, class) cell. Callers hold
+    /// the write lock — `absorb` folds a whole task's batch under one
+    /// lock section.
+    fn fold(
+        &self,
+        inner: &mut BTreeMap<(usize, bool), ColumnFeedback>,
+        column: usize,
+        eq: bool,
+        matched: u64,
+        total: u64,
+    ) {
         if total == 0 {
             return;
         }
         let obs = (matched as f64 / total as f64).clamp(0.0, 1.0);
-        let mut inner = self.inner.lock().unwrap();
         let f = inner.entry((column, eq)).or_default();
         f.weight = f.weight * self.decay + 1.0;
         f.weighted_sum = f.weighted_sum * self.decay + obs;
         f.observations += 1;
     }
 
+    /// Records one block's observed selectivity for a column under a
+    /// predicate class (`eq` = equality, else range).
+    pub fn observe(&self, column: usize, eq: bool, matched: u64, total: u64) {
+        let mut inner = self.inner.write().unwrap();
+        self.fold(&mut inner, column, eq, matched, total);
+    }
+
     /// Folds every observation a finished task recorded — the
     /// `TaskStats` → feedback plumbing the input formats run after each
-    /// split.
+    /// split. The whole batch is absorbed under one write-lock section,
+    /// so a concurrent `plan_block` prices against either none or all
+    /// of a task's evidence — never a torn prefix.
     pub fn absorb(&self, stats: &TaskStats) {
+        if stats.selectivity.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.write().unwrap();
         for obs in &stats.selectivity {
-            self.observe(obs.column, obs.eq, obs.matched, obs.total);
+            self.fold(&mut inner, obs.column, obs.eq, obs.matched, obs.total);
         }
     }
 
     /// The decayed observed mean for a (column, class), with its
     /// weight, if any observation has been recorded.
     pub fn observed(&self, column: usize, eq: bool) -> Option<(f64, f64)> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.read().unwrap();
         inner
             .get(&(column, eq))
             .filter(|f| f.weight > 0.0)
@@ -494,7 +757,7 @@ impl SelectivityFeedback {
 
     /// Raw observation count for a (column, class) (diagnostics).
     pub fn observation_count(&self, column: usize, eq: bool) -> u64 {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.read().unwrap();
         inner
             .get(&(column, eq))
             .map(|f| f.observations)
@@ -505,7 +768,7 @@ impl SelectivityFeedback {
     /// `prior` when nothing was observed, otherwise the prior-weighted
     /// blend `(prior·Wp + Σ decayed obs) / (Wp + W)`.
     pub fn adjusted(&self, column: usize, eq: bool, prior: f64) -> (f64, SelectivitySource) {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.read().unwrap();
         match inner.get(&(column, eq)).filter(|f| f.weight > 0.0) {
             None => (prior, SelectivitySource::Prior),
             Some(f) => {
@@ -521,7 +784,7 @@ impl SelectivityFeedback {
 
     /// Drops all accumulated feedback.
     pub fn clear(&self) {
-        self.inner.lock().unwrap().clear();
+        self.inner.write().unwrap().clear();
     }
 }
 
@@ -668,6 +931,99 @@ mod tests {
         // The oldest shape (sel bucket 0.0) is gone.
         let oldest = FilterShape::of(DatasetFormat::HailPax, &q, None, &[(0, 0.0)], 0);
         assert!(cache.lookup(&oldest, b, &fp).is_none());
+    }
+
+    /// The O(1) warm path: a lookup at an unchanged design epoch never
+    /// recomputes a fingerprint, a bumped epoch revalidates once and
+    /// re-arms the fast path, and a genuine `Dir_rep` change still
+    /// invalidates (rule 2).
+    #[test]
+    fn epoch_validated_lookup_skips_fingerprints_until_design_changes() {
+        let cache = PlanCache::default();
+        let (mut nn, b) = namenode_with(&[meta(IndexKind::Clustered, Some(0))]);
+        let q = HailQuery::parse("@1 = 1", "", &schema()).unwrap();
+        let shape = FilterShape::of(DatasetFormat::HailPax, &q, None, &[(0, 0.05)], 0);
+        let plan = crate::planner::QueryPlanner::test_block_plan(b);
+
+        assert!(cache.lookup_validated(&shape, b, &nn).is_none());
+        cache.insert_validated(&shape, b, BlockFingerprint::of(&nn, b), &nn, plan.clone());
+        // Unchanged epoch: hit (the fast path — nothing to observe here
+        // beyond correctness; the planning_overhead bench measures it).
+        let hit = cache.lookup_validated(&shape, b, &nn).unwrap();
+        assert!(hit.cached);
+
+        // An unrelated upload bumps the epoch; the entry revalidates by
+        // fingerprint (same Dir_rep for this block → still a hit) and
+        // re-arms the fast path at the new epoch.
+        let other = nn.allocate_block(vec![0]).unwrap();
+        nn.register_replica(HailBlockReplicaInfo::new(
+            other,
+            0,
+            meta(IndexKind::None, None),
+            100,
+        ))
+        .unwrap();
+        assert!(cache.lookup_validated(&shape, b, &nn).is_some());
+        assert!(cache.lookup_validated(&shape, b, &nn).is_some());
+        assert_eq!(cache.stats().fingerprint_invalidations, 0);
+
+        // A real change to this block's Dir_rep (its replica holder
+        // dies) must miss and drop the entry.
+        nn.mark_dead(0);
+        assert!(cache.lookup_validated(&shape, b, &nn).is_none());
+        assert_eq!(cache.stats().fingerprint_invalidations, 1);
+        assert!(cache.is_empty());
+    }
+
+    /// Epoch watermarks are namenode-qualified: a second cluster with a
+    /// coincidentally equal epoch cannot fast-path-validate entries
+    /// inserted from the first — it falls back to fingerprints.
+    #[test]
+    fn epoch_watermarks_do_not_cross_namenodes() {
+        let cache = PlanCache::default();
+        let (nn1, b1) = namenode_with(&[meta(IndexKind::Clustered, Some(0))]);
+        // Same registration count → same design epoch, different state.
+        let (nn2, b2) = namenode_with(&[meta(IndexKind::Clustered, Some(1))]);
+        assert_eq!(b1, b2);
+        assert_eq!(nn1.design_epoch(), nn2.design_epoch());
+        assert_ne!(nn1.instance_id(), nn2.instance_id());
+
+        let q = HailQuery::parse("@1 = 1", "", &schema()).unwrap();
+        let shape = FilterShape::of(DatasetFormat::HailPax, &q, None, &[(0, 0.05)], 0);
+        let plan = crate::planner::QueryPlanner::test_block_plan(b1);
+        cache.insert_validated(&shape, b1, BlockFingerprint::of(&nn1, b1), &nn1, plan);
+
+        // nn2's lookup must not be fooled by the equal epoch: the
+        // fingerprint differs, so the stale entry is dropped.
+        assert!(cache.lookup_validated(&shape, b2, &nn2).is_none());
+        assert_eq!(cache.stats().fingerprint_invalidations, 1);
+    }
+
+    /// Lookup counters are exact: every lookup is one hit or one miss,
+    /// under both the fingerprint and the epoch-validated APIs.
+    #[test]
+    fn every_lookup_counts_once() {
+        let cache = PlanCache::default();
+        let (nn, b) = namenode_with(&[meta(IndexKind::Clustered, Some(0))]);
+        let q = HailQuery::parse("@1 = 1", "", &schema()).unwrap();
+        let shape = FilterShape::of(DatasetFormat::HailPax, &q, None, &[(0, 0.05)], 0);
+        let fp = BlockFingerprint::of(&nn, b);
+        let plan = crate::planner::QueryPlanner::test_block_plan(b);
+
+        cache.lookup(&shape, b, &fp); // miss (absent)
+        cache.lookup_validated(&shape, b, &nn); // miss (absent)
+        cache.insert_validated(&shape, b, fp.clone(), &nn, plan);
+        cache.lookup(&shape, b, &fp); // hit
+        cache.lookup_validated(&shape, b, &nn); // hit
+        let stale = BlockFingerprint {
+            digest: fp.digest ^ 1,
+            datanodes: fp.datanodes.clone(),
+        };
+        cache.lookup(&shape, b, &stale); // miss (invalidates)
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 3));
+        assert_eq!(s.hits + s.misses, 5, "each lookup counted exactly once");
+        assert_eq!(s.fingerprint_invalidations, 1);
     }
 
     #[test]

@@ -8,12 +8,13 @@
 //! and every block read goes through
 //! [`QueryPlanner::execute_block`] → `AccessPath::execute`.
 
+use crate::executor::{ExecutorConfig, ExecutorContext};
 use crate::planner::{PlannerConfig, QueryPlanner};
 use crate::splitting::{default_splits, plan_default_splits, plan_hail_splits};
 use hail_core::baselines::hadoop_plus_plus::trojan_header_bytes;
 use hail_core::{Dataset, HailQuery};
 use hail_dfs::DfsCluster;
-use hail_mr::{InputFormat, InputSplit, MapRecord, SplitPlan, TaskStats};
+use hail_mr::{InputFormat, InputSplit, MapRecord, SplitContext, SplitPlan, TaskStats};
 use hail_types::{BlockId, DatanodeId, Result};
 
 /// HAIL's input format: planner-driven `HailSplitting` + access-path
@@ -30,6 +31,9 @@ pub struct HailInputFormat {
     /// Planner knobs: cost model, selectivity estimates, sidecar
     /// extension indexes.
     pub planner: PlannerConfig,
+    /// Parallel-executor knobs for fanning a split's block reads across
+    /// workers; default serial unless `HAIL_PARALLELISM` overrides.
+    pub executor: ExecutorConfig,
 }
 
 impl HailInputFormat {
@@ -40,6 +44,7 @@ impl HailInputFormat {
             splitting: true,
             map_slots: 2,
             planner: PlannerConfig::default(),
+            executor: ExecutorConfig::default(),
         }
     }
 
@@ -52,6 +57,12 @@ impl HailInputFormat {
     /// Overrides the planner configuration.
     pub fn with_planner(mut self, config: PlannerConfig) -> Self {
         self.planner = config;
+        self
+    }
+
+    /// Overrides the executor configuration.
+    pub fn with_executor(mut self, config: ExecutorConfig) -> Self {
+        self.executor = config;
         self
     }
 }
@@ -85,13 +96,24 @@ impl InputFormat for HailInputFormat {
         task_node: DatanodeId,
         emit: &mut dyn FnMut(MapRecord),
     ) -> Result<TaskStats> {
+        self.read_split_with(cluster, split, &SplitContext::on(task_node), emit)
+    }
+
+    fn read_split_with(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        ctx: &SplitContext,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
         read_split_via_planner(
             cluster,
             &self.planner,
+            &executor_for(&self.executor, ctx),
             &self.dataset,
             &self.query,
             split,
-            task_node,
+            ctx.task_node,
             emit,
         )
     }
@@ -107,6 +129,8 @@ pub struct HadoopInputFormat {
     pub dataset: Dataset,
     pub query: HailQuery,
     pub delimiter: char,
+    /// Parallel-executor knobs (see [`HailInputFormat::executor`]).
+    pub executor: ExecutorConfig,
 }
 
 impl HadoopInputFormat {
@@ -115,6 +139,7 @@ impl HadoopInputFormat {
             dataset,
             query,
             delimiter: '|',
+            executor: ExecutorConfig::default(),
         }
     }
 }
@@ -131,6 +156,16 @@ impl InputFormat for HadoopInputFormat {
         task_node: DatanodeId,
         emit: &mut dyn FnMut(MapRecord),
     ) -> Result<TaskStats> {
+        self.read_split_with(cluster, split, &SplitContext::on(task_node), emit)
+    }
+
+    fn read_split_with(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        ctx: &SplitContext,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
         let config = PlannerConfig {
             text_delimiter: Some(self.delimiter),
             ..Default::default()
@@ -138,10 +173,11 @@ impl InputFormat for HadoopInputFormat {
         read_split_via_planner(
             cluster,
             &config,
+            &executor_for(&self.executor, ctx),
             &self.dataset,
             &self.query,
             split,
-            task_node,
+            ctx.task_node,
             emit,
         )
     }
@@ -157,11 +193,17 @@ impl InputFormat for HadoopInputFormat {
 pub struct HadoopPlusPlusInputFormat {
     pub dataset: Dataset,
     pub query: HailQuery,
+    /// Parallel-executor knobs (see [`HailInputFormat::executor`]).
+    pub executor: ExecutorConfig,
 }
 
 impl HadoopPlusPlusInputFormat {
     pub fn new(dataset: Dataset, query: HailQuery) -> Self {
-        HadoopPlusPlusInputFormat { dataset, query }
+        HadoopPlusPlusInputFormat {
+            dataset,
+            query,
+            executor: ExecutorConfig::default(),
+        }
     }
 }
 
@@ -185,13 +227,24 @@ impl InputFormat for HadoopPlusPlusInputFormat {
         task_node: DatanodeId,
         emit: &mut dyn FnMut(MapRecord),
     ) -> Result<TaskStats> {
+        self.read_split_with(cluster, split, &SplitContext::on(task_node), emit)
+    }
+
+    fn read_split_with(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        ctx: &SplitContext,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
         read_split_via_planner(
             cluster,
             &PlannerConfig::default(),
+            &executor_for(&self.executor, ctx),
             &self.dataset,
             &self.query,
             split,
-            task_node,
+            ctx.task_node,
             emit,
         )
     }
@@ -201,6 +254,17 @@ impl InputFormat for HadoopPlusPlusInputFormat {
     }
 }
 
+/// The effective executor configuration for one split read: the
+/// format's own knobs, with the scheduler's [`SplitContext`]
+/// parallelism taking precedence when the job set one.
+fn executor_for(format_config: &ExecutorConfig, ctx: &SplitContext) -> ExecutorConfig {
+    let mut config = format_config.clone();
+    if let Some(parallelism) = ctx.parallelism {
+        config.parallelism = parallelism.max(1);
+    }
+    config
+}
+
 /// Shared read path: plan the split's blocks against the *current*
 /// cluster state and execute each block's chosen access path.
 ///
@@ -208,15 +272,28 @@ impl InputFormat for HadoopPlusPlusInputFormat {
 /// a healthy cluster; after a mid-job failure it transparently re-plans
 /// around dead replicas (HAIL's failover story).
 ///
+/// With executor parallelism above 1, the split's independent block
+/// reads fan out across an [`ExecutorContext`] worker pool — every
+/// worker sharing the same `Sync` planner handle and the same
+/// `AccessPath::execute` seam — and the per-block results are merged
+/// **in split order**, so records, statistics, and simulated costs are
+/// bit-for-bit identical to the serial read. Parallelism 1 takes the
+/// historical streaming path exactly.
+///
 /// This is also where the adaptive loop closes: plan-cache hits and
 /// misses incurred by this split are recorded into its [`TaskStats`],
 /// and after the split finishes, every per-block selectivity the access
 /// paths observed is folded into the configured
 /// [`crate::cache::SelectivityFeedback`] store — subsequent splits (and
-/// jobs sharing the store) plan from corrected estimates.
+/// jobs sharing the store) plan from corrected estimates. The
+/// absorption happens once per split, after the deterministic merge, so
+/// the feedback store sees observations in split order at any
+/// parallelism.
+#[allow(clippy::too_many_arguments)]
 fn read_split_via_planner(
     cluster: &DfsCluster,
     config: &PlannerConfig,
+    executor: &ExecutorConfig,
     dataset: &Dataset,
     query: &HailQuery,
     split: &InputSplit,
@@ -233,9 +310,49 @@ fn read_split_via_planner(
         total.plan_cache_hits = plan.blocks.iter().filter(|b| b.cached).count() as u64;
         total.plan_cache_misses = plan.blocks.len() as u64 - total.plan_cache_hits;
     }
-    for &block in &split.blocks {
-        let stats = planner.execute_block(&plan, block, task_node, &dataset.schema, query, emit)?;
-        total.merge(&stats);
+    let context = ExecutorContext::new(executor.clone());
+    if context.workers_for(split.blocks.len()) <= 1 {
+        // Serial: stream records straight to `emit`, no buffering —
+        // the exact pre-executor behavior.
+        for &block in &split.blocks {
+            let stats =
+                planner.execute_block(&plan, block, task_node, &dataset.schema, query, emit)?;
+            total.merge(&stats);
+        }
+    } else {
+        let per_block = context.run(
+            split.blocks.len(),
+            // Per-node slot gating keys on the node the read will
+            // actually hit — the planner's locality resolution, not the
+            // raw planned replica. (A mid-split failover re-plan inside
+            // `execute_block` can still move a read afterwards; the
+            // gate is a bound on the planned physical layout, not a
+            // transactional reservation.)
+            |i| {
+                plan.block_plan(split.blocks[i])
+                    .map(|bp| planner.resolve_host(bp, task_node))
+            },
+            |i| {
+                let block = split.blocks[i];
+                let mut records = Vec::new();
+                let stats = planner.execute_block(
+                    &plan,
+                    block,
+                    task_node,
+                    &dataset.schema,
+                    query,
+                    &mut |rec| records.push(rec),
+                )?;
+                Ok((stats, records))
+            },
+        )?;
+        // Deterministic merge: split order, not completion order.
+        for (stats, records) in per_block {
+            total.merge(&stats);
+            for rec in records {
+                emit(rec);
+            }
+        }
     }
     if let Some(feedback) = &config.feedback {
         feedback.absorb(&total);

@@ -19,11 +19,20 @@
 //! - [`cache`] — the adaptive layer: a fingerprinted [`PlanCache`] that
 //!   memoizes per-block plans across queries with the same filter
 //!   shape, and a [`SelectivityFeedback`] store that blends observed
-//!   per-block selectivities back into the [`SelectivityEstimate`] prior
+//!   per-block selectivities back into the [`SelectivityEstimate`] prior;
+//!   both thread-safe behind `RwLock`s so concurrent executor workers
+//!   share them
+//! - [`executor`] — the parallel split executor: an [`ExecutorContext`]
+//!   worker pool (scoped threads, configurable parallelism via
+//!   [`ExecutorConfig`] or the `HAIL_PARALLELISM` environment override,
+//!   optional per-node slot gating) that fans one split's independent
+//!   block reads across workers with deterministic, split-ordered
+//!   result merging
 //! - [`splitting`] — default Hadoop splitting and `HailSplitting`
 //!   (§4.3), consuming plans instead of re-deriving replica choices
 //! - [`formats`] — the three `InputFormat`s (Hadoop, Hadoop++, HAIL),
-//!   all routed through `QueryPlanner::plan` → `AccessPath::execute`
+//!   all routed through `QueryPlanner::plan` → `AccessPath::execute`,
+//!   and all driving the executor for multi-block splits
 //! - [`readers`] — single-block reader entry points (planner-backed)
 //!
 //! New access paths or index types plug into the planner's candidate
@@ -78,6 +87,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod executor;
 pub mod formats;
 pub mod path;
 pub mod planner;
@@ -86,8 +96,9 @@ pub mod splitting;
 
 pub use cache::{
     BlockFingerprint, CacheStats, FilterShape, PlanCache, SelectivityChoice, SelectivityFeedback,
-    SelectivitySource,
+    SelectivitySource, ValidatedLookup,
 };
+pub use executor::{env_parallelism, ExecutorConfig, ExecutorContext, PARALLELISM_ENV};
 pub use formats::{HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat};
 pub use path::{
     AccessPath, BitmapScan, BlockAccess, ClusteredIndexScan, FullScan, InvertedListScan,

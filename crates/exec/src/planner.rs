@@ -374,10 +374,27 @@ impl QueryPlan {
 }
 
 /// The cost-based planner over one cluster's namenode state.
+///
+/// The handle is `Send + Sync`: the [`crate::executor::ExecutorContext`]
+/// workers of a parallel split read share one planner reference, and
+/// all cross-query state it touches ([`PlanCache`],
+/// [`SelectivityFeedback`]) is internally locked.
 pub struct QueryPlanner<'a> {
     cluster: &'a DfsCluster,
     config: PlannerConfig,
 }
+
+/// Compile-time proof that a planner handle can be shared across the
+/// executor's worker threads. If any field ever loses `Sync` (say, an
+/// `Rc` or `RefCell` sneaks into the config or cluster), this stops
+/// building instead of the executor failing at a distance.
+const _PLANNER_IS_SEND_SYNC: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryPlanner<'static>>();
+    assert_send_sync::<QueryPlan>();
+    assert_send_sync::<PlanCache>();
+    assert_send_sync::<SelectivityFeedback>();
+};
 
 /// Block-invariant state shared by every `plan_block` of one plan:
 /// effective selectivities and, when the cache participates, the
@@ -595,18 +612,29 @@ impl<'a> QueryPlanner<'a> {
         query: &HailQuery,
     ) -> Result<BlockPlan> {
         if let (Some(shape), Some(cache)) = (&ctx.shape, &self.config.plan_cache) {
-            let fingerprint = BlockFingerprint::of(self.cluster.namenode(), block);
-            if let Some(mut plan) = cache.lookup(shape, block, &fingerprint) {
-                // The hit proves the *quantized* estimates match, but
-                // the provenance may have moved (e.g. feedback arrived
-                // without leaving the bucket): report the current
-                // selectivity sources, not the insert-time snapshot.
-                plan.selectivity.clone_from(&ctx.selectivity);
-                return Ok(plan);
-            }
+            let namenode = self.cluster.namenode();
+            // Epoch-validated lookup: while the namenode's physical
+            // design is unchanged, a warm hit is a map probe — no
+            // per-replica fingerprint recomputation at all.
+            let miss_fingerprint = match cache.lookup_validated_full(shape, block, namenode) {
+                crate::cache::ValidatedLookup::Hit(mut plan) => {
+                    // The hit proves the *quantized* estimates match,
+                    // but the provenance may have moved (e.g. feedback
+                    // arrived without leaving the bucket): report the
+                    // current selectivity sources, not the insert-time
+                    // snapshot.
+                    plan.selectivity.clone_from(&ctx.selectivity);
+                    return Ok(plan);
+                }
+                crate::cache::ValidatedLookup::Miss(fp) => fp,
+            };
             let plan = self.price_block(format, block, query, ctx.selectivity.clone())?;
             cache.record_cost_evaluations(plan.candidates.len() as u64);
-            cache.insert(shape, block, fingerprint, plan.clone());
+            // Reuse the fingerprint the failed revalidation computed;
+            // Dir_rep cannot have moved since (mutation needs &mut).
+            let fingerprint =
+                miss_fingerprint.unwrap_or_else(|| BlockFingerprint::of(namenode, block));
+            cache.insert_validated(shape, block, fingerprint, namenode, plan.clone());
             Ok(plan)
         } else {
             self.price_block(format, block, query, ctx.selectivity.clone())
@@ -921,7 +949,10 @@ impl<'a> QueryPlanner<'a> {
 
     /// The host actually serving a block read: the task's own node when
     /// its replica supports the planned path, else the planned replica.
-    fn resolve_host(&self, bp: &BlockPlan, task_node: DatanodeId) -> DatanodeId {
+    /// Also used by the input formats to key the executor's per-node
+    /// slot gate on the node a read will really hit (locality reroutes
+    /// mean this is not always `bp.replica`).
+    pub(crate) fn resolve_host(&self, bp: &BlockPlan, task_node: DatanodeId) -> DatanodeId {
         if bp.replica == task_node || !bp.locations.contains(&task_node) {
             return bp.replica;
         }

@@ -118,9 +118,14 @@ pub fn run_map_job_with_failure(
                 HailError::Job(format!("split {} vanished on re-plan", task.split))
             })?;
             sink.clear();
-            let stats = job
-                .format
-                .read_split(cluster, split, task.node, &mut |rec| sink.push(rec))?;
+            let wall = std::time::Instant::now();
+            let stats = job.format.read_split_with(
+                cluster,
+                split,
+                &job.split_context(task.node),
+                &mut |rec| sink.push(rec),
+            )?;
+            let reader_wall_seconds = wall.elapsed().as_secs_f64();
             let reader_seconds = stats.reader_seconds(hw, spec.scale);
             let duration = hw.task_overhead_s + reader_seconds;
             let (start, end) = slots.assign(task.node, duration, 0.0);
@@ -130,6 +135,7 @@ pub fn run_map_job_with_failure(
                 start,
                 end,
                 reader_seconds,
+                reader_wall_seconds,
                 rerun: false,
                 stats,
             });
@@ -158,9 +164,13 @@ pub fn run_map_job_with_failure(
             .choose_node(&split.locations)
             .ok_or_else(|| HailError::Job("no live nodes to re-schedule on".into()))?;
         let mut records = Vec::new();
-        let stats = job
-            .format
-            .read_split(cluster, split, node, &mut |rec| records.push(rec))?;
+        let wall = std::time::Instant::now();
+        let stats =
+            job.format
+                .read_split_with(cluster, split, &job.split_context(node), &mut |rec| {
+                    records.push(rec)
+                })?;
+        let reader_wall_seconds = wall.elapsed().as_secs_f64();
         for rec in &records {
             scratch.clear();
             (job.map)(rec, &mut scratch);
@@ -175,6 +185,7 @@ pub fn run_map_job_with_failure(
             start,
             end,
             reader_seconds,
+            reader_wall_seconds,
             rerun: true,
             stats,
         });

@@ -50,8 +50,44 @@ pub struct SplitPlan {
     pub client_cost: CostLedger,
 }
 
+/// Execution context the scheduler hands a split read: where the map
+/// task runs, and how much worker parallelism the engine grants the
+/// read for fanning out independent block reads within the split.
+///
+/// This is the seam through which `run_map_job` drives the execution
+/// layer's parallel executor without depending on it: formats that can
+/// parallelize (the planner-backed ones in `hail-exec`) honor
+/// `parallelism`; simple formats ignore it via the default
+/// [`InputFormat::read_split_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitContext {
+    /// The node the map task runs on; remote reads charge the network.
+    pub task_node: DatanodeId,
+    /// Worker threads the read may use for independent blocks of the
+    /// split. `None` defers to the format's own executor
+    /// configuration (which defaults to the `HAIL_PARALLELISM`
+    /// environment override); `Some(1)` forces a serial read.
+    pub parallelism: Option<usize>,
+}
+
+impl SplitContext {
+    /// A read on `task_node` with the format's own parallelism policy.
+    pub fn on(task_node: DatanodeId) -> Self {
+        SplitContext {
+            task_node,
+            parallelism: None,
+        }
+    }
+
+    /// Builder-style parallelism override.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = Some(parallelism.max(1));
+        self
+    }
+}
+
 /// How a job's input is split and read. Implemented by the Hadoop
-/// baseline, Hadoop++, and HAIL in `hail-core`.
+/// baseline, Hadoop++, and HAIL in `hail-exec`.
 pub trait InputFormat {
     /// Computes input splits for the given input blocks.
     fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan>;
@@ -66,6 +102,27 @@ pub trait InputFormat {
         task_node: DatanodeId,
         emit: &mut dyn FnMut(MapRecord),
     ) -> Result<TaskStats>;
+
+    /// Reads one split under an explicit [`SplitContext`] — the entry
+    /// point the scheduler uses, so job-level parallelism reaches the
+    /// format. Formats without intra-split parallelism inherit this
+    /// default, which ignores the parallelism hint. On a **successful**
+    /// read, the emitted records, their order, and the returned
+    /// statistics must be identical to [`InputFormat::read_split`]
+    /// whatever the context; on a failing read only the returned error
+    /// is guaranteed parallelism-independent — a parallel read may
+    /// have emitted fewer of the pre-failure records than a serial one
+    /// (never different ones, never out of order) by the time the
+    /// error surfaces.
+    fn read_split_with(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        ctx: &SplitContext,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        self.read_split(cluster, split, ctx.task_node, emit)
+    }
 
     /// A short name for reports ("Hadoop", "Hadoop++", "HAIL").
     fn name(&self) -> &str;
@@ -89,5 +146,14 @@ mod tests {
         let p = SplitPlan::default();
         assert!(p.splits.is_empty());
         assert_eq!(p.client_cost.disk_read, 0);
+    }
+
+    #[test]
+    fn split_context_builders() {
+        let ctx = SplitContext::on(3);
+        assert_eq!(ctx.task_node, 3);
+        assert_eq!(ctx.parallelism, None);
+        assert_eq!(ctx.with_parallelism(0).parallelism, Some(1));
+        assert_eq!(SplitContext::on(0).with_parallelism(4).parallelism, Some(4));
     }
 }

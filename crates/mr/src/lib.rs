@@ -14,6 +14,16 @@
 //! execution layer's selectivity estimates after each split) and
 //! plan-cache hit/miss counters, which [`JobReport::plan_cache_hits`]
 //! and [`JobReport::plan_cache_misses`] aggregate per job.
+//!
+//! Split reads run under a [`SplitContext`]: the scheduler grants each
+//! read the node it runs on plus a worker-parallelism budget
+//! ([`MapJob::parallelism`], or the `HAIL_PARALLELISM` environment
+//! override), which the execution layer's parallel executor uses to fan
+//! a split's independent block reads across threads. Parallelism only
+//! changes real wall clock — results, their order, and every
+//! simulated-clock figure are identical at any setting, and
+//! [`TaskReport::reader_wall_seconds`] reports the measured wall time
+//! separately from the simulated [`TaskReport::reader_seconds`].
 
 #![forbid(unsafe_code)]
 
@@ -24,7 +34,7 @@ pub mod scheduler;
 pub mod shuffle;
 
 pub use failover::{run_map_job_with_failure, FailoverRun, FailureScenario};
-pub use input_format::{InputFormat, InputSplit, SplitPlan};
+pub use input_format::{InputFormat, InputSplit, SplitContext, SplitPlan};
 pub use job::{JobReport, MapRecord, PathCounts, SelectivityObservation, TaskReport, TaskStats};
 pub use scheduler::{run_map_job, JobRun, MapJob};
 pub use shuffle::{run_map_reduce_job, MapReduceJob, MapReduceRun};

@@ -9,11 +9,12 @@
 //! `HailSplitting` attacks exactly this term by collapsing the task
 //! count.
 
-use crate::input_format::InputFormat;
+use crate::input_format::{InputFormat, SplitContext};
 use crate::job::{JobReport, MapRecord, TaskReport};
 use hail_dfs::DfsCluster;
 use hail_sim::{ClusterSpec, SlotPool};
 use hail_types::{BlockId, DatanodeId, HailError, Result, Row};
+use std::time::Instant;
 
 /// A map-only job: the input format yields records; `map` turns each
 /// record into zero or more output rows (the paper's annotated map
@@ -22,6 +23,14 @@ pub struct MapJob<'a> {
     pub name: String,
     pub input: Vec<BlockId>,
     pub format: &'a dyn InputFormat,
+    /// Worker parallelism granted to each split read for fanning out
+    /// its independent block reads (driven through
+    /// [`SplitContext::parallelism`] into the execution layer's
+    /// executor). `None` — the default — lets the format's own
+    /// executor configuration decide (which honors the
+    /// `HAIL_PARALLELISM` environment override). Never changes results
+    /// or simulated times, only real wall clock.
+    pub parallelism: Option<usize>,
     #[allow(clippy::type_complexity)]
     pub map: Box<dyn Fn(&MapRecord, &mut Vec<Row>) + 'a>,
 }
@@ -39,11 +48,26 @@ impl<'a> MapJob<'a> {
             name: name.into(),
             input,
             format,
+            parallelism: None,
             map: Box::new(|rec, out| {
                 if !rec.bad {
                     out.push(rec.row.clone());
                 }
             }),
+        }
+    }
+
+    /// Builder-style intra-split read parallelism override.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = Some(parallelism.max(1));
+        self
+    }
+
+    /// The [`SplitContext`] this job's tasks read under on `node`.
+    pub(crate) fn split_context(&self, node: DatanodeId) -> SplitContext {
+        SplitContext {
+            task_node: node,
+            parallelism: self.parallelism,
         }
     }
 }
@@ -206,9 +230,13 @@ pub fn run_map_job(cluster: &DfsCluster, spec: &ClusterSpec, job: &MapJob<'_>) -
             .choose_node_delayed(&split.locations, spec.locality_delay_s)
             .ok_or_else(|| HailError::Job("no live nodes to schedule on".into()))?;
         let mut records = Vec::new();
-        let stats = job
-            .format
-            .read_split(cluster, split, node, &mut |rec| records.push(rec))?;
+        let wall = Instant::now();
+        let stats =
+            job.format
+                .read_split_with(cluster, split, &job.split_context(node), &mut |rec| {
+                    records.push(rec)
+                })?;
+        let reader_wall_seconds = wall.elapsed().as_secs_f64();
         for rec in &records {
             scratch.clear();
             (job.map)(rec, &mut scratch);
@@ -223,6 +251,7 @@ pub fn run_map_job(cluster: &DfsCluster, spec: &ClusterSpec, job: &MapJob<'_>) -
             start,
             end,
             reader_seconds,
+            reader_wall_seconds,
             rerun: false,
             stats,
         });
@@ -429,6 +458,7 @@ mod tests {
             name: "filter".into(),
             input: (0..10).collect(),
             format: &fmt,
+            parallelism: None,
             map: Box::new(|rec, out| {
                 if let Some(Value::Long(v)) = rec.row.get(0) {
                     if v % 2 == 0 {

@@ -25,6 +25,9 @@ pub struct MapReduceJob<'a> {
     pub reduce: Box<dyn Fn(&Value, &[Row], &mut Vec<Row>) + 'a>,
     /// Number of reduce tasks (≥1).
     pub reducers: usize,
+    /// Intra-split read parallelism for the map phase (see
+    /// [`MapJob::parallelism`]); `None` defers to the input format.
+    pub parallelism: Option<usize>,
 }
 
 /// Result of a map-reduce job: reduced output plus the map-phase report
@@ -52,6 +55,7 @@ pub fn run_map_reduce_job(
             name: job.name.clone(),
             input: job.input.clone(),
             format: job.format,
+            parallelism: job.parallelism,
             map: Box::new(|rec, _out| {
                 let mut emitted = Vec::new();
                 (job.map)(rec, &mut emitted);
@@ -161,6 +165,7 @@ mod tests {
                 out.push(Row::new(vec![key.clone(), Value::Long(rows.len() as i64)]));
             }),
             reducers: 1,
+            parallelism: None,
         };
         let run = run_map_reduce_job(&cluster, &spec, &job).unwrap();
         // Keys 0,1,2 each appear 3 times.
@@ -186,6 +191,7 @@ mod tests {
             }),
             reduce: Box::new(|_k: &Value, _rows: &[Row], _out: &mut Vec<Row>| {}),
             reducers,
+            parallelism: None,
         };
         let one = run_map_reduce_job(&cluster, &spec, &mk(1)).unwrap();
         let four = run_map_reduce_job(&cluster, &spec, &mk(4)).unwrap();

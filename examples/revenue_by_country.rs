@@ -57,6 +57,7 @@ fn main() -> Result<()> {
             ]));
         }),
         reducers: 2,
+        parallelism: None,
     };
 
     let run = run_map_reduce_job(&cluster, &spec, &job)?;

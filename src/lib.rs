@@ -93,9 +93,9 @@ pub mod prelude {
         DfsCluster, FaultPlan,
     };
     pub use hail_exec::{
-        default_splits, hail_splits, read_hail_block, AccessPath, CacheStats, HadoopInputFormat,
-        HadoopPlusPlusInputFormat, HailInputFormat, PlanCache, PlannerConfig, QueryPlan,
-        QueryPlanner, SelectivityEstimate, SelectivityFeedback,
+        default_splits, hail_splits, read_hail_block, AccessPath, CacheStats, ExecutorConfig,
+        ExecutorContext, HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat, PlanCache,
+        PlannerConfig, QueryPlan, QueryPlanner, SelectivityEstimate, SelectivityFeedback,
     };
     pub use hail_index::{
         ClusteredIndex, IndexKind, IndexedBlock, KeyBounds, ReplicaIndexConfig, SidecarMetadata,

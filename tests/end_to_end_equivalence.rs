@@ -151,6 +151,7 @@ fn bad_records_survive_upload_and_reach_the_map_function() {
         name: "badscan".into(),
         input: dataset.blocks.clone(),
         format: &format,
+        parallelism: None,
         map: Box::new(|rec, out| {
             if rec.bad {
                 bad_seen.set(bad_seen.get() + 1);
