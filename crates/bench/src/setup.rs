@@ -267,6 +267,27 @@ pub fn run_query_at(
     run_map_job(&setup.cluster, spec, &job)
 }
 
+/// [`run_query_at`] with an explicit *job-level* overlap as well: up to
+/// `job_parallelism` whole splits execute concurrently through the
+/// format's work-stealing pool, each fanning its block reads across
+/// `split_parallelism` workers claimed from the shared budget. Results
+/// and simulated times are identical at any setting; only the measured
+/// wall clock changes.
+pub fn run_query_overlapped(
+    setup: &SystemSetup,
+    spec: &ClusterSpec,
+    query: &HailQuery,
+    hail_splitting: bool,
+    split_parallelism: usize,
+    job_parallelism: usize,
+) -> Result<JobRun> {
+    let format = make_format(setup, spec, query, hail_splitting);
+    let job = MapJob::collecting("query", setup.dataset.blocks.clone(), format.as_ref())
+        .with_parallelism(split_parallelism)
+        .with_job_parallelism(job_parallelism);
+    run_map_job(&setup.cluster, spec, &job)
+}
+
 /// Builds the input format for a dataset (shared by the two runners).
 fn make_format(
     setup: &SystemSetup,

@@ -579,6 +579,37 @@ impl PlanCache {
         }
     }
 
+    /// Counter-free, validation-free peek at a memoized plan's
+    /// estimated cost — the assignment phase's pricing source
+    /// (`QueryPlanner::estimate_split`). Deliberately bypasses hit/miss
+    /// accounting and fingerprint revalidation: a scheduling estimate
+    /// must not perturb cache effectiveness counters, and a mildly
+    /// stale estimate is still a fine slot-occupancy price (the read
+    /// itself revalidates before executing anything).
+    pub fn peek_est_seconds(&self, shape: &FilterShape, block: BlockId) -> Option<f64> {
+        self.peek_est_seconds_many(shape, std::slice::from_ref(&block))[0]
+    }
+
+    /// Batch form of [`PlanCache::peek_est_seconds`]: one read-lock
+    /// acquisition and one shape clone for the whole block list, so
+    /// the assignment phase's per-split probe is O(blocks) map lookups
+    /// rather than O(blocks) lock round-trips and key allocations.
+    pub fn peek_est_seconds_many(
+        &self,
+        shape: &FilterShape,
+        blocks: &[BlockId],
+    ) -> Vec<Option<f64>> {
+        let inner = self.inner.read().unwrap();
+        let mut key = (shape.clone(), 0);
+        blocks
+            .iter()
+            .map(|&b| {
+                key.1 = b;
+                inner.entries.get(&key).map(|e| e.plan.est_seconds)
+            })
+            .collect()
+    }
+
     /// Charges `n` cost-model candidate evaluations to this cache's
     /// accounting (the planner reports every pricing pass it runs on a
     /// miss, so tests can assert a warm cache prices nothing).

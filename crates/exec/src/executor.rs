@@ -1,7 +1,8 @@
-//! The parallel split executor: a thread-safe worker pool that fans the
-//! independent block reads of one input split out across OS threads,
-//! every read still going through the single
-//! [`crate::path::AccessPath::execute`] seam.
+//! The parallel executors: an intra-split worker pool
+//! ([`ExecutorContext`]) fanning one split's independent block reads
+//! across OS threads, and a job-level work-stealing pool ([`JobPool`])
+//! overlapping whole splits across the job — every read still going
+//! through the single [`crate::path::AccessPath::execute`] seam.
 //!
 //! HAIL's planning layer makes each block read cheap; this module makes
 //! the cheap reads *compound*: a multi-block split (the product of
@@ -30,24 +31,42 @@
 //! below it always run, in case one fails at a lower index still.
 
 use hail_types::{DatanodeId, Result};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Environment variable overriding the default executor parallelism
 /// (`HAIL_PARALLELISM=4` runs every split's block reads on 4 workers).
 /// Unset, unparsable, or zero values mean serial execution.
 pub const PARALLELISM_ENV: &str = "HAIL_PARALLELISM";
 
-/// The parallelism configured by [`PARALLELISM_ENV`], defaulting to 1
-/// (serial) — the knob CI uses to exercise the parallel path across the
-/// whole suite without touching any call site.
-pub fn env_parallelism() -> usize {
-    std::env::var(PARALLELISM_ENV)
+/// Environment variable overriding the default *job-level* parallelism
+/// (`HAIL_JOB_PARALLELISM=4` lets the planner-backed formats overlap 4
+/// whole splits). Unset, unparsable, or zero values mean sequential
+/// split execution.
+pub const JOB_PARALLELISM_ENV: &str = "HAIL_JOB_PARALLELISM";
+
+/// Shared parser for the parallelism environment knobs: unset,
+/// unparsable, or zero values mean 1 (no parallelism).
+fn env_parallelism_var(var: &str) -> usize {
+    std::env::var(var)
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&p| p >= 1)
         .unwrap_or(1)
+}
+
+/// The parallelism configured by [`PARALLELISM_ENV`], defaulting to 1
+/// (serial) — the knob CI uses to exercise the parallel path across the
+/// whole suite without touching any call site.
+pub fn env_parallelism() -> usize {
+    env_parallelism_var(PARALLELISM_ENV)
+}
+
+/// The job-level parallelism configured by [`JOB_PARALLELISM_ENV`],
+/// defaulting to 1 (sequential split execution).
+pub fn env_job_parallelism() -> usize {
+    env_parallelism_var(JOB_PARALLELISM_ENV)
 }
 
 /// Executor knobs: worker-pool width and the optional per-node slot
@@ -104,15 +123,27 @@ impl ExecutorConfig {
 /// one datanode at once. (The scheduler's simulated slot pools are
 /// about *when* tasks run in simulated time; this gate is about real
 /// I/O concurrency against one node's disk.)
+///
+/// Since the job-overlap change the gate is **shared job-wide**: one
+/// instance, owned by the [`JobPool`], bounds the combined pressure of
+/// every concurrently executing split (and their intra-split workers)
+/// against any single datanode — not just one split's. Permits are
+/// held only for the duration of a single block read (never across
+/// blocks, never while waiting on another permit), so the gate cannot
+/// deadlock; in the lock hierarchy it sits strictly below the
+/// `JobPool`'s scheduling state and strictly above the planner's
+/// `RwLock`s.
 #[derive(Debug)]
-struct NodeGate {
+pub struct NodeGate {
     in_flight: Mutex<BTreeMap<DatanodeId, usize>>,
     freed: Condvar,
     slots_per_node: usize,
 }
 
 impl NodeGate {
-    fn new(slots_per_node: usize) -> Self {
+    /// A gate admitting at most `slots_per_node` concurrent reads
+    /// against any one datanode (clamped to at least 1).
+    pub fn new(slots_per_node: usize) -> Self {
         NodeGate {
             in_flight: Mutex::new(BTreeMap::new()),
             freed: Condvar::new(),
@@ -122,7 +153,7 @@ impl NodeGate {
 
     /// Blocks until `node` has a free slot, then occupies one. The
     /// returned guard frees the slot on drop.
-    fn acquire(&self, node: DatanodeId) -> NodePermit<'_> {
+    pub fn acquire(&self, node: DatanodeId) -> NodePermit<'_> {
         let mut counts = self.in_flight.lock().unwrap();
         while counts.get(&node).copied().unwrap_or(0) >= self.slots_per_node {
             counts = self.freed.wait(counts).unwrap();
@@ -133,7 +164,7 @@ impl NodeGate {
 }
 
 /// RAII slot occupation; releasing wakes blocked workers.
-struct NodePermit<'a> {
+pub struct NodePermit<'a> {
     gate: &'a NodeGate,
     node: DatanodeId,
 }
@@ -157,11 +188,19 @@ impl Drop for NodePermit<'_> {
 #[derive(Debug, Clone)]
 pub struct ExecutorContext {
     config: ExecutorConfig,
+    /// A job-wide [`NodeGate`] this context gates through instead of
+    /// building its own per-read gate from
+    /// [`ExecutorConfig::per_node_slots`]. Set by the [`JobPool`] so
+    /// concurrent splits share one per-node bound.
+    shared_gate: Option<Arc<NodeGate>>,
 }
 
 impl ExecutorContext {
     pub fn new(config: ExecutorConfig) -> Self {
-        ExecutorContext { config }
+        ExecutorContext {
+            config,
+            shared_gate: None,
+        }
     }
 
     /// A serial context (parallelism 1).
@@ -169,9 +208,23 @@ impl ExecutorContext {
         ExecutorContext::new(ExecutorConfig::serial())
     }
 
+    /// Builder-style job-wide gate: when set, every read of this
+    /// context acquires permits from `gate` (shared with the rest of
+    /// the job) rather than a private per-read gate, and
+    /// [`ExecutorConfig::per_node_slots`] is ignored.
+    pub fn with_shared_gate(mut self, gate: Option<Arc<NodeGate>>) -> Self {
+        self.shared_gate = gate;
+        self
+    }
+
     /// The configured worker count.
     pub fn parallelism(&self) -> usize {
         self.config.parallelism.max(1)
+    }
+
+    /// True if a job-wide [`NodeGate`] is attached to this context.
+    pub fn has_shared_gate(&self) -> bool {
+        self.shared_gate.is_some()
     }
 
     /// The worker count that would actually run `n` tasks.
@@ -199,12 +252,29 @@ impl ExecutorContext {
     {
         let workers = self.workers_for(n);
         if workers <= 1 {
+            if let Some(gate) = &self.shared_gate {
+                // Serial read inside a parallel job: same in-order,
+                // stop-at-first-error semantics, but each block read
+                // still takes a permit from the job-wide gate so
+                // concurrent splits respect the shared per-node bound.
+                return (0..n)
+                    .map(|i| {
+                        let _permit = node_of(i).map(|node| gate.acquire(node));
+                        task(i)
+                    })
+                    .collect();
+            }
             // Serial: the exact historical behavior, in-order on the
             // calling thread, stopping at the first error.
             return (0..n).map(task).collect();
         }
 
-        let gate = self.config.per_node_slots.map(NodeGate::new);
+        let own_gate = if self.shared_gate.is_none() {
+            self.config.per_node_slots.map(NodeGate::new)
+        } else {
+            None
+        };
+        let gate: Option<&NodeGate> = self.shared_gate.as_deref().or(own_gate.as_ref());
         let next = AtomicUsize::new(0);
         // Lowest failing index seen so far (monotonically decreasing).
         let failed_at = AtomicUsize::new(usize::MAX);
@@ -220,9 +290,7 @@ impl ExecutorContext {
                     if i >= n || i > failed_at.load(Ordering::Relaxed) {
                         break;
                     }
-                    let _permit = gate
-                        .as_ref()
-                        .and_then(|g| node_of(i).map(|node| g.acquire(node)));
+                    let _permit = gate.and_then(|g| node_of(i).map(|node| g.acquire(node)));
                     let result = task(i);
                     if result.is_err() {
                         failed_at.fetch_min(i, Ordering::Relaxed);
@@ -241,6 +309,306 @@ impl ExecutorContext {
                 .into_inner()
                 .unwrap()
                 .expect("executor worker left a pre-failure task slot unfilled");
+            out.push(result?);
+        }
+        Ok(out)
+    }
+}
+
+/// A job's global thread budget, shared between the [`JobPool`]'s
+/// split-level workers and the intra-split [`ExecutorContext`] workers
+/// each split read spawns: the total number of concurrently running
+/// executor threads never exceeds `total`.
+///
+/// The pool seeds the counter with its split workers; each split read
+/// then *claims* extra intra-split workers from whatever is left
+/// ([`SplitLease::claim_intra`]) and releases them when the read
+/// finishes. A split worker whose deque (and every steal target) has
+/// drained releases its own seed share too, so late, long splits can
+/// widen their intra-split fan-out as the job tail empties.
+#[derive(Debug)]
+pub struct ParallelismBudget {
+    total: usize,
+    in_use: AtomicUsize,
+}
+
+impl ParallelismBudget {
+    /// A budget of `total` concurrent threads (clamped to at least 1).
+    pub fn new(total: usize) -> Self {
+        ParallelismBudget {
+            total: total.max(1),
+            in_use: AtomicUsize::new(0),
+        }
+    }
+
+    /// The budget's ceiling.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Threads currently accounted against the budget.
+    pub fn in_use(&self) -> usize {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Claims up to `want` threads, returning how many were granted
+    /// (possibly 0 — never blocks).
+    fn claim(&self, want: usize) -> usize {
+        let mut current = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let granted = want.min(self.total.saturating_sub(current));
+            if granted == 0 {
+                return 0;
+            }
+            match self.in_use.compare_exchange_weak(
+                current,
+                current + granted,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return granted,
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// [`ParallelismBudget::claim`], but always grants at least one
+    /// thread even on a fully claimed budget — a [`JobPool::run`] call
+    /// must make progress on the caller's thread no matter what. With
+    /// `k` concurrent `run` calls sharing one pool, combined threads
+    /// exceed `total` by at most `k − 1` (one guaranteed worker each);
+    /// a single run never exceeds the budget.
+    fn claim_workers(&self, want: usize) -> usize {
+        let mut current = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let granted = want.min(self.total.saturating_sub(current)).max(1);
+            match self.in_use.compare_exchange_weak(
+                current,
+                current + granted,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return granted,
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    fn release(&self, n: usize) {
+        if n > 0 {
+            self.in_use.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Extra intra-split workers claimed from a [`ParallelismBudget`];
+/// released on drop.
+#[derive(Debug)]
+pub struct IntraClaim<'a> {
+    budget: &'a ParallelismBudget,
+    granted: usize,
+}
+
+impl IntraClaim<'_> {
+    /// Total workers the split read may use: the caller's own thread
+    /// plus every extra thread granted.
+    pub fn workers(&self) -> usize {
+        1 + self.granted
+    }
+}
+
+impl Drop for IntraClaim<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.granted);
+    }
+}
+
+/// What a [`JobPool`] worker hands each split task: access to the
+/// job-wide budget (for intra-split worker claims) and the shared
+/// per-node gate.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitLease<'a> {
+    budget: &'a ParallelismBudget,
+    gate: Option<&'a Arc<NodeGate>>,
+}
+
+impl<'a> SplitLease<'a> {
+    /// Claims intra-split workers toward `want` total (including the
+    /// split's own thread) from the job's global budget. Never blocks;
+    /// grants whatever is free, down to just the caller's own thread.
+    pub fn claim_intra(&self, want: usize) -> IntraClaim<'a> {
+        IntraClaim {
+            budget: self.budget,
+            granted: self.budget.claim(want.max(1) - 1),
+        }
+    }
+
+    /// The job-wide per-node gate, if the job configured one.
+    pub fn shared_gate(&self) -> Option<Arc<NodeGate>> {
+        self.gate.cloned()
+    }
+}
+
+/// [`JobPool`] knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPoolConfig {
+    /// Split-level workers: how many whole splits may execute at once.
+    pub workers: usize,
+    /// Global thread budget shared by split workers and their
+    /// intra-split claims (raised to at least `workers`).
+    pub budget: usize,
+    /// Per-node concurrent-read cap, enforced by one job-wide
+    /// [`NodeGate`] across every split. `None` disables gating.
+    pub per_node_slots: Option<usize>,
+}
+
+/// The job-level work-stealing pool: [`ExecutorContext`] generalized
+/// from "blocks of one split" to "splits of one job".
+///
+/// Each worker owns a deque seeded with a round-robin share of the
+/// split indices; it drains its own deque from the front and, when
+/// empty, steals from the back of a sibling's. Three properties carry
+/// over from the intra-split executor unchanged:
+///
+/// 1. **Deterministic results** — per-split results land in index
+///    slots and are merged in split order, never completion order.
+/// 2. **Deterministic errors** — the lowest-indexed failure wins;
+///    splits above a known failure are skipped, splits below it always
+///    run.
+/// 3. **One budget** — the pool's split workers and every intra-split
+///    worker they claim share one [`ParallelismBudget`], so
+///    `HAIL_PARALLELISM`-style knobs bound *total* threads, not
+///    threads per layer. The per-node [`NodeGate`] is likewise shared
+///    job-wide.
+#[derive(Debug)]
+pub struct JobPool {
+    workers: usize,
+    budget: ParallelismBudget,
+    gate: Option<Arc<NodeGate>>,
+}
+
+impl JobPool {
+    pub fn new(config: JobPoolConfig) -> Self {
+        let workers = config.workers.max(1);
+        JobPool {
+            workers,
+            budget: ParallelismBudget::new(config.budget.max(workers)),
+            gate: config
+                .per_node_slots
+                .map(|slots| Arc::new(NodeGate::new(slots))),
+        }
+    }
+
+    /// The job-wide thread budget.
+    pub fn budget(&self) -> &ParallelismBudget {
+        &self.budget
+    }
+
+    /// Runs split tasks `0..n`, returning their results **in index
+    /// order**; on failure the error of the lowest-indexed failing
+    /// split is returned. Each task receives a [`SplitLease`] for
+    /// claiming intra-split workers and the shared gate.
+    pub fn run<T, F>(&self, n: usize, task: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize, &SplitLease<'_>) -> Result<T> + Sync,
+    {
+        let workers = self.workers.min(n).max(1);
+        // The split workers themselves occupy budget while they live —
+        // claimed additively against the total (never `store`d), so a
+        // pool shared across concurrent `run` calls both keeps a
+        // consistent count and respects the global bound: a second
+        // concurrent run is squeezed down to the budget's remainder
+        // (but always gets one worker). Each parallel worker releases
+        // its own seat on exit; the sequential path releases its single
+        // seat itself.
+        let workers = self.budget.claim_workers(workers);
+        self.run_seeded(n, workers, &task)
+    }
+
+    fn run_seeded<T, F>(&self, n: usize, workers: usize, task: &F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize, &SplitLease<'_>) -> Result<T> + Sync,
+    {
+        if workers <= 1 {
+            // Sequential: in split order on the caller's thread,
+            // stopping at the first error — with budget and gate still
+            // live so intra-split reads behave identically.
+            let lease = SplitLease {
+                budget: &self.budget,
+                gate: self.gate.as_ref(),
+            };
+            let out = (0..n).map(|i| task(i, &lease)).collect();
+            self.budget.release(1);
+            return out;
+        }
+
+        // Per-worker deques, seeded round-robin so early (often larger,
+        // often lower-indexed) splits start immediately everywhere.
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+            .collect();
+        // Lowest failing split index seen so far.
+        let failed_at = AtomicUsize::new(usize::MAX);
+        let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let deques = &deques;
+                let slots = &slots;
+                let failed_at = &failed_at;
+                let lease = SplitLease {
+                    budget: &self.budget,
+                    gate: self.gate.as_ref(),
+                };
+                scope.spawn(move || {
+                    loop {
+                        // Own deque first (front); when it drains,
+                        // steal from the back of the first sibling
+                        // still holding work. The task set is static
+                        // (no pushes after seeding), so finding every
+                        // deque empty means the job tail is done.
+                        let mut next = deques[w].lock().unwrap().pop_front();
+                        if next.is_none() {
+                            for (v, d) in deques.iter().enumerate() {
+                                if v == w {
+                                    continue;
+                                }
+                                next = d.lock().unwrap().pop_back();
+                                if next.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(i) = next else { break };
+                        if i > failed_at.load(Ordering::Relaxed) {
+                            // Past a known failure: skip (its result
+                            // could never influence the outcome) but
+                            // keep draining — lower indices may remain.
+                            continue;
+                        }
+                        let result = task(i, &lease);
+                        if result.is_err() {
+                            failed_at.fetch_min(i, Ordering::Relaxed);
+                        }
+                        *slots[i].lock().unwrap() = Some(result);
+                    }
+                    // This worker is done: its budget share frees up
+                    // for the surviving splits' intra-split claims.
+                    self.budget.release(1);
+                });
+            }
+        });
+
+        // Merge in split order: every slot below the final failed_at is
+        // filled, so the lowest-index error is reached before any
+        // skipped (None) slot.
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            let result = slot
+                .into_inner()
+                .unwrap()
+                .expect("job pool worker left a pre-failure split slot unfilled");
             out.push(result?);
         }
         Ok(out)
@@ -417,5 +785,146 @@ mod tests {
         let capped = ExecutorConfig::with_parallelism(4).with_per_node_slots(0);
         assert_eq!(capped.per_node_slots, Some(1));
         assert_eq!(ExecutorContext::new(capped).workers_for(2), 2);
+    }
+
+    fn pool(workers: usize, budget: usize) -> JobPool {
+        JobPool::new(JobPoolConfig {
+            workers,
+            budget,
+            per_node_slots: None,
+        })
+    }
+
+    #[test]
+    fn job_pool_results_in_index_order_at_any_width() {
+        for workers in [1, 2, 4, 8] {
+            let out = pool(workers, workers)
+                .run(19, |i, _| {
+                    if i % 3 == 0 {
+                        std::thread::yield_now();
+                    }
+                    Ok(i * 7)
+                })
+                .unwrap();
+            assert_eq!(out, (0..19).map(|i| i * 7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn job_pool_lowest_index_error_wins() {
+        let err = pool(4, 4)
+            .run(16, |i, _| {
+                if i == 2 || i == 13 {
+                    Err(HailError::Job(format!("split {i}")))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            HailError::Job("split 2".into()).to_string()
+        );
+    }
+
+    /// With two workers and worker 0 stuck on its first split, its
+    /// remaining deque entries must be stolen and completed by the
+    /// sibling — the whole batch finishes, and the stolen indices run
+    /// on a different thread than the stuck one.
+    #[test]
+    fn job_pool_steals_drained_work() {
+        use std::sync::Mutex as StdMutex;
+        let ran_by: StdMutex<BTreeMap<usize, std::thread::ThreadId>> =
+            StdMutex::new(BTreeMap::new());
+        pool(2, 2)
+            .run(8, |i, _| {
+                if i == 0 {
+                    // Worker 0's first task: hold it long enough for
+                    // the sibling to drain everything else.
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                }
+                ran_by
+                    .lock()
+                    .unwrap()
+                    .insert(i, std::thread::current().id());
+                Ok(i)
+            })
+            .unwrap();
+        let ran_by = ran_by.into_inner().unwrap();
+        assert_eq!(ran_by.len(), 8, "every split ran");
+        // Indices 2,4,6 were seeded to the stuck worker's deque; at
+        // least one must have been stolen by the other thread.
+        let stuck = ran_by[&0];
+        assert!(
+            [2usize, 4, 6].iter().any(|i| ran_by[i] != stuck),
+            "no split was stolen from the stuck worker"
+        );
+    }
+
+    /// The global budget is shared: split workers plus every
+    /// intra-split claim never exceed the total, and claims free up as
+    /// splits (and then workers) finish.
+    #[test]
+    fn job_pool_budget_bounds_total_threads() {
+        let p = pool(2, 4);
+        let peak_in_use = AtomicUsize::new(0);
+        p.run(12, |_, lease| {
+            let claim = lease.claim_intra(100);
+            // 2 split workers seeded + at most 2 extra grantable.
+            assert!(claim.workers() <= 3);
+            let now = p.budget().in_use();
+            peak_in_use.fetch_max(now, Ordering::SeqCst);
+            assert!(now <= p.budget().total());
+            Ok(())
+        })
+        .unwrap();
+        assert!(peak_in_use.load(Ordering::SeqCst) <= 4);
+        assert_eq!(p.budget().in_use(), 0, "budget fully released after run");
+        // The budget never sinks below the worker count.
+        assert_eq!(pool(4, 1).budget().total(), 4);
+    }
+
+    /// One job-wide gate bounds concurrent reads against a node across
+    /// *splits*, not just within one — four concurrently executing
+    /// splits all reading node 0 through their own `ExecutorContext`s
+    /// never overlap when the shared gate has one slot.
+    #[test]
+    fn shared_gate_bounds_cross_split_concurrency() {
+        let p = JobPool::new(JobPoolConfig {
+            workers: 4,
+            budget: 8,
+            per_node_slots: Some(1),
+        });
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        p.run(4, |_, lease| {
+            let ctx = ExecutorContext::new(ExecutorConfig::with_parallelism(2))
+                .with_shared_gate(lease.shared_gate());
+            ctx.run(
+                3,
+                |_| Some(0),
+                |_| {
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    Ok(())
+                },
+            )
+            .map(|_| ())
+        })
+        .unwrap();
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "the job-wide gate must serialize all reads against node 0"
+        );
+    }
+
+    #[test]
+    fn env_job_parallelism_defaults_serial() {
+        // The suite cannot mutate the process environment safely, but
+        // the parser contract is pinned: absent/zero → 1.
+        assert!(env_job_parallelism() >= 1);
     }
 }

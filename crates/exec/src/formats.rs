@@ -8,14 +8,19 @@
 //! and every block read goes through
 //! [`QueryPlanner::execute_block`] → `AccessPath::execute`.
 
-use crate::executor::{ExecutorConfig, ExecutorContext};
+use crate::executor::{
+    env_job_parallelism, ExecutorConfig, ExecutorContext, JobPool, JobPoolConfig,
+};
 use crate::planner::{PlannerConfig, QueryPlanner};
 use crate::splitting::{default_splits, plan_default_splits, plan_hail_splits};
 use hail_core::baselines::hadoop_plus_plus::trojan_header_bytes;
 use hail_core::{Dataset, HailQuery};
 use hail_dfs::DfsCluster;
-use hail_mr::{InputFormat, InputSplit, MapRecord, SplitContext, SplitPlan, TaskStats};
+use hail_mr::{
+    InputFormat, InputSplit, MapRecord, SplitContext, SplitPlan, SplitRead, SplitTask, TaskStats,
+};
 use hail_types::{BlockId, DatanodeId, Result};
+use std::time::Instant;
 
 /// HAIL's input format: planner-driven `HailSplitting` + access-path
 /// execution.
@@ -109,12 +114,39 @@ impl InputFormat for HailInputFormat {
         read_split_via_planner(
             cluster,
             &self.planner,
-            &executor_for(&self.executor, ctx),
+            &ExecutorContext::new(executor_for(&self.executor, ctx)),
             &self.dataset,
             &self.query,
             split,
             ctx.task_node,
             emit,
+        )
+    }
+
+    fn read_split_batch(
+        &self,
+        cluster: &DfsCluster,
+        batch: &[SplitTask<'_>],
+        job_parallelism: Option<usize>,
+    ) -> Result<Vec<SplitRead>> {
+        batch_read_via_planner(
+            cluster,
+            &self.planner,
+            &self.executor,
+            &self.dataset,
+            &self.query,
+            batch,
+            job_parallelism,
+        )
+    }
+
+    fn estimate_split(&self, cluster: &DfsCluster, split: &InputSplit) -> Option<f64> {
+        Some(
+            QueryPlanner::with_config(cluster, self.planner.clone()).estimate_split(
+                self.dataset.format,
+                &split.blocks,
+                &self.query,
+            ),
         )
     }
 
@@ -142,6 +174,13 @@ impl HadoopInputFormat {
             executor: ExecutorConfig::default(),
         }
     }
+
+    fn planner_config(&self) -> PlannerConfig {
+        PlannerConfig {
+            text_delimiter: Some(self.delimiter),
+            ..Default::default()
+        }
+    }
 }
 
 impl InputFormat for HadoopInputFormat {
@@ -166,19 +205,42 @@ impl InputFormat for HadoopInputFormat {
         ctx: &SplitContext,
         emit: &mut dyn FnMut(MapRecord),
     ) -> Result<TaskStats> {
-        let config = PlannerConfig {
-            text_delimiter: Some(self.delimiter),
-            ..Default::default()
-        };
         read_split_via_planner(
             cluster,
-            &config,
-            &executor_for(&self.executor, ctx),
+            &self.planner_config(),
+            &ExecutorContext::new(executor_for(&self.executor, ctx)),
             &self.dataset,
             &self.query,
             split,
             ctx.task_node,
             emit,
+        )
+    }
+
+    fn read_split_batch(
+        &self,
+        cluster: &DfsCluster,
+        batch: &[SplitTask<'_>],
+        job_parallelism: Option<usize>,
+    ) -> Result<Vec<SplitRead>> {
+        batch_read_via_planner(
+            cluster,
+            &self.planner_config(),
+            &self.executor,
+            &self.dataset,
+            &self.query,
+            batch,
+            job_parallelism,
+        )
+    }
+
+    fn estimate_split(&self, cluster: &DfsCluster, split: &InputSplit) -> Option<f64> {
+        Some(
+            QueryPlanner::with_config(cluster, self.planner_config()).estimate_split(
+                self.dataset.format,
+                &split.blocks,
+                &self.query,
+            ),
         )
     }
 
@@ -240,12 +302,39 @@ impl InputFormat for HadoopPlusPlusInputFormat {
         read_split_via_planner(
             cluster,
             &PlannerConfig::default(),
-            &executor_for(&self.executor, ctx),
+            &ExecutorContext::new(executor_for(&self.executor, ctx)),
             &self.dataset,
             &self.query,
             split,
             ctx.task_node,
             emit,
+        )
+    }
+
+    fn read_split_batch(
+        &self,
+        cluster: &DfsCluster,
+        batch: &[SplitTask<'_>],
+        job_parallelism: Option<usize>,
+    ) -> Result<Vec<SplitRead>> {
+        batch_read_via_planner(
+            cluster,
+            &PlannerConfig::default(),
+            &self.executor,
+            &self.dataset,
+            &self.query,
+            batch,
+            job_parallelism,
+        )
+    }
+
+    fn estimate_split(&self, cluster: &DfsCluster, split: &InputSplit) -> Option<f64> {
+        Some(
+            QueryPlanner::with_config(cluster, PlannerConfig::default()).estimate_split(
+                self.dataset.format,
+                &split.blocks,
+                &self.query,
+            ),
         )
     }
 
@@ -293,7 +382,31 @@ fn executor_for(format_config: &ExecutorConfig, ctx: &SplitContext) -> ExecutorC
 fn read_split_via_planner(
     cluster: &DfsCluster,
     config: &PlannerConfig,
-    executor: &ExecutorConfig,
+    executor: &ExecutorContext,
+    dataset: &Dataset,
+    query: &HailQuery,
+    split: &InputSplit,
+    task_node: DatanodeId,
+    emit: &mut dyn FnMut(MapRecord),
+) -> Result<TaskStats> {
+    let total = read_split_unabsorbed(
+        cluster, config, executor, dataset, query, split, task_node, emit,
+    )?;
+    if let Some(feedback) = &config.feedback {
+        feedback.absorb(&total);
+    }
+    Ok(total)
+}
+
+/// [`read_split_via_planner`] without the final feedback absorption —
+/// the batch path runs this per split, then absorbs every split's
+/// observations **in batch order after the barrier**, so the feedback
+/// store's decayed state is identical at any job-level parallelism.
+#[allow(clippy::too_many_arguments)]
+fn read_split_unabsorbed(
+    cluster: &DfsCluster,
+    config: &PlannerConfig,
+    context: &ExecutorContext,
     dataset: &Dataset,
     query: &HailQuery,
     split: &InputSplit,
@@ -310,8 +423,7 @@ fn read_split_via_planner(
         total.plan_cache_hits = plan.blocks.iter().filter(|b| b.cached).count() as u64;
         total.plan_cache_misses = plan.blocks.len() as u64 - total.plan_cache_hits;
     }
-    let context = ExecutorContext::new(executor.clone());
-    if context.workers_for(split.blocks.len()) <= 1 {
+    if context.workers_for(split.blocks.len()) <= 1 && !context.has_shared_gate() {
         // Serial: stream records straight to `emit`, no buffering —
         // the exact pre-executor behavior.
         for &block in &split.blocks {
@@ -354,8 +466,116 @@ fn read_split_via_planner(
             }
         }
     }
-    if let Some(feedback) = &config.feedback {
-        feedback.absorb(&total);
-    }
     Ok(total)
+}
+
+/// Shared job-level batch read: the execution phase of
+/// [`hail_mr::run_map_job`] for the planner-backed formats.
+///
+/// Whole splits fan out across a [`JobPool`] — per-worker deques with
+/// stealing — while each split's block reads still fan out across an
+/// intra-split [`ExecutorContext`] whose width is *claimed* from the
+/// pool's global [`crate::executor::ParallelismBudget`]: the budget is
+/// the larger of the job-level worker count and the widest intra-split
+/// configuration, so `HAIL_PARALLELISM` / `HAIL_JOB_PARALLELISM` bound
+/// total threads rather than threads per layer. A per-node slot cap
+/// ([`ExecutorConfig::per_node_slots`]) becomes one **job-wide**
+/// [`crate::executor::NodeGate`] shared by every split.
+///
+/// Determinism: results return in batch order; the error of the
+/// lowest-indexed failing split wins; and selectivity feedback is
+/// absorbed in batch order *after* all reads complete (the barrier) —
+/// at job parallelism 1 too, so the post-job feedback state is
+/// bit-for-bit identical at any overlap. Splits cover disjoint blocks,
+/// so concurrent plan-cache use stays per-split deterministic as well.
+fn batch_read_via_planner(
+    cluster: &DfsCluster,
+    config: &PlannerConfig,
+    format_exec: &ExecutorConfig,
+    dataset: &Dataset,
+    query: &HailQuery,
+    batch: &[SplitTask<'_>],
+    job_parallelism: Option<usize>,
+) -> Result<Vec<SplitRead>> {
+    let job_workers = job_parallelism.unwrap_or_else(env_job_parallelism).max(1);
+    // Per-split intra-split budgets, exactly as `read_split_with`
+    // would resolve them.
+    let intra: Vec<ExecutorConfig> = batch
+        .iter()
+        .map(|t| executor_for(format_exec, &t.ctx))
+        .collect();
+    let reads = if job_workers <= 1 || batch.len() <= 1 {
+        // Sequential split execution: the exact pre-overlap read path
+        // per split (streaming, unbuffered when intra parallelism is 1)
+        // — only the feedback absorption moves past the barrier below.
+        let mut reads = Vec::with_capacity(batch.len());
+        for (t, exec) in batch.iter().zip(&intra) {
+            let mut records = Vec::new();
+            let wall = Instant::now();
+            let stats = read_split_unabsorbed(
+                cluster,
+                config,
+                &ExecutorContext::new(exec.clone()),
+                dataset,
+                query,
+                t.split,
+                t.ctx.task_node,
+                &mut |rec| records.push(rec),
+            )?;
+            reads.push(SplitRead {
+                records,
+                stats,
+                reader_wall_seconds: wall.elapsed().as_secs_f64(),
+            });
+        }
+        reads
+    } else {
+        let widest_intra = intra
+            .iter()
+            .map(|c| c.parallelism.max(1))
+            .max()
+            .unwrap_or(1);
+        let pool = JobPool::new(JobPoolConfig {
+            workers: job_workers.min(batch.len()),
+            budget: job_workers.max(widest_intra),
+            per_node_slots: format_exec.per_node_slots,
+        });
+        pool.run(batch.len(), |i, lease| {
+            let t = &batch[i];
+            // Claim intra-split workers from whatever the global
+            // budget has free right now; the claim frees when the
+            // split finishes, so the job tail widens automatically.
+            let claim = lease.claim_intra(intra[i].parallelism.max(1));
+            let context = ExecutorContext::new(ExecutorConfig {
+                parallelism: claim.workers(),
+                per_node_slots: None,
+            })
+            .with_shared_gate(lease.shared_gate());
+            let mut records = Vec::new();
+            let wall = Instant::now();
+            let stats = read_split_unabsorbed(
+                cluster,
+                config,
+                &context,
+                dataset,
+                query,
+                t.split,
+                t.ctx.task_node,
+                &mut |rec| records.push(rec),
+            )?;
+            Ok(SplitRead {
+                records,
+                stats,
+                reader_wall_seconds: wall.elapsed().as_secs_f64(),
+            })
+        })?
+    };
+    // The barrier: fold every split's observations into the feedback
+    // store in batch (split) order — never completion order.
+    if let Some(feedback) = &config.feedback {
+        for read in &reads {
+            feedback.absorb(&read.stats);
+        }
+    }
+    Ok(reads)
 }

@@ -22,12 +22,15 @@
 //!   per-block selectivities back into the [`SelectivityEstimate`] prior;
 //!   both thread-safe behind `RwLock`s so concurrent executor workers
 //!   share them
-//! - [`executor`] — the parallel split executor: an [`ExecutorContext`]
+//! - [`executor`] — the parallel executors: an [`ExecutorContext`]
 //!   worker pool (scoped threads, configurable parallelism via
 //!   [`ExecutorConfig`] or the `HAIL_PARALLELISM` environment override,
 //!   optional per-node slot gating) that fans one split's independent
 //!   block reads across workers with deterministic, split-ordered
-//!   result merging
+//!   result merging — and a job-level work-stealing [`JobPool`]
+//!   (per-worker deques, `HAIL_JOB_PARALLELISM`) that overlaps whole
+//!   splits across the job, sharing one global thread budget and one
+//!   job-wide per-node gate with the intra-split workers
 //! - [`splitting`] — default Hadoop splitting and `HailSplitting`
 //!   (§4.3), consuming plans instead of re-deriving replica choices
 //! - [`formats`] — the three `InputFormat`s (Hadoop, Hadoop++, HAIL),
@@ -98,7 +101,11 @@ pub use cache::{
     BlockFingerprint, CacheStats, FilterShape, PlanCache, SelectivityChoice, SelectivityFeedback,
     SelectivitySource, ValidatedLookup,
 };
-pub use executor::{env_parallelism, ExecutorConfig, ExecutorContext, PARALLELISM_ENV};
+pub use executor::{
+    env_job_parallelism, env_parallelism, ExecutorConfig, ExecutorContext, IntraClaim, JobPool,
+    JobPoolConfig, NodeGate, NodePermit, ParallelismBudget, SplitLease, JOB_PARALLELISM_ENV,
+    PARALLELISM_ENV,
+};
 pub use formats::{HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat};
 pub use path::{
     AccessPath, BitmapScan, BlockAccess, ClusteredIndexScan, FullScan, InvertedListScan,

@@ -589,6 +589,61 @@ impl<'a> QueryPlanner<'a> {
         PlanContext { selectivity, shape }
     }
 
+    /// Estimated record-reader seconds for reading `blocks` under
+    /// `query` — the scheduler's assignment-phase seam.
+    ///
+    /// Priced from memoized [`BlockPlan`]s where the [`PlanCache`]
+    /// holds one for the query's filter shape (a counter-free,
+    /// validation-free peek: estimation must not perturb cache
+    /// effectiveness accounting), falling back to a uniform
+    /// full-scan-of-one-logical-block heuristic per uncached block.
+    /// Never prices candidates, never inserts, never blocks on more
+    /// than the cache's read lock.
+    pub fn estimate_split(
+        &self,
+        format: DatasetFormat,
+        blocks: &[BlockId],
+        query: &HailQuery,
+    ) -> f64 {
+        let heuristic = self.heuristic_block_seconds();
+        let shape = match &self.config.plan_cache {
+            Some(_) if self.config.bad_record_tokens.is_empty() => {
+                let selectivity = self.effective_selectivities(query);
+                Some(self.filter_shape(format, query, &selectivity))
+            }
+            _ => None,
+        };
+        match shape.as_ref().zip(self.config.plan_cache.as_ref()) {
+            Some((shape, cache)) => cache
+                .peek_est_seconds_many(shape, blocks)
+                .into_iter()
+                .map(|est| est.unwrap_or(heuristic))
+                .sum(),
+            None => heuristic * blocks.len() as f64,
+        }
+    }
+
+    /// The estimate for one block with no memoized plan: a pipelined
+    /// full scan of one logical block under this planner's cost model.
+    /// Uniform across blocks, so relative slot-occupancy ordering —
+    /// all the assignment phase consumes — matches uniform actual
+    /// durations exactly.
+    fn heuristic_block_seconds(&self) -> f64 {
+        let cost = &self.config.cost;
+        let (bytes, scale) = match cost.scale {
+            CostScale::PerBlock { logical_block } => (logical_block, ScaleFactor::unit()),
+            // The paper's 64 MB block at the fixed scale.
+            CostScale::Fixed(s) => (64 * 1024 * 1024, s),
+        };
+        let ledger = CostLedger {
+            disk_read: bytes as u64,
+            scan_cpu: bytes as u64,
+            seeks: 1,
+            ..Default::default()
+        };
+        ledger.pipelined_seconds(&cost.profile, scale)
+    }
+
     /// Plans one block, through the [`PlanCache`] when one is
     /// configured: a hit returns the memoized plan with **zero**
     /// cost-model evaluations; a miss runs the full pricing pass and

@@ -12,13 +12,23 @@
 //! (HAIL); with the same index on all replicas (HAIL-1Idx) the re-run
 //! still gets an index scan — exactly the Fig. 8 comparison.
 
+use crate::input_format::{InputSplit, SplitTask};
 use crate::job::{JobReport, TaskReport};
 use crate::scheduler::{run_map_job, MapJob, NodeSlots};
 use hail_dfs::DfsCluster;
 use hail_sim::ClusterSpec;
-use hail_types::{DatanodeId, HailError, Result, Row};
+use hail_types::{BlockId, DatanodeId, HailError, Result, Row};
+use std::collections::BTreeMap;
 
 pub use hail_dfs::EXPIRY_INTERVAL_S;
+
+/// A split's block set in canonical (sorted) order — the identity
+/// replayed splits are matched by across plan re-derivations.
+fn sorted_blocks(split: &InputSplit) -> Vec<BlockId> {
+    let mut blocks = split.blocks.clone();
+    blocks.sort_unstable();
+    blocks
+}
 
 /// A staged failure: kill `node` once the job has made `at_progress`
 /// (0..1) of its no-failure runtime; lost tasks are re-scheduled after
@@ -75,6 +85,16 @@ pub fn run_map_job_with_failure(
     job: &MapJob<'_>,
     scenario: FailureScenario,
 ) -> Result<FailoverRun> {
+    // Snapshot the split plan *before* the baseline run: pass 1's reads
+    // mutate any configured adaptive state (selectivity feedback), so a
+    // plan derived afterwards could cluster blocks differently than the
+    // plan the baseline actually executed — and the replay below must
+    // index exactly that plan. Deriving from the identical pre-run
+    // planner state yields the identical plan pass 1 computes
+    // internally (planning is deterministic; cache warm-up never
+    // changes decisions).
+    let baseline_plan = job.format.splits(cluster, &job.input)?;
+
     // Pass 1: failure-free baseline (functional output + T_b).
     let baseline_run = run_map_job(cluster, spec, job)?;
     let t_b = baseline_run.report.end_to_end_seconds;
@@ -90,10 +110,18 @@ pub fn run_map_job_with_failure(
     //   the degraded cluster: a read that would have used the dead
     //   node's replica now picks another one — possibly falling back
     //   from index scan to full scan (the HAIL vs HAIL-1Idx effect).
-    // - Tasks that started before the failure keep their original reads.
+    // - Tasks that started before the failure keep their original reads
+    //   at their original times.
+    //
+    // Every replayed or re-executed task reads the **baseline** split
+    // plan snapshotted above, before pass 1 ran and before the node
+    // dies. The split boundaries were fixed by the JobClient before the
+    // failure; re-deriving them on the degraded cluster can shift them
+    // (e.g. `HailSplitting` re-clusters blocks by serving node), and
+    // indexing a shifted plan with baseline split indices would read
+    // the wrong blocks — or die with "split vanished".
     let mut slots = NodeSlots::new(cluster, hw.map_slots);
     let mut final_tasks: Vec<TaskReport> = Vec::with_capacity(baseline_run.report.tasks.len());
-    let mut lost: Vec<usize> = Vec::new();
 
     // Makespan-relative failure instant (schedules run after pre_phase).
     let failure_makespan_t = (failure_time - pre_phase).max(0.0);
@@ -101,34 +129,79 @@ pub fn run_map_job_with_failure(
     // Kill the node up front: every re-evaluated read below must see
     // dead replicas.
     cluster.kill_node(scenario.node)?;
-    let plan = job.format.splits(cluster, &job.input)?;
+    // Degraded re-plan, consulted only to *freshen the locations* of
+    // lost splits (the planner may now prefer surviving replicas).
+    // Splits are matched by block set — never by index, which the
+    // degraded plan does not preserve.
+    let degraded_plan = job.format.splits(cluster, &job.input)?;
+    let degraded_by_blocks: BTreeMap<Vec<BlockId>, &InputSplit> = degraded_plan
+        .splits
+        .iter()
+        .map(|s| (sorted_blocks(s), s))
+        .collect();
+    let baseline_split = |idx: usize| -> Result<&InputSplit> {
+        baseline_plan
+            .splits
+            .get(idx)
+            .ok_or_else(|| HailError::Job(format!("split {idx} missing from the baseline plan")))
+    };
 
-    let mut sink = Vec::new();
+    let is_lost = |t: &TaskReport| t.node == scenario.node && t.end > failure_makespan_t;
+    let is_reevaluated = |t: &TaskReport| t.node != scenario.node && t.start >= failure_makespan_t;
+
+    // Re-evaluate every not-yet-started live-node task against the
+    // degraded cluster, fanning the reads through the same job-level
+    // pool `run_map_job` uses. Their nodes are already fixed (the
+    // baseline assignment), so no assignment phase is needed here.
+    // (Output was already collected functionally in pass 1; records
+    // are discarded.)
+    let reeval_batch: Vec<SplitTask<'_>> = baseline_run
+        .report
+        .tasks
+        .iter()
+        .filter(|t| is_reevaluated(t))
+        .map(|t| {
+            Ok(SplitTask {
+                split: baseline_split(t.split)?,
+                ctx: job.split_context(t.node),
+            })
+        })
+        .collect::<Result<_>>()?;
+    // Chunked like `run_map_job`'s execution phase, and only the
+    // (small) statistics are retained — each chunk's buffered records
+    // are dropped as soon as it completes, so a large replay never
+    // holds more than one chunk's raw records.
+    let mut reeval_results: Vec<(crate::job::TaskStats, f64)> =
+        Vec::with_capacity(reeval_batch.len());
+    for chunk in reeval_batch.chunks(crate::scheduler::SPLIT_BATCH_CHUNK) {
+        for read in job
+            .format
+            .read_split_batch(cluster, chunk, job.job_parallelism)?
+        {
+            reeval_results.push((read.stats, read.reader_wall_seconds));
+        }
+    }
+    let mut reeval_results = reeval_results.into_iter();
+
+    let mut lost: Vec<usize> = Vec::new();
     for task in &baseline_run.report.tasks {
-        if task.node == scenario.node && task.end > failure_makespan_t {
+        if is_lost(task) {
             // Lost: either mid-run at the failure or scheduled after it.
             lost.push(task.split);
             continue;
         }
-        if task.node != scenario.node && task.start >= failure_makespan_t {
-            // Not yet started at failure time: re-evaluate the read
-            // against the degraded cluster. (Output was already
-            // collected functionally in pass 1; records are discarded.)
-            let split = plan.splits.get(task.split).ok_or_else(|| {
-                HailError::Job(format!("split {} vanished on re-plan", task.split))
-            })?;
-            sink.clear();
-            let wall = std::time::Instant::now();
-            let stats = job.format.read_split_with(
-                cluster,
-                split,
-                &job.split_context(task.node),
-                &mut |rec| sink.push(rec),
-            )?;
-            let reader_wall_seconds = wall.elapsed().as_secs_f64();
+        if is_reevaluated(task) {
+            let (stats, reader_wall_seconds) = reeval_results
+                .next()
+                .expect("one batched read per re-evaluated task");
             let reader_seconds = stats.reader_seconds(hw, spec.scale);
             let duration = hw.task_overhead_s + reader_seconds;
-            let (start, end) = slots.assign(task.node, duration, 0.0);
+            // Causality clamp: this task had not started when the node
+            // died, so its replay must not start before the failure
+            // instant — even if a cheaper degraded read (e.g. a remote
+            // read turned local) frees its slot earlier than the
+            // baseline did.
+            let (start, end) = slots.assign(task.node, duration, failure_makespan_t);
             final_tasks.push(TaskReport {
                 split: task.split,
                 node: task.node,
@@ -141,9 +214,12 @@ pub fn run_map_job_with_failure(
             });
             continue;
         }
-        // Replay unchanged (read happened before the failure).
+        // Replay unchanged (read happened before the failure), pinned
+        // at its baseline start: a pre-failure task must not drift
+        // earlier just because the replay freed a slot sooner (e.g.
+        // lost tasks dropping off the dead node's pool).
         let duration = task.end - task.start;
-        let (start, end) = slots.assign(task.node, duration, 0.0);
+        let (start, end) = slots.assign(task.node, duration, task.start);
         final_tasks.push(TaskReport {
             start,
             end,
@@ -152,44 +228,76 @@ pub fn run_map_job_with_failure(
     }
     slots.kill_node(scenario.node);
     let resume_at = failure_makespan_t + scenario.expiry_s;
+
+    // Lost tasks replay through the same two-phase schedule/execute
+    // shape as `run_map_job`: choose every rerun's node up front from
+    // the post-replay slot state (estimated durations on a throwaway
+    // copy), fan the re-reads through the job-level pool, then price
+    // the real schedule from the actual statistics — in order, never
+    // before `resume_at`.
+    let lost_splits: Vec<&InputSplit> = lost
+        .iter()
+        .map(|&idx| {
+            let base = baseline_split(idx)?;
+            // Prefer the degraded plan's locations for the same block
+            // set, when the format still produces such a split.
+            Ok(degraded_by_blocks
+                .get(&sorted_blocks(base))
+                .copied()
+                .unwrap_or(base))
+        })
+        .collect::<Result<_>>()?;
+    let mut planning = slots.clone();
+    let mut rerun_nodes = Vec::with_capacity(lost_splits.len());
+    for split in &lost_splits {
+        let node = planning
+            .choose_node(&split.locations)
+            .ok_or_else(|| HailError::Job("no live nodes to re-schedule on".into()))?;
+        let est = job
+            .format
+            .estimate_split(cluster, split)
+            .unwrap_or_else(|| crate::scheduler::fallback_split_estimate(hw, split))
+            .max(0.0);
+        planning.assign(node, hw.task_overhead_s + est, resume_at);
+        rerun_nodes.push(node);
+    }
+    let rerun_batch: Vec<SplitTask<'_>> = lost_splits
+        .iter()
+        .zip(&rerun_nodes)
+        .map(|(split, &node)| SplitTask {
+            split,
+            ctx: job.split_context(node),
+        })
+        .collect();
     let mut output_extra: Vec<Row> = Vec::new();
     let mut rerun_count = 0;
     let mut scratch = Vec::new();
-    for split_idx in lost {
-        let split = plan
-            .splits
-            .get(split_idx)
-            .ok_or_else(|| HailError::Job(format!("lost split {split_idx} vanished on re-plan")))?;
-        let node = slots
-            .choose_node(&split.locations)
-            .ok_or_else(|| HailError::Job("no live nodes to re-schedule on".into()))?;
-        let mut records = Vec::new();
-        let wall = std::time::Instant::now();
-        let stats =
-            job.format
-                .read_split_with(cluster, split, &job.split_context(node), &mut |rec| {
-                    records.push(rec)
-                })?;
-        let reader_wall_seconds = wall.elapsed().as_secs_f64();
-        for rec in &records {
-            scratch.clear();
-            (job.map)(rec, &mut scratch);
-            output_extra.append(&mut scratch);
+    // Chunked, like the re-evaluation pass: each chunk's records are
+    // mapped and dropped before the next chunk reads.
+    for (chunk_idx, chunk) in rerun_batch
+        .chunks(crate::scheduler::SPLIT_BATCH_CHUNK)
+        .enumerate()
+    {
+        let chunk_start = chunk_idx * crate::scheduler::SPLIT_BATCH_CHUNK;
+        let reads = job
+            .format
+            .read_split_batch(cluster, chunk, job.job_parallelism)?;
+        for (offset, read) in reads.into_iter().enumerate() {
+            let i = chunk_start + offset;
+            final_tasks.push(crate::scheduler::account_split_read(
+                job,
+                spec,
+                &mut slots,
+                lost[i],
+                rerun_nodes[i],
+                resume_at,
+                true,
+                read,
+                &mut output_extra,
+                &mut scratch,
+            ));
+            rerun_count += 1;
         }
-        let reader_seconds = stats.reader_seconds(hw, spec.scale);
-        let duration = hw.task_overhead_s + reader_seconds;
-        let (start, end) = slots.assign(node, duration, resume_at);
-        final_tasks.push(TaskReport {
-            split: split_idx,
-            node,
-            start,
-            end,
-            reader_seconds,
-            reader_wall_seconds,
-            rerun: true,
-            stats,
-        });
-        rerun_count += 1;
     }
 
     // Output correctness: surviving tasks' output was already collected
@@ -199,7 +307,7 @@ pub fn run_map_job_with_failure(
         job_name: job.name.clone(),
         startup_seconds: hw.job_startup_s,
         split_phase_seconds: baseline_run.report.split_phase_seconds,
-        split_count: plan.splits.len(),
+        split_count: baseline_plan.splits.len(),
         total_slots: slots.live_slot_count(),
         tasks: final_tasks,
         end_to_end_seconds: pre_phase + slots.makespan(),
@@ -331,6 +439,215 @@ mod tests {
         )
         .unwrap();
         assert!(early.rerun_count > late.rerun_count);
+    }
+
+    /// Regression (replay indexing): a format whose split boundaries
+    /// change when a node dies. Splits cluster blocks per *live* node,
+    /// so killing one node re-clusters every block — the degraded plan
+    /// has different (and fewer) splits than the baseline. Replayed
+    /// tasks must read the snapshotted baseline splits; indexing the
+    /// degraded plan with baseline split indices either dies with
+    /// "split vanished" or silently reads the wrong blocks.
+    struct ReclusteringFormat;
+
+    impl InputFormat for ReclusteringFormat {
+        fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan> {
+            let live = cluster.live_nodes();
+            let mut splits = Vec::new();
+            for (j, &node) in live.iter().enumerate() {
+                let blocks: Vec<BlockId> = input
+                    .iter()
+                    .copied()
+                    .filter(|&b| b as usize % live.len() == j)
+                    .collect();
+                if blocks.is_empty() {
+                    continue;
+                }
+                let mut locs = vec![node];
+                locs.extend(live.iter().copied().filter(|&n| n != node));
+                splits.push(InputSplit::new(blocks, locs));
+            }
+            Ok(SplitPlan {
+                splits,
+                client_cost: Default::default(),
+            })
+        }
+
+        fn read_split(
+            &self,
+            cluster: &DfsCluster,
+            split: &InputSplit,
+            _task_node: usize,
+            emit: &mut dyn FnMut(MapRecord),
+        ) -> Result<TaskStats> {
+            if split
+                .locations
+                .iter()
+                .all(|&n| !cluster.datanode(n).map(|d| d.is_alive()).unwrap_or(false))
+            {
+                return Err(HailError::DeadDatanode(split.locations[0]));
+            }
+            for &b in &split.blocks {
+                emit(MapRecord::good(Row::new(vec![Value::Long(b as i64)])));
+            }
+            let mut stats = TaskStats {
+                records: split.blocks.len() as u64,
+                ..Default::default()
+            };
+            stats.ledger.disk_read = 95_000_000 * split.blocks.len() as u64;
+            Ok(stats)
+        }
+
+        fn name(&self) -> &str {
+            "reclustering"
+        }
+    }
+
+    #[test]
+    fn replay_survives_split_boundaries_changing_under_node_death() {
+        let mut cluster = DfsCluster::new(4, StorageConfig::default());
+        let spec = ClusterSpec::new(4, HardwareProfile::physical());
+        let job = MapJob::collecting("shift", (0..16).collect(), &ReclusteringFormat);
+        // Early failure: most surviving tasks re-read on the degraded
+        // cluster, whose re-derived plan has 3 splits where the
+        // baseline had 4 — every baseline index must still resolve.
+        let run = run_map_job_with_failure(
+            &mut cluster,
+            &spec,
+            &job,
+            FailureScenario {
+                node: 0,
+                at_progress: 0.1,
+                expiry_s: 30.0,
+            },
+        )
+        .expect("replay must use the snapshotted baseline plan, not degraded indices");
+        // All 16 blocks exactly once, despite the boundary shift.
+        let mut got: Vec<i64> = run
+            .output
+            .iter()
+            .map(|r| match r.get(0).unwrap() {
+                Value::Long(v) => *v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<i64>>());
+        // Every rerun read exactly its lost split's blocks (4 per
+        // baseline split here), not a reshaped degraded split (which
+        // would carry 5-6 blocks after re-clustering to 3 nodes).
+        assert!(run.rerun_count > 0);
+        for t in run.with_failure.tasks.iter().filter(|t| t.rerun) {
+            assert_eq!(t.stats.records, 4, "rerun read the baseline split");
+        }
+    }
+
+    /// Regression (replay causality): pre-failure tasks replay at
+    /// exactly their baseline times even when lost tasks free slots
+    /// earlier, and no task that had not started at the failure — a
+    /// degraded re-read or a rerun — is ever scheduled before the
+    /// failure instant.
+    #[test]
+    fn replay_never_schedules_post_failure_tasks_before_the_failure() {
+        // Block 0 is a 20× longer read than the rest: it straddles the
+        // failure on the dead node and is lost, freeing its slot for
+        // the replay of that node's short *completed* tasks — which,
+        // unpinned, would drift earlier than they really ran.
+        struct SkewedFormat;
+        impl InputFormat for SkewedFormat {
+            fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan> {
+                let live = cluster.live_nodes();
+                Ok(SplitPlan {
+                    splits: input
+                        .iter()
+                        .map(|&b| {
+                            let preferred = live[b as usize % live.len()];
+                            let mut locs = vec![preferred];
+                            locs.extend(live.iter().copied().filter(|&n| n != preferred));
+                            InputSplit::for_block(b, locs)
+                        })
+                        .collect(),
+                    client_cost: Default::default(),
+                })
+            }
+            fn read_split(
+                &self,
+                _c: &DfsCluster,
+                split: &InputSplit,
+                _n: usize,
+                emit: &mut dyn FnMut(MapRecord),
+            ) -> Result<TaskStats> {
+                emit(MapRecord::good(Row::new(vec![Value::Long(
+                    split.blocks[0] as i64,
+                )])));
+                let mut stats = TaskStats {
+                    records: 1,
+                    ..Default::default()
+                };
+                stats.ledger.disk_read = if split.blocks[0] == 0 {
+                    95_000_000 * 20 // 20 s
+                } else {
+                    95_000_000 // 1 s
+                };
+                Ok(stats)
+            }
+            fn name(&self) -> &str {
+                "skewed"
+            }
+        }
+
+        let mut cluster = DfsCluster::new(4, StorageConfig::default());
+        let spec = ClusterSpec::new(4, HardwareProfile::physical());
+        let job = MapJob::collecting("causal", (0..24).collect(), &SkewedFormat);
+        let baseline_snapshot = {
+            let c = DfsCluster::new(4, StorageConfig::default());
+            run_map_job(&c, &spec, &job).unwrap().report
+        };
+        let run = run_map_job_with_failure(&mut cluster, &spec, &job, FailureScenario::at_half(0))
+            .unwrap();
+        let pre_phase = spec.profile.job_startup_s + run.baseline.split_phase_seconds;
+        let failure_makespan_t = (run.failure_time - pre_phase).max(0.0);
+
+        let baseline_of = |split: usize| {
+            baseline_snapshot
+                .tasks
+                .iter()
+                .find(|t| t.split == split)
+                .unwrap()
+        };
+        for t in &run.with_failure.tasks {
+            let base = baseline_of(t.split);
+            if t.rerun {
+                // Lost tasks restart only after the expiry interval.
+                assert!(
+                    t.start >= failure_makespan_t,
+                    "rerun of split {} at {} precedes the failure at {failure_makespan_t}",
+                    t.split,
+                    t.start
+                );
+                continue;
+            }
+            if base.start >= failure_makespan_t {
+                // Had not started at the failure: causality demands it
+                // cannot start before the failure instant in the replay.
+                assert!(
+                    t.start >= failure_makespan_t,
+                    "split {} replayed at {} before the failure at {failure_makespan_t}",
+                    t.split,
+                    t.start
+                );
+            } else {
+                // Started before the failure: the replay must reproduce
+                // its real execution exactly — even on the dead node,
+                // where the lost long task's slot frees up early.
+                assert_eq!(
+                    (t.start, t.end),
+                    (base.start, base.end),
+                    "pre-failure split {} drifted from its baseline schedule",
+                    t.split
+                );
+            }
+        }
     }
 
     #[test]

@@ -86,6 +86,25 @@ impl SplitContext {
     }
 }
 
+/// One entry of a job-level batch read: an input split plus the
+/// execution context the scheduler's assignment phase gave it.
+#[derive(Debug, Clone)]
+pub struct SplitTask<'a> {
+    pub split: &'a InputSplit,
+    pub ctx: SplitContext,
+}
+
+/// A fully buffered split read, as produced by
+/// [`InputFormat::read_split_batch`]: the emitted records in emission
+/// order, the task statistics, and the measured wall clock the read
+/// took (telemetry only — never fed into simulated accounting).
+#[derive(Debug)]
+pub struct SplitRead {
+    pub records: Vec<MapRecord>,
+    pub stats: TaskStats,
+    pub reader_wall_seconds: f64,
+}
+
 /// How a job's input is split and read. Implemented by the Hadoop
 /// baseline, Hadoop++, and HAIL in `hail-exec`.
 pub trait InputFormat {
@@ -122,6 +141,63 @@ pub trait InputFormat {
         emit: &mut dyn FnMut(MapRecord),
     ) -> Result<TaskStats> {
         self.read_split(cluster, split, ctx.task_node, emit)
+    }
+
+    /// Reads a whole batch of splits — the scheduler's execution phase.
+    ///
+    /// Returns one [`SplitRead`] per task **in batch order**, each
+    /// holding exactly what [`InputFormat::read_split_with`] would have
+    /// produced for that task. `job_parallelism` is the job-level
+    /// overlap budget (`None` defers to the format's own policy, which
+    /// for the planner-backed formats is the `HAIL_JOB_PARALLELISM`
+    /// environment override); formats without job-level overlap inherit
+    /// this sequential default.
+    ///
+    /// Contract for overriding implementations: on a **successful**
+    /// batch, records, their order, every statistic, and any
+    /// cross-query state the reads mutate (plan caches, selectivity
+    /// feedback) must be bit-for-bit identical at every
+    /// `job_parallelism` — overlap may only change the measured
+    /// `reader_wall_seconds`. In particular, state folded per split
+    /// (selectivity feedback) must be absorbed **in batch order after
+    /// all reads complete**, never in completion order. On a failing
+    /// batch only the returned error — the lowest-indexed failing
+    /// task's — is guaranteed parallelism-independent: as with
+    /// [`InputFormat::read_split_with`]'s failing reads, overlapped
+    /// workers may have raced ahead of the failure and planned (and
+    /// cached plans for) splits a sequential run would never have
+    /// reached.
+    fn read_split_batch(
+        &self,
+        cluster: &DfsCluster,
+        batch: &[SplitTask<'_>],
+        _job_parallelism: Option<usize>,
+    ) -> Result<Vec<SplitRead>> {
+        batch
+            .iter()
+            .map(|t| {
+                let mut records = Vec::new();
+                let wall = std::time::Instant::now();
+                let stats =
+                    self.read_split_with(cluster, t.split, &t.ctx, &mut |rec| records.push(rec))?;
+                Ok(SplitRead {
+                    records,
+                    stats,
+                    reader_wall_seconds: wall.elapsed().as_secs_f64(),
+                })
+            })
+            .collect()
+    }
+
+    /// Estimated record-reader seconds for one split — the scheduler's
+    /// assignment phase prices slot occupancy with this *before* any
+    /// read happens, so node choices decouple from read results.
+    /// `None` (the default) lets the scheduler fall back to a uniform
+    /// block-count heuristic; the planner-backed formats answer from
+    /// memoized `BlockPlan`s. Must be cheap and must not perturb any
+    /// cross-query state or counters.
+    fn estimate_split(&self, _cluster: &DfsCluster, _split: &InputSplit) -> Option<f64> {
+        None
     }
 
     /// A short name for reports ("Hadoop", "Hadoop++", "HAIL").

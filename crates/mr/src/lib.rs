@@ -19,9 +19,17 @@
 //! read the node it runs on plus a worker-parallelism budget
 //! ([`MapJob::parallelism`], or the `HAIL_PARALLELISM` environment
 //! override), which the execution layer's parallel executor uses to fan
-//! a split's independent block reads across threads. Parallelism only
-//! changes real wall clock — results, their order, and every
-//! simulated-clock figure are identical at any setting, and
+//! a split's independent block reads across threads. Since the
+//! job-overlap change, [`run_map_job`] itself is two-phase: an
+//! *assignment* phase chooses nodes for every split up front from
+//! planner estimates ([`InputFormat::estimate_split`]), and an
+//! *execution* phase hands the whole batch to
+//! [`InputFormat::read_split_batch`], which the planner-backed formats
+//! fan across a job-level work-stealing pool
+//! ([`MapJob::job_parallelism`], or the `HAIL_JOB_PARALLELISM`
+//! environment override). Parallelism at either level only changes
+//! real wall clock — results, their order, and every simulated-clock
+//! figure are identical at any setting, and
 //! [`TaskReport::reader_wall_seconds`] reports the measured wall time
 //! separately from the simulated [`TaskReport::reader_seconds`].
 
@@ -34,7 +42,7 @@ pub mod scheduler;
 pub mod shuffle;
 
 pub use failover::{run_map_job_with_failure, FailoverRun, FailureScenario};
-pub use input_format::{InputFormat, InputSplit, SplitContext, SplitPlan};
+pub use input_format::{InputFormat, InputSplit, SplitContext, SplitPlan, SplitRead, SplitTask};
 pub use job::{JobReport, MapRecord, PathCounts, SelectivityObservation, TaskReport, TaskStats};
 pub use scheduler::{run_map_job, JobRun, MapJob};
 pub use shuffle::{run_map_reduce_job, MapReduceJob, MapReduceRun};

@@ -9,12 +9,11 @@
 //! `HailSplitting` attacks exactly this term by collapsing the task
 //! count.
 
-use crate::input_format::{InputFormat, SplitContext};
+use crate::input_format::{InputFormat, InputSplit, SplitContext, SplitTask};
 use crate::job::{JobReport, MapRecord, TaskReport};
 use hail_dfs::DfsCluster;
-use hail_sim::{ClusterSpec, SlotPool};
+use hail_sim::{ClusterSpec, HardwareProfile, SlotPool};
 use hail_types::{BlockId, DatanodeId, HailError, Result, Row};
-use std::time::Instant;
 
 /// A map-only job: the input format yields records; `map` turns each
 /// record into zero or more output rows (the paper's annotated map
@@ -31,6 +30,15 @@ pub struct MapJob<'a> {
     /// `HAIL_PARALLELISM` environment override). Never changes results
     /// or simulated times, only real wall clock.
     pub parallelism: Option<usize>,
+    /// Job-level overlap: how many whole splits the execution phase may
+    /// read concurrently through [`InputFormat::read_split_batch`].
+    /// `None` — the default — lets the format's own policy decide
+    /// (which for the planner-backed formats honors the
+    /// `HAIL_JOB_PARALLELISM` environment override); `Some(1)` forces
+    /// strictly sequential split reads. Like intra-split parallelism,
+    /// this never changes results or simulated times, only real wall
+    /// clock.
+    pub job_parallelism: Option<usize>,
     #[allow(clippy::type_complexity)]
     pub map: Box<dyn Fn(&MapRecord, &mut Vec<Row>) + 'a>,
 }
@@ -49,6 +57,7 @@ impl<'a> MapJob<'a> {
             input,
             format,
             parallelism: None,
+            job_parallelism: None,
             map: Box::new(|rec, out| {
                 if !rec.bad {
                     out.push(rec.row.clone());
@@ -60,6 +69,12 @@ impl<'a> MapJob<'a> {
     /// Builder-style intra-split read parallelism override.
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = Some(parallelism.max(1));
+        self
+    }
+
+    /// Builder-style job-level (split overlap) parallelism override.
+    pub fn with_job_parallelism(mut self, parallelism: usize) -> Self {
+        self.job_parallelism = Some(parallelism.max(1));
         self
     }
 
@@ -81,6 +96,7 @@ pub struct JobRun {
 }
 
 /// Per-node slot pools for the live nodes of a cluster.
+#[derive(Clone)]
 pub(crate) struct NodeSlots {
     pools: Vec<SlotPool>,
     live: Vec<bool>,
@@ -189,8 +205,10 @@ impl NodeSlots {
                 if alive {
                     p.makespan()
                 } else {
-                    // Dead pools report infinity; ignore them — their
-                    // tasks were re-scheduled elsewhere.
+                    // A dead pool's slots are pinned at infinity by
+                    // `kill`; map it to 0.0 so the fold ignores it —
+                    // its tasks were re-scheduled elsewhere, and the
+                    // makespan must stay finite.
                     0.0
                 }
             })
@@ -207,11 +225,129 @@ impl NodeSlots {
     }
 }
 
+/// The logical block the assignment phase's fallback heuristic prices:
+/// the paper's 64 MB HDFS block.
+const FALLBACK_LOGICAL_BLOCK_BYTES: f64 = 64.0 * 1024.0 * 1024.0;
+
+/// How many splits the execution phase reads per
+/// [`InputFormat::read_split_batch`] call. Bounds peak memory: a
+/// chunk's buffered records are mapped and dropped before the next
+/// chunk is read, so a job over thousands of splits holds at most one
+/// chunk's raw records — not the whole job's — while still giving the
+/// job-level pool plenty of splits to overlap and steal. The boundary
+/// is a fixed constant, independent of any parallelism knob, so chunk
+/// barriers (including the per-chunk feedback absorption inside the
+/// batch read) fall identically at every setting.
+pub(crate) const SPLIT_BATCH_CHUNK: usize = 64;
+
+/// The assignment phase's duration estimate for one split when the
+/// format offers none ([`InputFormat::estimate_split`] returned
+/// `None`): a sequential scan of one logical 64 MB block per split
+/// block. Uniform per block, so relative slot-occupancy ordering — the
+/// only thing node choice consumes — matches any uniform actual
+/// durations exactly.
+pub(crate) fn fallback_split_estimate(hw: &HardwareProfile, split: &InputSplit) -> f64 {
+    split.blocks.len().max(1) as f64 * (FALLBACK_LOGICAL_BLOCK_BYTES / (hw.disk_read_mb_s * 1e6))
+}
+
+/// Phase 1 of [`run_map_job`]: choose a node for **every** split up
+/// front, before any read happens, so the execution phase can overlap
+/// whole splits freely.
+///
+/// Runs the exact delay-scheduling [`NodeSlots`] logic the engine has
+/// always used, but prices slot occupancy with *planner estimates*
+/// ([`InputFormat::estimate_split`], falling back to a uniform
+/// block-count heuristic) instead of actual read results — the
+/// decoupling that makes split-level overlap possible. The planning
+/// pools here are throwaway: the final simulated schedule is replayed
+/// in phase 3 from actual per-split durations on these pre-chosen
+/// nodes, so simulated time never observes either the estimates or any
+/// real execution parallelism.
+pub(crate) fn assign_split_nodes(
+    cluster: &DfsCluster,
+    spec: &ClusterSpec,
+    format: &dyn InputFormat,
+    splits: &[InputSplit],
+) -> Result<Vec<DatanodeId>> {
+    let hw = &spec.profile;
+    let mut planning = NodeSlots::new(cluster, hw.map_slots);
+    let mut nodes = Vec::with_capacity(splits.len());
+    for split in splits {
+        let node = planning
+            .choose_node_delayed(&split.locations, spec.locality_delay_s)
+            .ok_or_else(|| HailError::Job("no live nodes to schedule on".into()))?;
+        let est = format
+            .estimate_split(cluster, split)
+            .unwrap_or_else(|| fallback_split_estimate(hw, split))
+            .max(0.0);
+        planning.assign(node, hw.task_overhead_s + est, 0.0);
+        nodes.push(node);
+    }
+    Ok(nodes)
+}
+
+/// The shared accounting step for one completed split read: apply the
+/// job's map function to the buffered records (appending to `output`),
+/// price the task from its **actual** statistics, occupy a simulated
+/// slot on the pre-chosen node, and build the [`TaskReport`]. Used by
+/// the normal execution phase and the failover rerun replay, so the
+/// two cannot silently diverge.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn account_split_read(
+    job: &MapJob<'_>,
+    spec: &ClusterSpec,
+    slots: &mut NodeSlots,
+    split: usize,
+    node: DatanodeId,
+    not_before: f64,
+    rerun: bool,
+    read: crate::input_format::SplitRead,
+    output: &mut Vec<Row>,
+    scratch: &mut Vec<Row>,
+) -> TaskReport {
+    let hw = &spec.profile;
+    for rec in &read.records {
+        scratch.clear();
+        (job.map)(rec, scratch);
+        output.append(scratch);
+    }
+    let reader_seconds = read.stats.reader_seconds(hw, spec.scale);
+    let duration = hw.task_overhead_s + reader_seconds;
+    let (start, end) = slots.assign(node, duration, not_before);
+    TaskReport {
+        split,
+        node,
+        start,
+        end,
+        reader_seconds,
+        reader_wall_seconds: read.reader_wall_seconds,
+        rerun,
+        stats: read.stats,
+    }
+}
+
 /// Runs a map-only job to completion without failures.
 ///
-/// Functional semantics and simulated time come from the same pass: every
+/// Functional semantics and simulated time come from the same run: every
 /// split is actually read (real bytes, real filtering) while the slot
-/// pools account for waves and scheduling overhead.
+/// pools account for waves and scheduling overhead. Since the job-level
+/// overlap change this happens in three phases:
+///
+/// 1. **Assignment** (`assign_split_nodes`): nodes are chosen for all
+///    splits up front from planner *estimates*, decoupling scheduling
+///    from reading.
+/// 2. **Execution** ([`InputFormat::read_split_batch`]): whole splits
+///    fan out across the format's job-level worker pool (bounded by
+///    [`MapJob::job_parallelism`] / `HAIL_JOB_PARALLELISM`), each read
+///    still fanning its blocks across intra-split workers.
+/// 3. **Accounting**: strictly in split order on this thread — map
+///    application, `TaskReport`s, and the simulated `NodeSlots`
+///    schedule priced from the *actual* read statistics.
+///
+/// Every output row, `TaskReport`/`JobReport` field (except the
+/// measured `reader_wall_seconds`), and any adaptive planner state is
+/// bit-for-bit identical at every job/split parallelism; job
+/// parallelism 1 reads the splits strictly sequentially on this thread.
 pub fn run_map_job(cluster: &DfsCluster, spec: &ClusterSpec, job: &MapJob<'_>) -> Result<JobRun> {
     let hw = &spec.profile;
     let plan = job.format.splits(cluster, &job.input)?;
@@ -220,41 +356,49 @@ pub fn run_map_job(cluster: &DfsCluster, spec: &ClusterSpec, job: &MapJob<'_>) -
     }
     let split_phase_seconds = plan.client_cost.serial_seconds(hw, spec.scale);
 
+    // Phase 1: assignment.
+    let nodes = assign_split_nodes(cluster, spec, job.format, &plan.splits)?;
+
+    // Phases 2+3, one fixed-size chunk of splits at a time: execution
+    // (the format's job-level pool overlaps the chunk's reads), then
+    // the deterministic merge + simulated accounting in split order.
+    // Chunking bounds peak memory — a chunk's buffered records are
+    // mapped into `output` and dropped before the next chunk reads —
+    // without touching determinism: the boundaries are parallelism-
+    // independent, and within a chunk results arrive in split order.
+    let batch: Vec<SplitTask<'_>> = plan
+        .splits
+        .iter()
+        .zip(&nodes)
+        .map(|(split, &node)| SplitTask {
+            split,
+            ctx: job.split_context(node),
+        })
+        .collect();
     let mut slots = NodeSlots::new(cluster, hw.map_slots);
     let mut output = Vec::new();
     let mut tasks = Vec::with_capacity(plan.splits.len());
     let mut scratch = Vec::new();
-
-    for (i, split) in plan.splits.iter().enumerate() {
-        let node = slots
-            .choose_node_delayed(&split.locations, spec.locality_delay_s)
-            .ok_or_else(|| HailError::Job("no live nodes to schedule on".into()))?;
-        let mut records = Vec::new();
-        let wall = Instant::now();
-        let stats =
-            job.format
-                .read_split_with(cluster, split, &job.split_context(node), &mut |rec| {
-                    records.push(rec)
-                })?;
-        let reader_wall_seconds = wall.elapsed().as_secs_f64();
-        for rec in &records {
-            scratch.clear();
-            (job.map)(rec, &mut scratch);
-            output.append(&mut scratch);
+    for (chunk_idx, chunk) in batch.chunks(SPLIT_BATCH_CHUNK).enumerate() {
+        let chunk_start = chunk_idx * SPLIT_BATCH_CHUNK;
+        let reads = job
+            .format
+            .read_split_batch(cluster, chunk, job.job_parallelism)?;
+        for (offset, read) in reads.into_iter().enumerate() {
+            let i = chunk_start + offset;
+            tasks.push(account_split_read(
+                job,
+                spec,
+                &mut slots,
+                i,
+                nodes[i],
+                0.0,
+                false,
+                read,
+                &mut output,
+                &mut scratch,
+            ));
         }
-        let reader_seconds = stats.reader_seconds(hw, spec.scale);
-        let duration = hw.task_overhead_s + reader_seconds;
-        let (start, end) = slots.assign(node, duration, 0.0);
-        tasks.push(TaskReport {
-            split: i,
-            node,
-            start,
-            end,
-            reader_seconds,
-            reader_wall_seconds,
-            rerun: false,
-            stats,
-        });
     }
 
     let makespan = slots.makespan();
@@ -440,6 +584,32 @@ mod tests {
         );
     }
 
+    /// Pins the documented `NodeSlots::makespan` behavior after a node
+    /// death: the dead node's pool (whose slots `kill` pins at
+    /// infinity) is mapped to 0.0 and ignored — the makespan is the
+    /// finite maximum over the *live* pools only.
+    #[test]
+    fn makespan_ignores_dead_pools_and_stays_finite() {
+        let cluster = DfsCluster::new(3, StorageConfig::default());
+        let mut slots = NodeSlots::new(&cluster, 2);
+        slots.assign(0, 10.0, 0.0);
+        slots.assign(1, 4.0, 0.0);
+        slots.assign(2, 7.0, 0.0);
+        assert_eq!(slots.makespan(), 10.0);
+
+        // Killing the busiest node removes its contribution entirely —
+        // not infinity (its killed slots), not its old 10.0.
+        slots.kill_node(0);
+        assert!(slots.makespan().is_finite());
+        assert_eq!(slots.makespan(), 7.0);
+        assert_eq!(slots.live_slot_count(), 4);
+
+        // Killing every node leaves an empty (zero) makespan.
+        slots.kill_node(1);
+        slots.kill_node(2);
+        assert_eq!(slots.makespan(), 0.0);
+    }
+
     #[test]
     fn empty_input_is_fine() {
         let cluster = DfsCluster::new(2, StorageConfig::default());
@@ -459,6 +629,7 @@ mod tests {
             input: (0..10).collect(),
             format: &fmt,
             parallelism: None,
+            job_parallelism: None,
             map: Box::new(|rec, out| {
                 if let Some(Value::Long(v)) = rec.row.get(0) {
                     if v % 2 == 0 {

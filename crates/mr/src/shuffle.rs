@@ -28,6 +28,9 @@ pub struct MapReduceJob<'a> {
     /// Intra-split read parallelism for the map phase (see
     /// [`MapJob::parallelism`]); `None` defers to the input format.
     pub parallelism: Option<usize>,
+    /// Job-level split overlap for the map phase (see
+    /// [`MapJob::job_parallelism`]); `None` defers to the input format.
+    pub job_parallelism: Option<usize>,
 }
 
 /// Result of a map-reduce job: reduced output plus the map-phase report
@@ -56,6 +59,7 @@ pub fn run_map_reduce_job(
             input: job.input.clone(),
             format: job.format,
             parallelism: job.parallelism,
+            job_parallelism: job.job_parallelism,
             map: Box::new(|rec, _out| {
                 let mut emitted = Vec::new();
                 (job.map)(rec, &mut emitted);
@@ -166,6 +170,7 @@ mod tests {
             }),
             reducers: 1,
             parallelism: None,
+            job_parallelism: None,
         };
         let run = run_map_reduce_job(&cluster, &spec, &job).unwrap();
         // Keys 0,1,2 each appear 3 times.
@@ -192,6 +197,7 @@ mod tests {
             reduce: Box::new(|_k: &Value, _rows: &[Row], _out: &mut Vec<Row>| {}),
             reducers,
             parallelism: None,
+            job_parallelism: None,
         };
         let one = run_map_reduce_job(&cluster, &spec, &mk(1)).unwrap();
         let four = run_map_reduce_job(&cluster, &spec, &mk(4)).unwrap();

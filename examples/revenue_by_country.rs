@@ -58,6 +58,7 @@ fn main() -> Result<()> {
         }),
         reducers: 2,
         parallelism: None,
+        job_parallelism: None,
     };
 
     let run = run_map_reduce_job(&cluster, &spec, &job)?;

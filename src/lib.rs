@@ -94,8 +94,9 @@ pub mod prelude {
     };
     pub use hail_exec::{
         default_splits, hail_splits, read_hail_block, AccessPath, CacheStats, ExecutorConfig,
-        ExecutorContext, HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat, PlanCache,
-        PlannerConfig, QueryPlan, QueryPlanner, SelectivityEstimate, SelectivityFeedback,
+        ExecutorContext, HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat, JobPool,
+        JobPoolConfig, PlanCache, PlannerConfig, QueryPlan, QueryPlanner, SelectivityEstimate,
+        SelectivityFeedback,
     };
     pub use hail_index::{
         ClusteredIndex, IndexKind, IndexedBlock, KeyBounds, ReplicaIndexConfig, SidecarMetadata,

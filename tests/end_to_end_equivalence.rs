@@ -152,6 +152,7 @@ fn bad_records_survive_upload_and_reach_the_map_function() {
         input: dataset.blocks.clone(),
         format: &format,
         parallelism: None,
+        job_parallelism: None,
         map: Box::new(|rec, out| {
             if rec.bad {
                 bad_seen.set(bad_seen.get() + 1);

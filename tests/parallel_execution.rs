@@ -59,10 +59,21 @@ fn run_at(
     parallelism: usize,
     planner: PlannerConfig,
 ) -> (Vec<Row>, JobReport) {
+    run_at_levels(cluster, dataset, parallelism, 1, planner)
+}
+
+fn run_at_levels(
+    cluster: &DfsCluster,
+    dataset: &Dataset,
+    split_parallelism: usize,
+    job_parallelism: usize,
+    planner: PlannerConfig,
+) -> (Vec<Row>, JobReport) {
     let query = HailQuery::parse("@1 between(40, 90)", "{@2}", &schema()).unwrap();
     let format = HailInputFormat::new(dataset.clone(), query).with_planner(planner);
-    let job =
-        MapJob::collecting("par", dataset.blocks.clone(), &format).with_parallelism(parallelism);
+    let job = MapJob::collecting("par", dataset.blocks.clone(), &format)
+        .with_parallelism(split_parallelism)
+        .with_job_parallelism(job_parallelism);
     let spec = ClusterSpec::new(4, HardwareProfile::physical());
     let run = run_map_job(cluster, &spec, &job).unwrap();
     (run.output, run.report)
@@ -207,6 +218,85 @@ fn failover_is_parallelism_invariant() {
         serial.with_failure.end_to_end_seconds,
         parallel.with_failure.end_to_end_seconds
     );
+}
+
+/// Acceptance (job overlap): the full matrix of job-level parallelism
+/// 1/2/4 × intra-split parallelism 1/2 reproduces the strictly
+/// sequential run bit for bit — output rows in order, every simulated
+/// report figure, and the post-job adaptive cache/feedback state.
+#[test]
+fn job_level_overlap_is_bit_for_bit_invariant() {
+    let (cluster, dataset) = setup();
+    let run_with_state = |split_p: usize, job_p: usize| {
+        let cache = Arc::new(PlanCache::default());
+        let feedback = Arc::new(SelectivityFeedback::default());
+        let planner = PlannerConfig {
+            plan_cache: Some(Arc::clone(&cache)),
+            feedback: Some(Arc::clone(&feedback)),
+            ..Default::default()
+        };
+        // Two passes: the second plans from a warm cache and absorbed
+        // feedback, so any overlap-order leak into the adaptive state
+        // would surface as diverging plans or counters.
+        run_at_levels(&cluster, &dataset, split_p, job_p, planner.clone());
+        let (out, report) = run_at_levels(&cluster, &dataset, split_p, job_p, planner);
+        (out, report, cache, feedback)
+    };
+
+    let (base_out, base_report, base_cache, base_fb) = run_with_state(1, 1);
+    assert!(!base_out.is_empty());
+    for job_p in [1, 2, 4] {
+        for split_p in [1, 2] {
+            if (job_p, split_p) == (1, 1) {
+                continue;
+            }
+            let (out, report, cache, fb) = run_with_state(split_p, job_p);
+            assert_eq!(base_out, out, "job={job_p} split={split_p} changed rows");
+            assert_reports_identical(&base_report, &report);
+            let (b, p) = (base_cache.stats(), cache.stats());
+            assert_eq!(b.hits, p.hits, "job={job_p} split={split_p} cache hits");
+            assert_eq!(b.misses, p.misses);
+            assert_eq!(b.cost_evaluations, p.cost_evaluations);
+            assert_eq!(
+                base_fb.observed(0, false),
+                fb.observed(0, false),
+                "job={job_p} split={split_p} feedback state"
+            );
+            assert_eq!(
+                base_fb.observation_count(0, false),
+                fb.observation_count(0, false)
+            );
+        }
+    }
+}
+
+/// Acceptance (job overlap): a mid-job failure replayed through the
+/// shared job-level pool is bit-for-bit equivalent to the sequential
+/// replay — same output, same rerun set, same `T_f`.
+#[test]
+fn failover_through_the_shared_pool_is_invariant() {
+    let run_failure = |split_p: usize, job_p: usize| {
+        let (mut cluster, dataset) = setup();
+        let query = HailQuery::parse("@1 between(40, 90)", "{@2}", &schema()).unwrap();
+        let format = HailInputFormat::new(dataset.clone(), query);
+        let job = MapJob::collecting("fo", dataset.blocks.clone(), &format)
+            .with_parallelism(split_p)
+            .with_job_parallelism(job_p);
+        let spec = ClusterSpec::new(4, HardwareProfile::physical());
+        run_map_job_with_failure(&mut cluster, &spec, &job, FailureScenario::at_half(1)).unwrap()
+    };
+    let serial = run_failure(1, 1);
+    for (split_p, job_p) in [(1, 4), (2, 2), (2, 4)] {
+        let pooled = run_failure(split_p, job_p);
+        assert_eq!(serial.output.len(), pooled.output.len());
+        for (a, b) in serial.output.iter().zip(&pooled.output) {
+            assert_eq!(a, b, "job={job_p} split={split_p} changed output order");
+        }
+        assert_eq!(serial.rerun_count, pooled.rerun_count);
+        assert_eq!(serial.failure_time, pooled.failure_time);
+        assert_eq!(serial.slowdown_percent(), pooled.slowdown_percent());
+        assert_reports_identical(&serial.with_failure, &pooled.with_failure);
+    }
 }
 
 /// The scheduler-level override beats the format's own executor config
