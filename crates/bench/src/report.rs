@@ -1,7 +1,51 @@
 //! Experiment report tables: paper-vs-measured rows printed by every
 //! bench target and collected into `EXPERIMENTS.md`.
+//!
+//! Bench targets print aligned plain text by default; passing `--json`
+//! on the bench command line ([`json_mode`]) switches [`Report::print`]
+//! to a machine-readable JSON object instead, and [`BenchSummary`]
+//! bundles several reports plus scalar headline metrics into one JSON
+//! document for artifact files such as `BENCH_6.json`. The JSON is
+//! hand-rolled (no serde in this workspace); non-finite numbers render
+//! as `null`.
 
 use std::fmt::Write as _;
+use std::path::Path;
+
+/// True when the bench was invoked with a `--json` argument: reports
+/// should print machine-readable JSON instead of aligned tables.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON value: `null` for non-finite numbers
+/// (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
 
 /// One reported metric row.
 #[derive(Debug, Clone)]
@@ -84,9 +128,48 @@ impl Report {
         out
     }
 
-    /// Prints the table to stdout (what `cargo bench` shows).
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"unit\":\"{}\",\"rows\":[",
+            json_escape(&self.id),
+            json_escape(&self.title),
+            json_escape(&self.unit)
+        );
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let paper = r.paper.map(json_f64).unwrap_or_else(|| "null".to_string());
+            let _ = write!(
+                out,
+                "{{\"label\":\"{}\",\"paper\":{},\"measured\":{}}}",
+                json_escape(&r.label),
+                paper,
+                json_f64(r.measured)
+            );
+        }
+        out.push_str("],\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(n));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Prints the table to stdout (what `cargo bench` shows): an
+    /// aligned text table, or one JSON object under [`json_mode`].
     pub fn print(&self) {
-        println!("{}", self.render());
+        if json_mode() {
+            println!("{}", self.to_json());
+        } else {
+            println!("{}", self.render());
+        }
     }
 
     /// The ratio of two measured rows (by label), used by shape
@@ -95,6 +178,69 @@ impl Report {
         let num = self.rows.iter().find(|r| r.label == numerator)?.measured;
         let den = self.rows.iter().find(|r| r.label == denominator)?.measured;
         (den != 0.0).then(|| num / den)
+    }
+}
+
+/// A whole bench run's machine-readable summary: scalar headline
+/// metrics (named numbers the driver greps for) plus the full report
+/// tables, serialized as one JSON document.
+#[derive(Debug, Clone)]
+pub struct BenchSummary {
+    pub id: String,
+    pub metrics: Vec<(String, f64)>,
+    pub reports: Vec<Report>,
+}
+
+impl BenchSummary {
+    pub fn new(id: impl Into<String>) -> Self {
+        BenchSummary {
+            id: id.into(),
+            metrics: Vec::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Records a named headline metric.
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
+    }
+
+    /// Attaches a full report table.
+    pub fn report(&mut self, report: Report) {
+        self.reports.push(report);
+    }
+
+    /// Serializes the summary as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\n  \"id\": \"{}\",\n", json_escape(&self.id));
+        out.push_str("  \"metrics\": {");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", json_escape(name), json_f64(*value));
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"reports\": [");
+        for (i, r) in self.reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}", r.to_json());
+        }
+        if !self.reports.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes the JSON summary to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
     }
 }
 
@@ -129,5 +275,53 @@ mod tests {
         r.row("b", None, 2.0);
         assert_eq!(r.measured_ratio("a", "b"), Some(5.0));
         assert_eq!(r.measured_ratio("a", "missing"), None);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut r = Report::new("B6", "Block \"skipping\"", "evals");
+        r.row("full", Some(2.0), 40.0);
+        r.row("pruned", None, f64::NAN);
+        r.note("line\nbreak");
+        let j = r.to_json();
+        assert!(j.contains("\"id\":\"B6\""));
+        assert!(j.contains("Block \\\"skipping\\\""));
+        assert!(j.contains("\"paper\":2,\"measured\":40"));
+        assert!(j.contains("\"paper\":null,\"measured\":null"));
+        assert!(j.contains("line\\nbreak"));
+    }
+
+    #[test]
+    fn json_escape_control_chars() {
+        assert_eq!(json_escape("a\tb"), "a\\tb");
+        assert_eq!(json_escape("x\u{1}y"), "x\\u0001y");
+        assert_eq!(json_escape("q\\\"w"), "q\\\\\\\"w");
+    }
+
+    #[test]
+    fn summary_json_round_trip_shape() {
+        let mut s = BenchSummary::new("BENCH_6");
+        s.metric("planning_eval_ratio", 8.5);
+        s.metric("blocks_pruned", 12.0);
+        let mut r = Report::new("B6", "needle", "blocks");
+        r.row("touched", None, 0.0);
+        s.report(r);
+        let j = s.to_json();
+        assert!(j.contains("\"id\": \"BENCH_6\""));
+        assert!(j.contains("\"planning_eval_ratio\": 8.5"));
+        assert!(j.contains("\"blocks_pruned\": 12"));
+        assert!(j.contains("\"id\":\"B6\""));
+        // Braces balance (cheap well-formedness check without a parser).
+        let opens = j.matches(['{', '[']).count();
+        let closes = j.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_summary_is_wellformed() {
+        let s = BenchSummary::new("empty");
+        let j = s.to_json();
+        assert!(j.contains("\"metrics\": {}"));
+        assert!(j.contains("\"reports\": []"));
     }
 }

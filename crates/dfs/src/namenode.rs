@@ -171,6 +171,38 @@ impl Namenode {
     }
 
     /// Live datanodes whose replica of the block stores a sidecar
+    /// zone-map synopsis over the given 0-based column.
+    pub fn get_hosts_with_zone_map(
+        &self,
+        block: BlockId,
+        column: usize,
+    ) -> Result<Vec<DatanodeId>> {
+        let hosts = self.get_hosts(block)?;
+        Ok(hosts
+            .into_iter()
+            .filter(|&d| {
+                self.dir_rep
+                    .get(&(block, d))
+                    .is_some_and(|info| info.index.zone_map_on(column).is_some())
+            })
+            .collect())
+    }
+
+    /// Live datanodes whose replica of the block stores a sidecar
+    /// Bloom-filter synopsis over the given 0-based column.
+    pub fn get_hosts_with_bloom(&self, block: BlockId, column: usize) -> Result<Vec<DatanodeId>> {
+        let hosts = self.get_hosts(block)?;
+        Ok(hosts
+            .into_iter()
+            .filter(|&d| {
+                self.dir_rep
+                    .get(&(block, d))
+                    .is_some_and(|info| info.index.bloom_on(column).is_some())
+            })
+            .collect())
+    }
+
+    /// Live datanodes whose replica of the block stores a sidecar
     /// inverted list over its bad-record section.
     pub fn get_hosts_with_inverted_list(&self, block: BlockId) -> Result<Vec<DatanodeId>> {
         let hosts = self.get_hosts(block)?;

@@ -150,6 +150,16 @@ impl InputFormat for HailInputFormat {
         )
     }
 
+    fn estimate_splits(&self, cluster: &DfsCluster, splits: &[InputSplit]) -> Option<Vec<f64>> {
+        Some(
+            QueryPlanner::with_config(cluster, self.planner.clone()).estimate_split_batch(
+                self.dataset.format,
+                splits,
+                &self.query,
+            ),
+        )
+    }
+
     fn name(&self) -> &str {
         "HAIL"
     }
@@ -244,6 +254,16 @@ impl InputFormat for HadoopInputFormat {
         )
     }
 
+    fn estimate_splits(&self, cluster: &DfsCluster, splits: &[InputSplit]) -> Option<Vec<f64>> {
+        Some(
+            QueryPlanner::with_config(cluster, self.planner_config()).estimate_split_batch(
+                self.dataset.format,
+                splits,
+                &self.query,
+            ),
+        )
+    }
+
     fn name(&self) -> &str {
         "Hadoop"
     }
@@ -333,6 +353,16 @@ impl InputFormat for HadoopPlusPlusInputFormat {
             QueryPlanner::with_config(cluster, PlannerConfig::default()).estimate_split(
                 self.dataset.format,
                 &split.blocks,
+                &self.query,
+            ),
+        )
+    }
+
+    fn estimate_splits(&self, cluster: &DfsCluster, splits: &[InputSplit]) -> Option<Vec<f64>> {
+        Some(
+            QueryPlanner::with_config(cluster, PlannerConfig::default()).estimate_split_batch(
+                self.dataset.format,
+                splits,
                 &self.query,
             ),
         )

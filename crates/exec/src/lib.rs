@@ -31,6 +31,10 @@
 //!   (per-worker deques, `HAIL_JOB_PARALLELISM`) that overlaps whole
 //!   splits across the job, sharing one global thread budget and one
 //!   job-wide per-node gate with the intra-split workers
+//! - [`synopsis`] — block skipping: evaluate the query against the
+//!   persisted per-block zone-map/Bloom synopses *before* candidate
+//!   enumeration, so provably-empty blocks get zero-cost plans and are
+//!   never priced or read (conservative: any doubt means no prune)
 //! - [`splitting`] — default Hadoop splitting and `HailSplitting`
 //!   (§4.3), consuming plans instead of re-deriving replica choices
 //! - [`formats`] — the three `InputFormat`s (Hadoop, Hadoop++, HAIL),
@@ -96,6 +100,7 @@ pub mod path;
 pub mod planner;
 pub mod readers;
 pub mod splitting;
+pub mod synopsis;
 
 pub use cache::{
     BlockFingerprint, CacheStats, FilterShape, PlanCache, SelectivityChoice, SelectivityFeedback,
@@ -116,3 +121,4 @@ pub use planner::{
 };
 pub use readers::{read_hadoop_text_block, read_hail_block, read_hpp_block};
 pub use splitting::{default_splits, hail_splits, plan_default_splits, plan_hail_splits};
+pub use synopsis::{env_synopsis_pruning, PruneInfo, PruneReason, DISABLE_SYNOPSES_ENV};

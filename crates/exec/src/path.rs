@@ -590,7 +590,7 @@ impl AccessPath for InvertedListScan {
 /// per-row decode is needed. Conjunctions over several columns (or with
 /// an unattributable `!=`) yield `None` — attributing the combined
 /// selectivity to one column would poison the per-column feedback.
-fn sole_filter_column(query: &HailQuery) -> Option<(usize, bool)> {
+pub(crate) fn sole_filter_column(query: &HailQuery) -> Option<(usize, bool)> {
     let column = query.predicates.first()?.column();
     query
         .predicates

@@ -218,7 +218,7 @@ impl SelectivityEstimate {
 /// configured here: the planner discovers them per replica from the
 /// namenode's `Dir_rep` directory, where the upload pipeline registered
 /// them.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PlannerConfig {
     pub cost: CostModel,
     pub estimate: SelectivityEstimate,
@@ -237,6 +237,26 @@ pub struct PlannerConfig {
     /// [`PlannerConfig::estimate`]; `None` (the default) plans from the
     /// static prior alone.
     pub feedback: Option<Arc<SelectivityFeedback>>,
+    /// Consult persisted zone-map/Bloom synopses before candidate
+    /// enumeration, skipping blocks they prove empty
+    /// ([`crate::synopsis`]). Defaults on; the
+    /// [`crate::synopsis::DISABLE_SYNOPSES_ENV`] environment variable
+    /// flips the default off for a whole process (CI's unpruned leg).
+    pub synopsis_pruning: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            cost: CostModel::default(),
+            estimate: SelectivityEstimate::default(),
+            bad_record_tokens: Vec::new(),
+            text_delimiter: None,
+            plan_cache: None,
+            feedback: None,
+            synopsis_pruning: crate::synopsis::env_synopsis_pruning(),
+        }
+    }
 }
 
 /// One priced `(replica, access path)` alternative.
@@ -278,6 +298,11 @@ pub struct BlockPlan {
     /// The per-column selectivities this plan was priced with, each
     /// tagged with its source (static prior vs observed feedback).
     pub selectivity: Vec<SelectivityChoice>,
+    /// `Some` when a persisted synopsis proved this block matches no
+    /// row: the plan is a zero-cost placeholder, no candidate was ever
+    /// priced, and execution skips the read entirely, synthesizing the
+    /// statistics the scan would have produced (zero matches).
+    pub pruned: Option<crate::synopsis::PruneInfo>,
 }
 
 /// A full, explainable query plan: one [`BlockPlan`] per input block.
@@ -344,9 +369,13 @@ impl QueryPlan {
                 let sep = if sel.is_empty() { "  sel " } else { ", " };
                 let _ = write!(sel, "{sep}@{}={:.3}({src})", sc.column + 1, sc.value);
             }
+            let pruned = match &bp.pruned {
+                Some(info) => format!("  [pruned: {}]", info.reason),
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "  block {}: DN{} {}  est {:.3}s  ({} candidate{}){}{}{}{}",
+                "  block {}: DN{} {}  est {:.3}s  ({} candidate{}){}{}{}{}{}",
                 bp.block,
                 bp.replica + 1,
                 bp.path.describe(),
@@ -355,11 +384,16 @@ impl QueryPlan {
                 if bp.candidates.len() == 1 { "" } else { "s" },
                 sel,
                 sidecar,
-                if bp.cached {
+                if bp.pruned.is_some() {
+                    // A pruned plan was never priced; "[priced]" would
+                    // misreport the zero evaluations it cost.
+                    ""
+                } else if bp.cached {
                     "  [cached]"
                 } else {
                     "  [priced]"
                 },
+                pruned,
                 if bp.fallback { "  [fallback]" } else { "" },
             );
         }
@@ -496,6 +530,7 @@ impl<'a> QueryPlanner<'a> {
                         sidecar_bytes: None,
                         cached: false,
                         selectivity: Vec::new(),
+                        pruned: None,
                     });
                 }
             }
@@ -623,6 +658,42 @@ impl<'a> QueryPlanner<'a> {
         }
     }
 
+    /// [`QueryPlanner::estimate_split`] over a whole job's splits at
+    /// once: the canonical filter shape (feedback lookups, shape
+    /// hashing, cost-model digest) is derived **once** and reused for
+    /// every split, instead of once per `estimate_split` call. The
+    /// scheduler's assignment phase estimates every split of a job
+    /// against the same query, so this is its batch seam; results are
+    /// positionally aligned with `splits`.
+    pub fn estimate_split_batch(
+        &self,
+        format: DatasetFormat,
+        splits: &[hail_mr::InputSplit],
+        query: &HailQuery,
+    ) -> Vec<f64> {
+        let heuristic = self.heuristic_block_seconds();
+        let shape = match &self.config.plan_cache {
+            Some(_) if self.config.bad_record_tokens.is_empty() => {
+                let selectivity = self.effective_selectivities(query);
+                Some(self.filter_shape(format, query, &selectivity))
+            }
+            _ => None,
+        };
+        splits
+            .iter()
+            .map(
+                |split| match shape.as_ref().zip(self.config.plan_cache.as_ref()) {
+                    Some((shape, cache)) => cache
+                        .peek_est_seconds_many(shape, &split.blocks)
+                        .into_iter()
+                        .map(|est| est.unwrap_or(heuristic))
+                        .sum(),
+                    None => heuristic * split.blocks.len() as f64,
+                },
+            )
+            .collect()
+    }
+
     /// The estimate for one block with no memoized plan: a pipelined
     /// full scan of one logical block under this planner's cost model.
     /// Uniform across blocks, so relative slot-occupancy ordering —
@@ -683,16 +754,73 @@ impl<'a> QueryPlanner<'a> {
                 }
                 crate::cache::ValidatedLookup::Miss(fp) => fp,
             };
-            let plan = self.price_block(format, block, query, ctx.selectivity.clone())?;
-            cache.record_cost_evaluations(plan.candidates.len() as u64);
+            // Block skipping runs *before* candidate enumeration: a
+            // synopsis proof yields a zero-cost plan with no pricing
+            // pass at all (and no cost evaluations recorded), memoized
+            // under the same fingerprint machinery as priced plans so
+            // design changes and replica deaths evict it normally.
+            let plan = match crate::synopsis::try_prune(
+                self.cluster,
+                &self.config,
+                format,
+                block,
+                query,
+            ) {
+                Some(info) => self.pruned_block_plan(format, block, info, ctx.selectivity.clone()),
+                None => {
+                    let plan = self.price_block(format, block, query, ctx.selectivity.clone())?;
+                    cache.record_cost_evaluations(plan.candidates.len() as u64);
+                    plan
+                }
+            };
             // Reuse the fingerprint the failed revalidation computed;
             // Dir_rep cannot have moved since (mutation needs &mut).
             let fingerprint =
                 miss_fingerprint.unwrap_or_else(|| BlockFingerprint::of(namenode, block));
             cache.insert_validated(shape, block, fingerprint, namenode, plan.clone());
             Ok(plan)
+        } else if let Some(info) =
+            crate::synopsis::try_prune(self.cluster, &self.config, format, block, query)
+        {
+            Ok(self.pruned_block_plan(format, block, info, ctx.selectivity.clone()))
         } else {
             self.price_block(format, block, query, ctx.selectivity.clone())
+        }
+    }
+
+    /// The zero-cost placeholder plan for a synopsis-pruned block: no
+    /// candidates were priced, execution will skip the read, and the
+    /// scheduler sees it as free (`est_seconds` 0, so
+    /// [`QueryPlanner::estimate_split`] naturally prices it at zero
+    /// once memoized). Locations still list the live holders so split
+    /// construction and locality grouping treat the block normally.
+    fn pruned_block_plan(
+        &self,
+        format: DatasetFormat,
+        block: BlockId,
+        info: crate::synopsis::PruneInfo,
+        selectivity: Vec<SelectivityChoice>,
+    ) -> BlockPlan {
+        let locations: Vec<DatanodeId> = self
+            .cluster
+            .namenode()
+            .live_replicas(block)
+            .iter()
+            .map(|r| r.datanode)
+            .collect();
+        BlockPlan {
+            block,
+            replica: locations.first().copied().unwrap_or(0),
+            path: Arc::new(FullScan::new(self.scan_layout(format))),
+            kind: AccessPathKind::FullScan,
+            est_seconds: 0.0,
+            locations,
+            candidates: Vec::new(),
+            fallback: false,
+            sidecar_bytes: None,
+            cached: false,
+            selectivity,
+            pruned: Some(info),
         }
     }
 
@@ -947,6 +1075,7 @@ impl<'a> QueryPlanner<'a> {
             sidecar_bytes,
             cached: false,
             selectivity,
+            pruned: None,
         })
     }
 
@@ -974,6 +1103,30 @@ impl<'a> QueryPlanner<'a> {
                 &bp_owned
             }
         };
+        // A pruned block is never read — not even if its planned
+        // replica died since planning: block content is immutable, so
+        // the synopsis proof outlives any replica. Synthesize exactly
+        // the statistics the skipped scan would have produced: zero
+        // records, zero bad records (blocks with bad records are never
+        // pruned), and — when the query's filter shape admits a
+        // selectivity observation — a zero-match observation so the
+        // feedback store learns from skipped blocks too.
+        if let Some(info) = &bp.pruned {
+            let mut stats = TaskStats {
+                blocks_pruned: 1,
+                synopsis_bytes_read: info.synopsis_bytes,
+                ..TaskStats::default()
+            };
+            if crate::path::sole_filter_column(query) == Some((info.column, info.eq)) {
+                stats.selectivity.push(hail_mr::SelectivityObservation {
+                    column: info.column,
+                    eq: info.eq,
+                    matched: 0,
+                    total: info.row_count as u64,
+                });
+            }
+            return Ok(stats);
+        }
         let replanned;
         let replica_alive = self
             .cluster
@@ -1059,6 +1212,7 @@ impl QueryPlanner<'_> {
             sidecar_bytes: None,
             cached: false,
             selectivity: Vec::new(),
+            pruned: None,
         }
     }
 }

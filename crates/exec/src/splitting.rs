@@ -58,7 +58,11 @@ pub fn plan_hail_splits(plan: &QueryPlan, map_slots: usize) -> SplitPlan {
     let mut by_node: BTreeMap<DatanodeId, Vec<BlockId>> = BTreeMap::new();
     let mut scanned: Vec<&crate::planner::BlockPlan> = Vec::new();
     for bp in &plan.blocks {
-        if bp.kind.is_index_scan() {
+        // Synopsis-pruned blocks ride along with the index-served
+        // collections: they cost nothing to "read" (execution skips
+        // them), so packing them into collected splits keeps the
+        // per-block scan splits for blocks that genuinely stream.
+        if bp.kind.is_index_scan() || bp.pruned.is_some() {
             by_node.entry(bp.replica).or_default().push(bp.block);
         } else {
             scanned.push(bp);

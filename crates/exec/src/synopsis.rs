@@ -1,0 +1,211 @@
+//! The block-skipping pass: evaluate a query against persisted
+//! zone-map/Bloom synopses **before** candidate enumeration.
+//!
+//! The (crate-private) `try_prune` entry point runs in front of
+//! [`crate::QueryPlanner`]'s pricing
+//! pass: when a block's synopsis proves no row can match the query,
+//! the planner emits a zero-cost [`crate::BlockPlan`] instead of
+//! pricing candidates, and execution never reads the block. The
+//! decision is **strictly conservative** — every exit short of a
+//! proof is "no prune":
+//!
+//! - no synopsis on any live replica (per `Dir_rep`) ⇒ no prune;
+//! - the synopsis-holding replica is dead or its read/parse fails ⇒
+//!   try the next holder, then give up (HAIL's failover story:
+//!   planning degrades to the unpruned path, never errors);
+//! - the block has *any* bad records ⇒ no prune, because every access
+//!   path emits bad records unconditionally and skipping the block
+//!   would drop them;
+//! - bad-record token searches and non-PAX formats are never pruned.
+//!
+//! Synopsis probes are priced like the namenode's `Dir_rep` lookups —
+//! free main-memory operations — but their stored bytes are surfaced
+//! through `TaskStats::synopsis_bytes_read` so benchmarks can weigh
+//! probe footprint against the reads skipped.
+
+use crate::planner::PlannerConfig;
+use hail_core::{CmpOp, DatasetFormat, HailQuery, Predicate};
+use hail_dfs::DfsCluster;
+use hail_index::{HailBlockReplicaInfo, IndexedBlock};
+use hail_types::{BlockId, Value};
+use std::fmt;
+
+/// Environment variable force-disabling synopsis pruning (set to any
+/// value other than `0` or the empty string). CI uses it to keep the
+/// unpruned planning path exercised by the whole suite.
+pub const DISABLE_SYNOPSES_ENV: &str = "HAIL_DISABLE_SYNOPSES";
+
+/// The default for [`PlannerConfig::synopsis_pruning`]: on, unless
+/// [`DISABLE_SYNOPSES_ENV`] turns it off.
+pub fn env_synopsis_pruning() -> bool {
+    !std::env::var(DISABLE_SYNOPSES_ENV)
+        .map(|v| !v.trim().is_empty() && v.trim() != "0")
+        .unwrap_or(false)
+}
+
+/// Which synopsis kind proved a block empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneReason {
+    /// The query's bounds on a column are disjoint from the block's
+    /// zone-map min/max.
+    Zone,
+    /// An equality literal is provably absent from the block's Bloom
+    /// filter.
+    Bloom,
+}
+
+impl fmt::Display for PruneReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruneReason::Zone => f.write_str("zone"),
+            PruneReason::Bloom => f.write_str("bloom"),
+        }
+    }
+}
+
+/// The proof that a block can be skipped, carried on the zero-cost
+/// [`crate::BlockPlan`] so execution can synthesize the statistics the
+/// skipped read would have produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PruneInfo {
+    pub reason: PruneReason,
+    /// 0-based filter column the proof is about.
+    pub column: usize,
+    /// Predicate class of the query on that column (equality vs range)
+    /// — must match what an executed path would have observed, so the
+    /// synthesized selectivity observation lands in the same feedback
+    /// class.
+    pub eq: bool,
+    /// Rows in the skipped block, per its synopsis.
+    pub row_count: usize,
+    /// Stored bytes of every synopsis consulted for this decision.
+    pub synopsis_bytes: u64,
+}
+
+/// Evaluates `query` against the block's persisted synopses, returning
+/// the proof that it can be skipped — or `None`, conservatively, on
+/// any doubt. See the module docs for the exact back-off rules.
+pub(crate) fn try_prune(
+    cluster: &DfsCluster,
+    config: &PlannerConfig,
+    format: DatasetFormat,
+    block: BlockId,
+    query: &HailQuery,
+) -> Option<PruneInfo> {
+    if !config.synopsis_pruning
+        || format != DatasetFormat::HailPax
+        || !config.bad_record_tokens.is_empty()
+    {
+        return None;
+    }
+    let mut columns = query.filter_columns();
+    columns.sort_unstable();
+    columns.dedup();
+    if columns.is_empty() {
+        return None;
+    }
+
+    let replicas = cluster.namenode().live_replicas(block);
+    let mut synopsis_bytes: u64 = 0;
+    for column in columns {
+        let eq = crate::cache::has_eq_on(query, column);
+
+        // Zone map first: it serves every predicate shape the bounds
+        // capture (ranges and points alike).
+        if let Some(bounds) = query.bounds_on(column) {
+            if let Some(zm) = read_synopsis(cluster, &replicas, block, |b| {
+                b.zone_map_sidecar(column)
+                    .map(|s| s.map(|(meta, z)| (meta.sidecar_bytes as u64, z)))
+            }) {
+                synopsis_bytes += zm.0;
+                let z = zm.1;
+                if z.bad_records() == 0 && !z.overlaps(&bounds) {
+                    return Some(PruneInfo {
+                        reason: PruneReason::Zone,
+                        column,
+                        eq,
+                        row_count: z.row_count(),
+                        synopsis_bytes,
+                    });
+                }
+            }
+        }
+
+        // Bloom filter: equality literals only. A conjunction with any
+        // provably-absent literal selects nothing.
+        let eq_values: Vec<&Value> = query
+            .predicates
+            .iter()
+            .filter_map(|p| match p {
+                Predicate::Cmp {
+                    column: c,
+                    op: CmpOp::Eq,
+                    value,
+                } if *c == column => Some(value),
+                _ => None,
+            })
+            .collect();
+        if !eq_values.is_empty() {
+            if let Some(bl) = read_synopsis(cluster, &replicas, block, |b| {
+                b.bloom_sidecar(column)
+                    .map(|s| s.map(|(meta, f)| (meta.sidecar_bytes as u64, f)))
+            }) {
+                synopsis_bytes += bl.0;
+                let f = bl.1;
+                if f.bad_records() == 0 && eq_values.iter().any(|v| !f.might_contain(v)) {
+                    return Some(PruneInfo {
+                        reason: PruneReason::Bloom,
+                        column,
+                        eq,
+                        row_count: f.row_count(),
+                        synopsis_bytes,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Reads one synopsis from the first live replica that stores it and
+/// parses cleanly. Replicas of a block hold the same logical rows, so
+/// every copy of a synopsis is identical — the first readable one
+/// decides. Any failure (dead node mid-probe, corrupt container) falls
+/// through to the next holder; exhausting them means "no synopsis".
+fn read_synopsis<T>(
+    cluster: &DfsCluster,
+    replicas: &[&HailBlockReplicaInfo],
+    block: BlockId,
+    extract: impl Fn(&IndexedBlock) -> hail_types::Result<Option<(u64, T)>>,
+) -> Option<(u64, T)> {
+    for info in replicas {
+        let Ok(dn) = cluster.datanode(info.datanode) else {
+            continue;
+        };
+        let Ok(raw) = dn.peek_replica(block) else {
+            continue;
+        };
+        let Ok(parsed) = IndexedBlock::parse(raw) else {
+            continue;
+        };
+        match extract(&parsed) {
+            Ok(Some(found)) => return Some(found),
+            _ => continue,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knob_semantics() {
+        // The default (unset in the test environment unless CI set it)
+        // must parse without panicking either way.
+        let _ = env_synopsis_pruning();
+        assert_eq!(PruneReason::Zone.to_string(), "zone");
+        assert_eq!(PruneReason::Bloom.to_string(), "bloom");
+    }
+}

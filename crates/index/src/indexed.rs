@@ -14,7 +14,8 @@
 //! │ index bytes (may be empty)   │
 //! ├──────────────────────────────┤
 //! │ sidecar region (may be empty)│
-//! │   bitmap(s) · inverted list  │
+//! │   bitmap(s) · zone map(s)    │
+//! │   bloom(s) · inverted list   │
 //! ├──────────────────────────────┤
 //! │ IndexMetadata (variable:     │
 //! │   primary + sidecar dir)     │
@@ -29,6 +30,7 @@ use crate::clustered::ClusteredIndex;
 use crate::inverted::InvertedList;
 use crate::metadata::{IndexKind, IndexMetadata, SidecarMetadata};
 use crate::sort::{SidecarSpec, SortOrder};
+use crate::synopsis::{BloomSynopsis, ZoneMapSynopsis};
 use bytes::Bytes;
 use hail_pax::{sort_block, PaxBlock};
 use hail_types::{HailError, Result};
@@ -98,17 +100,39 @@ impl IndexedBlock {
                 bitmaps.push(bm);
             }
         }
+        // Zone maps and Bloom filters summarize the same stored rowids;
+        // both persist the bad-record count so the prune pass can back
+        // off on any block that would still emit bad records.
+        let bad_records = pax.bad_records()?.len();
+        let mut zone_maps: Vec<ZoneMapSynopsis> = Vec::new();
+        for &column in &spec.zone_map_columns {
+            if zone_maps.iter().any(|z| z.column() == column) {
+                continue;
+            }
+            let col = pax.decode_column(column)?;
+            let values: Vec<_> = (0..col.len()).map(|i| col.value(i)).collect();
+            zone_maps.push(ZoneMapSynopsis::build(column, &values, bad_records));
+        }
+        let mut blooms: Vec<BloomSynopsis> = Vec::new();
+        for &column in &spec.bloom_columns {
+            if blooms.iter().any(|b| b.column() == column) {
+                continue;
+            }
+            let col = pax.decode_column(column)?;
+            let values: Vec<_> = (0..col.len()).map(|i| col.value(i)).collect();
+            blooms.push(BloomSynopsis::build(column, &values, bad_records));
+        }
         let inverted = if spec.inverted_list {
             Some(InvertedList::build(&pax.bad_records()?))
         } else {
             None
         };
-        Self::assemble_with(pax, index, bitmaps, inverted)
+        Self::assemble_with(pax, index, bitmaps, zone_maps, blooms, inverted)
     }
 
     /// Serializes a (pax, index) pair into the container format.
     pub fn assemble(pax: PaxBlock, index: Option<ClusteredIndex>) -> Result<IndexedBlock> {
-        Self::assemble_with(pax, index, Vec::new(), None)
+        Self::assemble_with(pax, index, Vec::new(), Vec::new(), Vec::new(), None)
     }
 
     /// Serializes PAX data, an optional clustered index, and the built
@@ -117,6 +141,8 @@ impl IndexedBlock {
         pax: PaxBlock,
         index: Option<ClusteredIndex>,
         bitmaps: Vec<BitmapIndex>,
+        zone_maps: Vec<ZoneMapSynopsis>,
+        blooms: Vec<BloomSynopsis>,
         inverted: Option<InvertedList>,
     ) -> Result<IndexedBlock> {
         let index_bytes = index
@@ -135,6 +161,24 @@ impl IndexedBlock {
                 kind: IndexKind::Bitmap {
                     column: bm.column(),
                 },
+                sidecar_bytes: encoded.len(),
+                sidecar_offset: sidecar_base + sidecar_region.len(),
+            });
+            sidecar_region.extend_from_slice(&encoded);
+        }
+        for z in &zone_maps {
+            let encoded = z.to_bytes();
+            sidecars.push(SidecarMetadata {
+                kind: IndexKind::ZoneMap { column: z.column() },
+                sidecar_bytes: encoded.len(),
+                sidecar_offset: sidecar_base + sidecar_region.len(),
+            });
+            sidecar_region.extend_from_slice(&encoded);
+        }
+        for b in &blooms {
+            let encoded = b.to_bytes();
+            sidecars.push(SidecarMetadata {
+                kind: IndexKind::Bloom { column: b.column() },
                 sidecar_bytes: encoded.len(),
                 sidecar_offset: sidecar_base + sidecar_region.len(),
             });
@@ -297,6 +341,38 @@ impl IndexedBlock {
         Ok(self.inverted_list_sidecar()?.map(|(_, l)| l))
     }
 
+    /// The sidecar zone map over `column` together with its directory
+    /// entry, if stored (lazily, like [`IndexedBlock::bitmap_sidecar`]).
+    pub fn zone_map_sidecar(
+        &self,
+        column: usize,
+    ) -> Result<Option<(SidecarMetadata, ZoneMapSynopsis)>> {
+        self.meta
+            .zone_map_on(column)
+            .map(|s| Ok((*s, ZoneMapSynopsis::from_bytes(self.sidecar_raw(s))?)))
+            .transpose()
+    }
+
+    /// Decodes the sidecar zone map over `column`, if stored.
+    pub fn zone_map(&self, column: usize) -> Result<Option<ZoneMapSynopsis>> {
+        Ok(self.zone_map_sidecar(column)?.map(|(_, z)| z))
+    }
+
+    /// The sidecar Bloom filter over `column` together with its
+    /// directory entry, if stored (lazily, like
+    /// [`IndexedBlock::bitmap_sidecar`]).
+    pub fn bloom_sidecar(&self, column: usize) -> Result<Option<(SidecarMetadata, BloomSynopsis)>> {
+        self.meta
+            .bloom_on(column)
+            .map(|s| Ok((*s, BloomSynopsis::from_bytes(self.sidecar_raw(s))?)))
+            .transpose()
+    }
+
+    /// Decodes the sidecar Bloom filter over `column`, if stored.
+    pub fn bloom(&self, column: usize) -> Result<Option<BloomSynopsis>> {
+        Ok(self.bloom_sidecar(column)?.map(|(_, b)| b))
+    }
+
     /// The replica's index metadata.
     pub fn metadata(&self) -> &IndexMetadata {
         &self.meta
@@ -375,6 +451,7 @@ mod tests {
         let spec = SidecarSpec {
             bitmap_columns: vec![0],
             inverted_list: true,
+            ..SidecarSpec::default()
         };
         let b = IndexedBlock::build_with(&pax_block(), SortOrder::Clustered { column: 0 }, &spec)
             .unwrap();
@@ -409,7 +486,7 @@ mod tests {
     fn duplicate_bitmap_columns_store_one_sidecar() {
         let spec = SidecarSpec {
             bitmap_columns: vec![0, 0, 0],
-            inverted_list: false,
+            ..SidecarSpec::default()
         };
         let b = IndexedBlock::build_with(&pax_block(), SortOrder::Unsorted, &spec).unwrap();
         assert_eq!(b.metadata().sidecars.len(), 1);
@@ -432,7 +509,7 @@ mod tests {
             .unwrap();
         let spec = SidecarSpec {
             bitmap_columns: vec![0, 1],
-            inverted_list: false,
+            ..SidecarSpec::default()
         };
         // Both columns exceed the limit: the build succeeds with no
         // bitmaps instead of erroring the upload.
@@ -440,6 +517,38 @@ mod tests {
         assert!(b.bitmap(0).unwrap().is_none());
         assert!(b.bitmap(1).unwrap().is_none());
         assert!(b.metadata().sidecars.is_empty());
+    }
+
+    #[test]
+    fn synopsis_sidecars_round_trip() {
+        use crate::clustered::KeyBounds;
+        let spec = SidecarSpec {
+            zone_map_columns: vec![0],
+            bloom_columns: vec![0, 1],
+            ..SidecarSpec::default()
+        };
+        let b = IndexedBlock::build_with(&pax_block(), SortOrder::Clustered { column: 0 }, &spec)
+            .unwrap();
+        assert_eq!(b.metadata().sidecars.len(), 3);
+
+        let parsed = IndexedBlock::parse(b.bytes().clone()).unwrap();
+        let zm = parsed.zone_map(0).unwrap().expect("zone map");
+        // Keys are 1,3,5,7,9 — the zone map sees the sorted block.
+        assert_eq!(zm.bounds(), Some((&Value::Int(1), &Value::Int(9))));
+        assert_eq!(zm.row_count(), 5);
+        assert_eq!(zm.bad_records(), 0);
+        assert!(!zm.overlaps(&KeyBounds::at_least(Value::Int(10))));
+        assert!(zm.overlaps(&KeyBounds::point(Value::Int(5))));
+        assert!(parsed.zone_map(1).unwrap().is_none());
+
+        let bl = parsed.bloom(1).unwrap().expect("bloom");
+        assert!(bl.might_contain(&Value::Str("seven".into())));
+        assert!(parsed.bloom(0).unwrap().is_some());
+        assert_eq!(parsed.metadata(), b.metadata());
+        assert_eq!(
+            b.metadata().sidecar_bytes_total(),
+            b.metadata().sidecars.iter().map(|s| s.sidecar_bytes).sum()
+        );
     }
 
     #[test]
@@ -475,7 +584,7 @@ mod tests {
     fn parse_rejects_corrupt_sidecar_directory() {
         let spec = SidecarSpec {
             bitmap_columns: vec![0],
-            inverted_list: false,
+            ..SidecarSpec::default()
         };
         let b = IndexedBlock::build_with(&pax_block(), SortOrder::Unsorted, &spec).unwrap();
         let meta_len = b.metadata().to_bytes().len();

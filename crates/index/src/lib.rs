@@ -21,6 +21,7 @@ pub mod inverted;
 pub mod metadata;
 pub mod selection;
 pub mod sort;
+pub mod synopsis;
 pub mod trojan;
 pub mod unclustered;
 
@@ -33,5 +34,6 @@ pub use metadata::{
 };
 pub use selection::{select_for_workload, select_manual, WorkloadFilter};
 pub use sort::{ReplicaIndexConfig, SidecarSpec, SortOrder};
+pub use synopsis::{BloomSynopsis, ZoneMapSynopsis};
 pub use trojan::{TrojanIndex, TROJAN_GRANULARITY};
 pub use unclustered::UnclusteredIndex;

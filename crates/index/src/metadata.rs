@@ -21,6 +21,12 @@ pub enum IndexKind {
     Bitmap { column: usize },
     /// Sidecar inverted list over the block's bad-record section (§3.5).
     InvertedList,
+    /// Sidecar zone-map synopsis (min/max) over a column, for block
+    /// skipping.
+    ZoneMap { column: usize },
+    /// Sidecar Bloom-filter synopsis over a column, for equality-
+    /// predicate block skipping.
+    Bloom { column: usize },
 }
 
 impl IndexKind {
@@ -32,11 +38,14 @@ impl IndexKind {
             IndexKind::Unclustered => 3,
             IndexKind::Bitmap { .. } => 4,
             IndexKind::InvertedList => 5,
+            IndexKind::ZoneMap { .. } => 6,
+            IndexKind::Bloom { .. } => 7,
         }
     }
 
     /// Reconstructs a kind from its tag; `column` feeds the kinds that
-    /// carry one (currently only [`IndexKind::Bitmap`]).
+    /// carry one ([`IndexKind::Bitmap`], [`IndexKind::ZoneMap`],
+    /// [`IndexKind::Bloom`]).
     fn from_tag(t: u8, column: usize) -> Result<Self> {
         Ok(match t {
             0 => IndexKind::None,
@@ -45,6 +54,8 @@ impl IndexKind {
             3 => IndexKind::Unclustered,
             4 => IndexKind::Bitmap { column },
             5 => IndexKind::InvertedList,
+            6 => IndexKind::ZoneMap { column },
+            7 => IndexKind::Bloom { column },
             other => return Err(HailError::Corrupt(format!("unknown index kind {other}"))),
         })
     }
@@ -52,7 +63,13 @@ impl IndexKind {
     /// True for the sidecar extension kinds that ride along with a
     /// replica's primary (clustered/trojan) index.
     pub fn is_sidecar(self) -> bool {
-        matches!(self, IndexKind::Bitmap { .. } | IndexKind::InvertedList)
+        matches!(
+            self,
+            IndexKind::Bitmap { .. }
+                | IndexKind::InvertedList
+                | IndexKind::ZoneMap { .. }
+                | IndexKind::Bloom { .. }
+        )
     }
 }
 
@@ -65,6 +82,8 @@ impl fmt::Display for IndexKind {
             IndexKind::Unclustered => f.write_str("unclustered"),
             IndexKind::Bitmap { column } => write!(f, "bitmap(@{})", column + 1),
             IndexKind::InvertedList => f.write_str("inverted-list"),
+            IndexKind::ZoneMap { column } => write!(f, "zone-map(@{})", column + 1),
+            IndexKind::Bloom { column } => write!(f, "bloom(@{})", column + 1),
         }
     }
 }
@@ -94,7 +113,9 @@ impl SidecarMetadata {
         buf.push(self.kind.tag());
         buf.extend_from_slice(&[0u8; 3]); // padding
         let column = match self.kind {
-            IndexKind::Bitmap { column } => column,
+            IndexKind::Bitmap { column }
+            | IndexKind::ZoneMap { column }
+            | IndexKind::Bloom { column } => column,
             _ => 0,
         };
         put_u32(&mut buf, column as u32);
@@ -169,6 +190,21 @@ impl IndexMetadata {
         self.sidecars
             .iter()
             .find(|s| s.kind == IndexKind::InvertedList)
+    }
+
+    /// The sidecar zone map over `column`, if this replica stores one.
+    pub fn zone_map_on(&self, column: usize) -> Option<&SidecarMetadata> {
+        self.sidecars
+            .iter()
+            .find(|s| s.kind == IndexKind::ZoneMap { column })
+    }
+
+    /// The sidecar Bloom filter over `column`, if this replica stores
+    /// one.
+    pub fn bloom_on(&self, column: usize) -> Option<&SidecarMetadata> {
+        self.sidecars
+            .iter()
+            .find(|s| s.kind == IndexKind::Bloom { column })
     }
 
     /// Total bytes of all sidecar extension indexes on this replica.
@@ -350,10 +386,43 @@ mod tests {
     fn sidecar_kinds_display_and_classify() {
         assert_eq!(IndexKind::Bitmap { column: 0 }.to_string(), "bitmap(@1)");
         assert_eq!(IndexKind::InvertedList.to_string(), "inverted-list");
+        assert_eq!(IndexKind::ZoneMap { column: 1 }.to_string(), "zone-map(@2)");
+        assert_eq!(IndexKind::Bloom { column: 2 }.to_string(), "bloom(@3)");
         assert!(IndexKind::Bitmap { column: 3 }.is_sidecar());
         assert!(IndexKind::InvertedList.is_sidecar());
+        assert!(IndexKind::ZoneMap { column: 0 }.is_sidecar());
+        assert!(IndexKind::Bloom { column: 0 }.is_sidecar());
         assert!(!IndexKind::Clustered.is_sidecar());
         assert!(!IndexKind::None.is_sidecar());
+    }
+
+    #[test]
+    fn synopsis_sidecar_metadata_round_trip() {
+        let m = IndexMetadata {
+            kind: IndexKind::Clustered,
+            key_column: Some(0),
+            index_bytes: 256,
+            index_offset: 4000,
+            sidecars: vec![
+                SidecarMetadata {
+                    kind: IndexKind::ZoneMap { column: 2 },
+                    sidecar_bytes: 40,
+                    sidecar_offset: 4256,
+                },
+                SidecarMetadata {
+                    kind: IndexKind::Bloom { column: 2 },
+                    sidecar_bytes: 130,
+                    sidecar_offset: 4296,
+                },
+            ],
+        };
+        let back = IndexMetadata::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.zone_map_on(2).unwrap().sidecar_bytes, 40);
+        assert!(back.zone_map_on(1).is_none());
+        assert_eq!(back.bloom_on(2).unwrap().sidecar_offset, 4296);
+        assert!(back.bloom_on(0).is_none());
+        assert_eq!(back.sidecar_bytes_total(), 170);
     }
 
     #[test]
@@ -389,7 +458,7 @@ mod tests {
     fn sidecar_tag_in_primary_header_rejected() {
         // A flipped primary kind tag naming a sidecar kind is corruption,
         // exactly as an unknown tag is.
-        for tag in [4u8, 5] {
+        for tag in [4u8, 5, 6, 7] {
             let mut bytes = IndexMetadata::none().to_bytes();
             bytes[0] = tag;
             let err = IndexMetadata::from_bytes(&bytes).unwrap_err();

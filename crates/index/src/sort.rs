@@ -50,12 +50,21 @@ pub struct SidecarSpec {
     pub bitmap_columns: Vec<usize>,
     /// Build an inverted list over the block's bad-record section.
     pub inverted_list: bool,
+    /// 0-based columns to build a zone-map (min/max) synopsis over, for
+    /// block skipping.
+    pub zone_map_columns: Vec<usize>,
+    /// 0-based columns to build a Bloom-filter synopsis over, for
+    /// equality-predicate block skipping.
+    pub bloom_columns: Vec<usize>,
 }
 
 impl SidecarSpec {
     /// True when no sidecar is requested.
     pub fn is_empty(&self) -> bool {
-        self.bitmap_columns.is_empty() && !self.inverted_list
+        self.bitmap_columns.is_empty()
+            && !self.inverted_list
+            && self.zone_map_columns.is_empty()
+            && self.bloom_columns.is_empty()
     }
 }
 
@@ -142,6 +151,59 @@ impl ReplicaIndexConfig {
         self
     }
 
+    /// Stores a zone-map synopsis over `column` on *every* replica (like
+    /// bitmaps, synopses are sort-order independent).
+    pub fn with_zone_map(mut self, column: usize) -> Self {
+        for spec in &mut self.sidecars {
+            if !spec.zone_map_columns.contains(&column) {
+                spec.zone_map_columns.push(column);
+            }
+        }
+        self
+    }
+
+    /// Stores a zone-map synopsis over `column` on one replica chain
+    /// position only.
+    ///
+    /// # Panics
+    /// If `replica` is not a valid chain position.
+    pub fn with_zone_map_on(mut self, replica: usize, column: usize) -> Self {
+        let spec = self.spec_mut(replica);
+        if !spec.zone_map_columns.contains(&column) {
+            spec.zone_map_columns.push(column);
+        }
+        self
+    }
+
+    /// Stores a Bloom-filter synopsis over `column` on *every* replica.
+    pub fn with_bloom(mut self, column: usize) -> Self {
+        for spec in &mut self.sidecars {
+            if !spec.bloom_columns.contains(&column) {
+                spec.bloom_columns.push(column);
+            }
+        }
+        self
+    }
+
+    /// Stores a Bloom-filter synopsis over `column` on one replica chain
+    /// position only.
+    ///
+    /// # Panics
+    /// If `replica` is not a valid chain position.
+    pub fn with_bloom_on(mut self, replica: usize, column: usize) -> Self {
+        let spec = self.spec_mut(replica);
+        if !spec.bloom_columns.contains(&column) {
+            spec.bloom_columns.push(column);
+        }
+        self
+    }
+
+    /// Stores both synopsis kinds (zone map + Bloom filter) over
+    /// `column` on every replica — the usual block-skipping setup.
+    pub fn with_synopses(self, column: usize) -> Self {
+        self.with_zone_map(column).with_bloom(column)
+    }
+
     /// Stores an inverted-list sidecar over bad records on every replica.
     pub fn with_inverted_list(mut self) -> Self {
         for spec in &mut self.sidecars {
@@ -193,7 +255,12 @@ impl ReplicaIndexConfig {
             o.validate(schema)?;
         }
         for spec in &self.sidecars {
-            for &c in &spec.bitmap_columns {
+            for &c in spec
+                .bitmap_columns
+                .iter()
+                .chain(&spec.zone_map_columns)
+                .chain(&spec.bloom_columns)
+            {
                 schema.field(c)?;
             }
         }
@@ -281,6 +348,41 @@ mod tests {
     fn sidecar_validate_rejects_bad_column() {
         let c = ReplicaIndexConfig::unindexed(3).with_bitmap(9);
         assert!(c.validate(&schema()).is_err());
+        let c = ReplicaIndexConfig::unindexed(3).with_zone_map(9);
+        assert!(c.validate(&schema()).is_err());
+        let c = ReplicaIndexConfig::unindexed(3).with_bloom(9);
+        assert!(c.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn synopsis_knobs() {
+        let c = ReplicaIndexConfig::first_indexed(3, &[0]).with_synopses(1);
+        assert!(c.sidecars().iter().all(|s| s.zone_map_columns == [1]));
+        assert!(c.sidecars().iter().all(|s| s.bloom_columns == [1]));
+        assert!(c.validate(&schema()).is_ok());
+
+        let c = ReplicaIndexConfig::unindexed(3)
+            .with_zone_map_on(1, 0)
+            .with_bloom_on(2, 1);
+        assert!(c.sidecar(0).is_empty());
+        assert_eq!(c.sidecar(1).zone_map_columns, [0]);
+        assert!(c.sidecar(1).bloom_columns.is_empty());
+        assert_eq!(c.sidecar(2).bloom_columns, [1]);
+
+        // Duplicate calls don't duplicate the column.
+        let c = ReplicaIndexConfig::unindexed(2)
+            .with_zone_map(0)
+            .with_zone_map(0)
+            .with_bloom(1)
+            .with_bloom(1);
+        assert_eq!(c.sidecar(0).zone_map_columns, [0]);
+        assert_eq!(c.sidecar(0).bloom_columns, [1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn with_zone_map_on_rejects_bad_position() {
+        let _ = ReplicaIndexConfig::unindexed(3).with_zone_map_on(4, 0);
     }
 
     #[test]

@@ -200,6 +200,18 @@ pub trait InputFormat {
         None
     }
 
+    /// Batch form of [`InputFormat::estimate_split`]: estimates for a
+    /// whole job's splits in one call, so a format can derive
+    /// query-level state (the canonical filter shape, feedback
+    /// lookups) **once** instead of once per split. `None` (the
+    /// default) or a result of the wrong length makes the scheduler
+    /// fall back to per-split [`InputFormat::estimate_split`] calls.
+    /// Same contract: cheap, and must not perturb any cross-query
+    /// state or counters.
+    fn estimate_splits(&self, _cluster: &DfsCluster, _splits: &[InputSplit]) -> Option<Vec<f64>> {
+        None
+    }
+
     /// A short name for reports ("Hadoop", "Hadoop++", "HAIL").
     fn name(&self) -> &str;
 }

@@ -142,6 +142,15 @@ pub struct TaskStats {
     /// cold or invalidated. Zero (not "all blocks") when no cache is
     /// configured — see [`TaskStats::plan_cache_hits`].
     pub plan_cache_misses: u64,
+    /// Blocks of this task's split skipped entirely (no candidate
+    /// enumeration, no read) because a persisted zone-map or Bloom
+    /// synopsis proved they contain no matching row.
+    pub blocks_pruned: u64,
+    /// Bytes of persisted synopsis sidecars consulted to prune this
+    /// task's blocks. Kept separate from
+    /// [`TaskStats::sidecar_bytes_read`]: synopsis probes replace reads
+    /// instead of serving them.
+    pub synopsis_bytes_read: u64,
 }
 
 impl TaskStats {
@@ -172,6 +181,8 @@ impl TaskStats {
         self.selectivity.extend_from_slice(&other.selectivity);
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
+        self.blocks_pruned += other.blocks_pruned;
+        self.synopsis_bytes_read += other.synopsis_bytes_read;
     }
 }
 
@@ -303,6 +314,17 @@ impl JobReport {
         self.tasks.iter().map(|t| t.stats.plan_cache_misses).sum()
     }
 
+    /// Blocks skipped by synopsis pruning across all tasks (no
+    /// candidate enumeration, no read).
+    pub fn blocks_pruned(&self) -> u64 {
+        self.tasks.iter().map(|t| t.stats.blocks_pruned).sum()
+    }
+
+    /// Bytes of persisted synopsis sidecars consulted across all tasks.
+    pub fn synopsis_bytes_read(&self) -> u64 {
+        self.tasks.iter().map(|t| t.stats.synopsis_bytes_read).sum()
+    }
+
     /// Aggregated access-path usage across all tasks — how the job's
     /// blocks were physically read, as chosen by the planner layer.
     pub fn path_counts(&self) -> PathCounts {
@@ -399,6 +421,8 @@ mod tests {
             fell_back_to_scan: true,
             plan_cache_hits: 2,
             plan_cache_misses: 5,
+            blocks_pruned: 2,
+            synopsis_bytes_read: 64,
             selectivity: vec![SelectivityObservation {
                 column: 3,
                 eq: false,
@@ -413,6 +437,8 @@ mod tests {
         assert!(a.fell_back_to_scan);
         assert_eq!(a.plan_cache_hits, 3);
         assert_eq!(a.plan_cache_misses, 5);
+        assert_eq!(a.blocks_pruned, 2);
+        assert_eq!(a.synopsis_bytes_read, 64);
         assert_eq!(a.selectivity, b.selectivity);
     }
 

@@ -272,12 +272,21 @@ pub(crate) fn assign_split_nodes(
     let hw = &spec.profile;
     let mut planning = NodeSlots::new(cluster, hw.map_slots);
     let mut nodes = Vec::with_capacity(splits.len());
-    for split in splits {
+    // One batch estimate for the whole job when the format offers it
+    // (the planner-backed formats derive the query's filter shape once
+    // there instead of once per split); a missing or wrong-length
+    // answer degrades to per-split estimates.
+    let batch_est = format
+        .estimate_splits(cluster, splits)
+        .filter(|ests| ests.len() == splits.len());
+    for (i, split) in splits.iter().enumerate() {
         let node = planning
             .choose_node_delayed(&split.locations, spec.locality_delay_s)
             .ok_or_else(|| HailError::Job("no live nodes to schedule on".into()))?;
-        let est = format
-            .estimate_split(cluster, split)
+        let est = batch_est
+            .as_ref()
+            .map(|ests| ests[i])
+            .or_else(|| format.estimate_split(cluster, split))
             .unwrap_or_else(|| fallback_split_estimate(hw, split))
             .max(0.0);
         planning.assign(node, hw.task_overhead_s + est, 0.0);

@@ -64,6 +64,7 @@ fn dummy_plan(block: u64) -> BlockPlan {
         sidecar_bytes: None,
         cached: false,
         selectivity: Vec::new(),
+        pruned: None,
     }
 }
 
