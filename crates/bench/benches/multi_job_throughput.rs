@@ -1,0 +1,119 @@
+//! Multi-job serving throughput: a queue of Bob-query jobs pushed
+//! through the `JobManager` at concurrency 1/2/4 over one shared
+//! plan cache and cluster-wide job pool.
+//!
+//! Concurrency changes **real** wall clock and measured queue waits
+//! only: for every setting each job's output rows and order are
+//! asserted identical to the concurrency-1 run. Headline metrics —
+//! jobs/sec plus p50/p95 queue wait per concurrency — are written to
+//! `BENCH_7.json` via [`BenchSummary`] for the driver to grep.
+
+use hail_bench::{
+    run_queries_managed, setup_hail, uv_testbed, BenchSummary, ExperimentScale, Report,
+    SharedJobInfra,
+};
+use hail_core::HailQuery;
+use hail_mr::JobManager;
+use hail_sim::HardwareProfile;
+use hail_workloads::bob_queries;
+use std::time::Instant;
+
+const CONCURRENCIES: [usize; 3] = [1, 2, 4];
+const SAMPLES: usize = 5;
+/// Queue depth: each Bob query queued this many times.
+const REPEATS: usize = 4;
+
+/// Percentile over measured queue waits (nearest-rank on the sorted
+/// sample; small n, no interpolation needed).
+fn percentile_ms(waits: &[f64], p: f64) -> f64 {
+    if waits.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = waits.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank] * 1e3
+}
+
+fn main() {
+    let scale = ExperimentScale::query(4, 60_000)
+        .with_blocks_per_node(16)
+        .with_partition_size(64);
+    let tb = uv_testbed(scale, HardwareProfile::physical());
+    let hail = setup_hail(&tb, &[2, 0, 3]).expect("hail setup"); // visitDate, sourceIP, adRevenue
+
+    let queries: Vec<HailQuery> = bob_queries()
+        .iter()
+        .cycle()
+        .take(bob_queries().len() * REPEATS)
+        .map(|spec| spec.to_query(&tb.schema).expect(spec.id))
+        .collect();
+
+    let mut table = Report::new(
+        "multi-job/throughput",
+        format!("{} queued Bob jobs through the JobManager", queries.len()),
+        "jobs/sec (best of 5) + queue-wait ms (last sample)",
+    );
+    let mut summary = BenchSummary::new("BENCH_7");
+    let mut baseline: Option<Vec<Vec<String>>> = None;
+    let mut throughput = Vec::new();
+
+    for conc in CONCURRENCIES {
+        let manager = JobManager::new(conc);
+        let mut best_secs = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..SAMPLES {
+            // Fresh shared infra per sample: cache warm-up happens
+            // inside the measured batch at every concurrency alike.
+            let infra = SharedJobInfra::for_jobs(conc);
+            let started = Instant::now();
+            let runs = run_queries_managed(&hail, &tb.spec, &queries, true, &manager, &infra)
+                .expect("managed batch");
+            best_secs = best_secs.min(started.elapsed().as_secs_f64());
+            last = Some(runs);
+        }
+        let runs = last.unwrap();
+
+        // Concurrency may only change wall clock, never results.
+        let outputs: Vec<Vec<String>> = runs
+            .iter()
+            .map(|r| r.output.iter().map(|row| row.to_string()).collect())
+            .collect();
+        match &baseline {
+            None => baseline = Some(outputs),
+            Some(expected) => assert_eq!(
+                expected, &outputs,
+                "concurrency {conc} changed some job's rows or order"
+            ),
+        }
+
+        let waits: Vec<f64> = runs.iter().map(|r| r.report.queue_wait_seconds).collect();
+        let jobs_per_sec = queries.len() as f64 / best_secs;
+        let p50 = percentile_ms(&waits, 50.0);
+        let p95 = percentile_ms(&waits, 95.0);
+        throughput.push(jobs_per_sec);
+        table.row(format!("concurrency={conc} jobs/sec"), None, jobs_per_sec);
+        table.row(format!("concurrency={conc} queue-wait p50 ms"), None, p50);
+        table.row(format!("concurrency={conc} queue-wait p95 ms"), None, p95);
+        summary.metric(format!("jobs_per_sec_c{conc}"), jobs_per_sec);
+        summary.metric(format!("queue_wait_p50_ms_c{conc}"), p50);
+        summary.metric(format!("queue_wait_p95_ms_c{conc}"), p95);
+    }
+
+    summary.metric("throughput_speedup_1_to_4", throughput[2] / throughput[0]);
+    table.note(format!(
+        "jobs/sec 1→4 concurrent jobs: {:.2}×",
+        throughput[2] / throughput[0]
+    ));
+    table.note(format!(
+        "machine cores: {} (speedup bounded by min(cores, jobs))",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    table.note("per-job rows and order identical at every concurrency");
+    table.print();
+
+    summary.report(table);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+    summary.write_to(out).expect("write BENCH_7.json");
+    eprintln!("wrote {out}");
+}

@@ -13,12 +13,16 @@ use hail_core::{
     HailQuery, HppUploadReport,
 };
 use hail_dfs::DfsCluster;
-use hail_exec::{HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat};
+use hail_exec::{
+    shared_job_pool, ExecutorConfig, HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat,
+    JobPool, PlanCache, SelectivityFeedback,
+};
 use hail_index::ReplicaIndexConfig;
-use hail_mr::{run_map_job, InputFormat, JobRun, MapJob};
+use hail_mr::{run_map_job, InputFormat, JobManager, JobRun, MapJob};
 use hail_sim::{ClusterSpec, HardwareProfile, ScaleFactor};
 use hail_types::{DatanodeId, Result, Schema, StorageConfig};
 use hail_workloads::{SyntheticGenerator, UserVisitsGenerator};
+use std::sync::Arc;
 
 /// The paper's logical block size (64 MB).
 pub const LOGICAL_BLOCK: usize = 64 * 1024 * 1024;
@@ -310,6 +314,105 @@ fn make_format(
             query.clone(),
         )),
     }
+}
+
+/// The cross-job resources a multi-job deployment shares: one plan
+/// cache, one cluster-wide [`JobPool`] (global thread budget + one
+/// per-node gate across all jobs), and optionally one selectivity
+/// feedback store.
+///
+/// Formats built from the same infra ([`make_shared_format`]) hit the
+/// same cache and draw from the same pool, so a query whose filter
+/// shape another job already planned reuses its block plans.
+///
+/// `feedback` defaults to `None`: a feedback store shared between
+/// *concurrently running* jobs absorbs observations in completion
+/// order across jobs, so per-job cost accounting would no longer be
+/// bit-for-bit reproducible against a solo run. Query *output* stays
+/// exact either way; deployments that prefer adaptivity over
+/// report reproducibility can plug a store in.
+pub struct SharedJobInfra {
+    pub plan_cache: Arc<PlanCache>,
+    pub feedback: Option<Arc<SelectivityFeedback>>,
+    pub pool: Arc<JobPool>,
+}
+
+impl SharedJobInfra {
+    /// Infrastructure sized for up to `max_jobs` concurrent jobs with
+    /// default executor knobs (the `HAIL_*` environment overrides).
+    pub fn for_jobs(max_jobs: usize) -> Self {
+        SharedJobInfra {
+            plan_cache: Arc::new(PlanCache::default()),
+            feedback: None,
+            pool: shared_job_pool(max_jobs, &ExecutorConfig::default()),
+        }
+    }
+}
+
+/// [`make_shared_format`]'s solo-format counterpart is the private
+/// `make_format`; this builds the matching input format wired to the
+/// shared multi-job infrastructure: every format built from one
+/// `infra` shares its plan cache (HAIL formats — the planner-cached
+/// path), its feedback store if any, and its cluster-wide job pool.
+pub fn make_shared_format(
+    setup: &SystemSetup,
+    spec: &ClusterSpec,
+    query: &HailQuery,
+    hail_splitting: bool,
+    infra: &SharedJobInfra,
+) -> Box<dyn InputFormat> {
+    match setup.dataset.format {
+        DatasetFormat::HadoopText => Box::new(
+            HadoopInputFormat::new(setup.dataset.clone(), query.clone())
+                .with_shared_pool(infra.pool.clone()),
+        ),
+        DatasetFormat::HailPax => {
+            let mut f = HailInputFormat::new(setup.dataset.clone(), query.clone())
+                .with_shared_pool(infra.pool.clone());
+            f.splitting = hail_splitting;
+            f.map_slots = spec.profile.map_slots;
+            f.planner.plan_cache = Some(infra.plan_cache.clone());
+            f.planner.feedback = infra.feedback.clone();
+            Box::new(f)
+        }
+        DatasetFormat::HadoopPlusPlus => Box::new(
+            HadoopPlusPlusInputFormat::new(setup.dataset.clone(), query.clone())
+                .with_shared_pool(infra.pool.clone()),
+        ),
+    }
+}
+
+/// Runs many queries as one [`JobManager`] batch over shared multi-job
+/// infrastructure, returning per-query runs in submission order.
+/// Failing jobs fail the whole call (the benches and tests expect
+/// all-success).
+pub fn run_queries_managed(
+    setup: &SystemSetup,
+    spec: &ClusterSpec,
+    queries: &[HailQuery],
+    hail_splitting: bool,
+    manager: &JobManager,
+    infra: &SharedJobInfra,
+) -> Result<Vec<JobRun>> {
+    let formats: Vec<Box<dyn InputFormat>> = queries
+        .iter()
+        .map(|q| make_shared_format(setup, spec, q, hail_splitting, infra))
+        .collect();
+    let jobs: Vec<MapJob<'_>> = formats
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            MapJob::collecting(
+                format!("query-{i}"),
+                setup.dataset.blocks.clone(),
+                f.as_ref(),
+            )
+        })
+        .collect();
+    manager
+        .run_batch(&setup.cluster, spec, &jobs)
+        .into_iter()
+        .collect()
 }
 
 /// Runs a query under a staged node failure (§6.4.3). The cluster's

@@ -513,7 +513,23 @@ impl JobPool {
         T: Send,
         F: Fn(usize, &SplitLease<'_>) -> Result<T> + Sync,
     {
-        let workers = self.workers.min(n).max(1);
+        self.run_capped(n, self.workers, task)
+    }
+
+    /// [`JobPool::run`] with the caller's split-level fan-out
+    /// additionally capped at `cap` — the seam a pool shared across
+    /// concurrent jobs needs. The pool's `workers` and budget stay the
+    /// cluster-wide bound; each job passes its own `job_parallelism`
+    /// as `cap` so one greedy job cannot monopolise the shared pool,
+    /// and the additive budget claim squeezes simultaneous callers
+    /// down to the global total. Results and errors are identical to
+    /// [`JobPool::run`] at every `cap` — the cap only bounds overlap.
+    pub fn run_capped<T, F>(&self, n: usize, cap: usize, task: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize, &SplitLease<'_>) -> Result<T> + Sync,
+    {
+        let workers = self.workers.min(cap.max(1)).min(n).max(1);
         // The split workers themselves occupy budget while they live —
         // claimed additively against the total (never `store`d), so a
         // pool shared across concurrent `run` calls both keeps a

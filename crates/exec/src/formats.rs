@@ -9,7 +9,7 @@
 //! [`QueryPlanner::execute_block`] → `AccessPath::execute`.
 
 use crate::executor::{
-    env_job_parallelism, ExecutorConfig, ExecutorContext, JobPool, JobPoolConfig,
+    env_job_parallelism, ExecutorConfig, ExecutorContext, JobPool, JobPoolConfig, SplitLease,
 };
 use crate::planner::{PlannerConfig, QueryPlanner};
 use crate::splitting::{default_splits, plan_default_splits, plan_hail_splits};
@@ -20,6 +20,7 @@ use hail_mr::{
     InputFormat, InputSplit, MapRecord, SplitContext, SplitPlan, SplitRead, SplitTask, TaskStats,
 };
 use hail_types::{BlockId, DatanodeId, Result};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// HAIL's input format: planner-driven `HailSplitting` + access-path
@@ -39,6 +40,10 @@ pub struct HailInputFormat {
     /// Parallel-executor knobs for fanning a split's block reads across
     /// workers; default serial unless `HAIL_PARALLELISM` overrides.
     pub executor: ExecutorConfig,
+    /// A [`JobPool`] shared with other concurrently running jobs (see
+    /// [`shared_job_pool`]). `None` — the solo default — builds a
+    /// private pool per batch read.
+    pub shared_pool: Option<Arc<JobPool>>,
 }
 
 impl HailInputFormat {
@@ -50,6 +55,7 @@ impl HailInputFormat {
             map_slots: 2,
             planner: PlannerConfig::default(),
             executor: ExecutorConfig::default(),
+            shared_pool: None,
         }
     }
 
@@ -68,6 +74,13 @@ impl HailInputFormat {
     /// Overrides the executor configuration.
     pub fn with_executor(mut self, config: ExecutorConfig) -> Self {
         self.executor = config;
+        self
+    }
+
+    /// Routes this format's batch reads through a cluster-wide shared
+    /// [`JobPool`] instead of a private per-batch one.
+    pub fn with_shared_pool(mut self, pool: Arc<JobPool>) -> Self {
+        self.shared_pool = Some(pool);
         self
     }
 }
@@ -133,6 +146,7 @@ impl InputFormat for HailInputFormat {
             cluster,
             &self.planner,
             &self.executor,
+            self.shared_pool.as_deref(),
             &self.dataset,
             &self.query,
             batch,
@@ -173,6 +187,8 @@ pub struct HadoopInputFormat {
     pub delimiter: char,
     /// Parallel-executor knobs (see [`HailInputFormat::executor`]).
     pub executor: ExecutorConfig,
+    /// Shared cross-job pool (see [`HailInputFormat::shared_pool`]).
+    pub shared_pool: Option<Arc<JobPool>>,
 }
 
 impl HadoopInputFormat {
@@ -182,7 +198,15 @@ impl HadoopInputFormat {
             query,
             delimiter: '|',
             executor: ExecutorConfig::default(),
+            shared_pool: None,
         }
+    }
+
+    /// Routes this format's batch reads through a cluster-wide shared
+    /// [`JobPool`] instead of a private per-batch one.
+    pub fn with_shared_pool(mut self, pool: Arc<JobPool>) -> Self {
+        self.shared_pool = Some(pool);
+        self
     }
 
     fn planner_config(&self) -> PlannerConfig {
@@ -237,6 +261,7 @@ impl InputFormat for HadoopInputFormat {
             cluster,
             &self.planner_config(),
             &self.executor,
+            self.shared_pool.as_deref(),
             &self.dataset,
             &self.query,
             batch,
@@ -277,6 +302,8 @@ pub struct HadoopPlusPlusInputFormat {
     pub query: HailQuery,
     /// Parallel-executor knobs (see [`HailInputFormat::executor`]).
     pub executor: ExecutorConfig,
+    /// Shared cross-job pool (see [`HailInputFormat::shared_pool`]).
+    pub shared_pool: Option<Arc<JobPool>>,
 }
 
 impl HadoopPlusPlusInputFormat {
@@ -285,7 +312,15 @@ impl HadoopPlusPlusInputFormat {
             dataset,
             query,
             executor: ExecutorConfig::default(),
+            shared_pool: None,
         }
+    }
+
+    /// Routes this format's batch reads through a cluster-wide shared
+    /// [`JobPool`] instead of a private per-batch one.
+    pub fn with_shared_pool(mut self, pool: Arc<JobPool>) -> Self {
+        self.shared_pool = Some(pool);
+        self
     }
 }
 
@@ -341,6 +376,7 @@ impl InputFormat for HadoopPlusPlusInputFormat {
             cluster,
             &PlannerConfig::default(),
             &self.executor,
+            self.shared_pool.as_deref(),
             &self.dataset,
             &self.query,
             batch,
@@ -518,10 +554,20 @@ fn read_split_unabsorbed(
 /// at job parallelism 1 too, so the post-job feedback state is
 /// bit-for-bit identical at any overlap. Splits cover disjoint blocks,
 /// so concurrent plan-cache use stays per-split deterministic as well.
+///
+/// With a `shared_pool`, every batch (even a single-split one) routes
+/// through that cluster-wide pool via [`JobPool::run_capped`]: the
+/// job's own `job_parallelism` caps its fan-out, the pool's budget
+/// squeezes simultaneous jobs down to the global thread total, and
+/// the pool's [`crate::executor::NodeGate`] bounds concurrent reads
+/// per node across *all* jobs. Results stay bit-for-bit identical to
+/// the private-pool (and sequential) paths.
+#[allow(clippy::too_many_arguments)]
 fn batch_read_via_planner(
     cluster: &DfsCluster,
     config: &PlannerConfig,
     format_exec: &ExecutorConfig,
+    shared_pool: Option<&JobPool>,
     dataset: &Dataset,
     query: &HailQuery,
     batch: &[SplitTask<'_>],
@@ -534,7 +580,38 @@ fn batch_read_via_planner(
         .iter()
         .map(|t| executor_for(format_exec, &t.ctx))
         .collect();
-    let reads = if job_workers <= 1 || batch.len() <= 1 {
+    let run_split = |i: usize, lease: &SplitLease<'_>| -> Result<SplitRead> {
+        let t = &batch[i];
+        // Claim intra-split workers from whatever the global
+        // budget has free right now; the claim frees when the
+        // split finishes, so the job tail widens automatically.
+        let claim = lease.claim_intra(intra[i].parallelism.max(1));
+        let context = ExecutorContext::new(ExecutorConfig {
+            parallelism: claim.workers(),
+            per_node_slots: None,
+        })
+        .with_shared_gate(lease.shared_gate());
+        let mut records = Vec::new();
+        let wall = Instant::now();
+        let stats = read_split_unabsorbed(
+            cluster,
+            config,
+            &context,
+            dataset,
+            query,
+            t.split,
+            t.ctx.task_node,
+            &mut |rec| records.push(rec),
+        )?;
+        Ok(SplitRead {
+            records,
+            stats,
+            reader_wall_seconds: wall.elapsed().as_secs_f64(),
+        })
+    };
+    let reads = if let Some(pool) = shared_pool {
+        pool.run_capped(batch.len(), job_workers, run_split)?
+    } else if job_workers <= 1 || batch.len() <= 1 {
         // Sequential split execution: the exact pre-overlap read path
         // per split (streaming, unbuffered when intra parallelism is 1)
         // — only the feedback absorption moves past the barrier below.
@@ -570,35 +647,7 @@ fn batch_read_via_planner(
             budget: job_workers.max(widest_intra),
             per_node_slots: format_exec.per_node_slots,
         });
-        pool.run(batch.len(), |i, lease| {
-            let t = &batch[i];
-            // Claim intra-split workers from whatever the global
-            // budget has free right now; the claim frees when the
-            // split finishes, so the job tail widens automatically.
-            let claim = lease.claim_intra(intra[i].parallelism.max(1));
-            let context = ExecutorContext::new(ExecutorConfig {
-                parallelism: claim.workers(),
-                per_node_slots: None,
-            })
-            .with_shared_gate(lease.shared_gate());
-            let mut records = Vec::new();
-            let wall = Instant::now();
-            let stats = read_split_unabsorbed(
-                cluster,
-                config,
-                &context,
-                dataset,
-                query,
-                t.split,
-                t.ctx.task_node,
-                &mut |rec| records.push(rec),
-            )?;
-            Ok(SplitRead {
-                records,
-                stats,
-                reader_wall_seconds: wall.elapsed().as_secs_f64(),
-            })
-        })?
+        pool.run(batch.len(), run_split)?
     };
     // The barrier: fold every split's observations into the feedback
     // store in batch (split) order — never completion order.
@@ -608,4 +657,25 @@ fn batch_read_via_planner(
         }
     }
     Ok(reads)
+}
+
+/// One cluster-wide [`JobPool`] for serving up to `max_jobs` jobs at
+/// once — the shared pool a `JobManager` deployment plumbs into every
+/// job's format via `with_shared_pool`.
+///
+/// Sized so each of `max_jobs` concurrent jobs can claim the same
+/// fan-out a solo run would build privately: split-level workers from
+/// the `HAIL_JOB_PARALLELISM` knob and a thread budget covering the
+/// widest intra-split configuration, both multiplied by `max_jobs`.
+/// The per-node slot cap is **not** multiplied: it becomes one gate
+/// bounding concurrent reads per datanode across all jobs — the
+/// cluster-wide resource the gate models is the node, not the job.
+pub fn shared_job_pool(max_jobs: usize, executor: &ExecutorConfig) -> Arc<JobPool> {
+    let max_jobs = max_jobs.max(1);
+    let job_workers = env_job_parallelism().max(1);
+    Arc::new(JobPool::new(JobPoolConfig {
+        workers: job_workers * max_jobs,
+        budget: job_workers.max(executor.parallelism.max(1)) * max_jobs,
+        per_node_slots: executor.per_node_slots,
+    }))
 }

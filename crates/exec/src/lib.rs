@@ -111,7 +111,7 @@ pub use executor::{
     JobPoolConfig, NodeGate, NodePermit, ParallelismBudget, SplitLease, JOB_PARALLELISM_ENV,
     PARALLELISM_ENV,
 };
-pub use formats::{HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat};
+pub use formats::{shared_job_pool, HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat};
 pub use path::{
     AccessPath, BitmapScan, BlockAccess, ClusteredIndexScan, FullScan, InvertedListScan,
     ScanLayout, TrojanIndexScan,

@@ -12,9 +12,10 @@
 //! (HAIL); with the same index on all replicas (HAIL-1Idx) the re-run
 //! still gets an index scan — exactly the Fig. 8 comparison.
 
+use crate::driver::ChunkedDrive;
 use crate::input_format::{InputSplit, SplitTask};
 use crate::job::{JobReport, TaskReport};
-use crate::scheduler::{run_map_job, MapJob, NodeSlots};
+use crate::scheduler::{run_map_job_with_plan, MapJob, NodeSlots};
 use hail_dfs::DfsCluster;
 use hail_sim::ClusterSpec;
 use hail_types::{BlockId, DatanodeId, HailError, Result, Row};
@@ -89,14 +90,13 @@ pub fn run_map_job_with_failure(
     // mutate any configured adaptive state (selectivity feedback), so a
     // plan derived afterwards could cluster blocks differently than the
     // plan the baseline actually executed — and the replay below must
-    // index exactly that plan. Deriving from the identical pre-run
-    // planner state yields the identical plan pass 1 computes
-    // internally (planning is deterministic; cache warm-up never
-    // changes decisions).
+    // index exactly that plan. The snapshot is threaded straight into
+    // the baseline run, so `splits()` is derived exactly once for both.
     let baseline_plan = job.format.splits(cluster, &job.input)?;
 
-    // Pass 1: failure-free baseline (functional output + T_b).
-    let baseline_run = run_map_job(cluster, spec, job)?;
+    // Pass 1: failure-free baseline (functional output + T_b), executed
+    // on the snapshotted plan.
+    let baseline_run = run_map_job_with_plan(cluster, spec, job, &baseline_plan)?;
     let t_b = baseline_run.report.end_to_end_seconds;
     let failure_time = scenario.at_progress.clamp(0.0, 1.0) * t_b;
     let hw = &spec.profile;
@@ -167,20 +167,16 @@ pub fn run_map_job_with_failure(
             })
         })
         .collect::<Result<_>>()?;
-    // Chunked like `run_map_job`'s execution phase, and only the
-    // (small) statistics are retained — each chunk's buffered records
-    // are dropped as soon as it completes, so a large replay never
-    // holds more than one chunk's raw records.
+    // Driven through the same shared chunked loop as `run_map_job`'s
+    // execution phase, and only the (small) statistics are retained —
+    // each chunk's buffered records are dropped as soon as it
+    // completes, so a large replay never holds more than one chunk's
+    // raw records.
     let mut reeval_results: Vec<(crate::job::TaskStats, f64)> =
         Vec::with_capacity(reeval_batch.len());
-    for chunk in reeval_batch.chunks(crate::scheduler::SPLIT_BATCH_CHUNK) {
-        for read in job
-            .format
-            .read_split_batch(cluster, chunk, job.job_parallelism)?
-        {
-            reeval_results.push((read.stats, read.reader_wall_seconds));
-        }
-    }
+    ChunkedDrive::for_job(cluster, job).run(&reeval_batch, |_, read| {
+        reeval_results.push((read.stats, read.reader_wall_seconds));
+    })?;
     let mut reeval_results = reeval_results.into_iter();
 
     let mut lost: Vec<usize> = Vec::new();
@@ -272,33 +268,24 @@ pub fn run_map_job_with_failure(
     let mut output_extra: Vec<Row> = Vec::new();
     let mut rerun_count = 0;
     let mut scratch = Vec::new();
-    // Chunked, like the re-evaluation pass: each chunk's records are
-    // mapped and dropped before the next chunk reads.
-    for (chunk_idx, chunk) in rerun_batch
-        .chunks(crate::scheduler::SPLIT_BATCH_CHUNK)
-        .enumerate()
-    {
-        let chunk_start = chunk_idx * crate::scheduler::SPLIT_BATCH_CHUNK;
-        let reads = job
-            .format
-            .read_split_batch(cluster, chunk, job.job_parallelism)?;
-        for (offset, read) in reads.into_iter().enumerate() {
-            let i = chunk_start + offset;
-            final_tasks.push(crate::scheduler::account_split_read(
-                job,
-                spec,
-                &mut slots,
-                lost[i],
-                rerun_nodes[i],
-                resume_at,
-                true,
-                read,
-                &mut output_extra,
-                &mut scratch,
-            ));
-            rerun_count += 1;
-        }
-    }
+    // Driven through the shared chunked loop, like the re-evaluation
+    // pass: each chunk's records are mapped and dropped before the next
+    // chunk reads.
+    ChunkedDrive::for_job(cluster, job).run(&rerun_batch, |i, read| {
+        final_tasks.push(crate::scheduler::account_split_read(
+            job,
+            spec,
+            &mut slots,
+            lost[i],
+            rerun_nodes[i],
+            resume_at,
+            true,
+            read,
+            &mut output_extra,
+            &mut scratch,
+        ));
+        rerun_count += 1;
+    })?;
 
     // Output correctness: surviving tasks' output was already collected
     // in pass 1; the functional result equals the baseline output set.
@@ -311,6 +298,7 @@ pub fn run_map_job_with_failure(
         total_slots: slots.live_slot_count(),
         tasks: final_tasks,
         end_to_end_seconds: pre_phase + slots.makespan(),
+        queue_wait_seconds: 0.0,
     };
 
     Ok(FailoverRun {
@@ -327,6 +315,7 @@ mod tests {
     use super::*;
     use crate::input_format::{InputFormat, InputSplit, SplitPlan};
     use crate::job::{MapRecord, TaskStats};
+    use crate::scheduler::run_map_job;
     use hail_sim::HardwareProfile;
     use hail_types::{BlockId, StorageConfig, Value};
 
@@ -648,6 +637,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Regression (baseline-plan threading): the failover path derives
+    /// `splits()` exactly twice — once for the pre-failure snapshot
+    /// (threaded into the baseline run) and once for the degraded
+    /// re-plan after the kill. Before the snapshot was threaded
+    /// through, the baseline run derived its own copy and the job paid
+    /// three derivations.
+    #[test]
+    fn baseline_plan_is_derived_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct CountingFormat {
+            inner: SpreadFormat,
+            derivations: AtomicUsize,
+        }
+
+        impl InputFormat for CountingFormat {
+            fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan> {
+                self.derivations.fetch_add(1, Ordering::Relaxed);
+                self.inner.splits(cluster, input)
+            }
+            fn read_split(
+                &self,
+                cluster: &DfsCluster,
+                split: &InputSplit,
+                task_node: DatanodeId,
+                emit: &mut dyn FnMut(MapRecord),
+            ) -> Result<TaskStats> {
+                self.inner.read_split(cluster, split, task_node, emit)
+            }
+            fn name(&self) -> &str {
+                "counting"
+            }
+        }
+
+        let fmt = CountingFormat {
+            inner: SpreadFormat {
+                read_seconds_bytes: 95_000_000,
+            },
+            derivations: AtomicUsize::new(0),
+        };
+        let mut cluster = DfsCluster::new(4, StorageConfig::default());
+        let spec = ClusterSpec::new(4, HardwareProfile::physical());
+        let job = MapJob::collecting("once", (0..32).collect(), &fmt);
+        let run = run_map_job_with_failure(&mut cluster, &spec, &job, FailureScenario::at_half(1))
+            .unwrap();
+        assert_eq!(run.output.len(), 32);
+        assert_eq!(
+            fmt.derivations.load(Ordering::Relaxed),
+            2,
+            "exactly one baseline derivation (the snapshot) plus one degraded re-plan"
+        );
     }
 
     #[test]

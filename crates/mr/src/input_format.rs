@@ -107,7 +107,13 @@ pub struct SplitRead {
 
 /// How a job's input is split and read. Implemented by the Hadoop
 /// baseline, Hadoop++, and HAIL in `hail-exec`.
-pub trait InputFormat {
+///
+/// Formats must be `Send + Sync`: a [`crate::manager::JobManager`]
+/// runs concurrent jobs on worker threads, each holding a shared
+/// reference to its job's format. All implementors are immutable
+/// configuration over thread-safe infrastructure (the planner state
+/// they touch is behind `RwLock`s), so the bounds cost nothing.
+pub trait InputFormat: Send + Sync {
     /// Computes input splits for the given input blocks.
     fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan>;
 

@@ -230,6 +230,14 @@ pub struct JobReport {
     pub total_slots: usize,
     /// End-to-end simulated job runtime.
     pub end_to_end_seconds: f64,
+    /// Measured **wall-clock** seconds the job spent queued in a
+    /// [`crate::manager::JobManager`] before it was admitted — zero for
+    /// solo runs. Telemetry only, like
+    /// [`TaskReport::reader_wall_seconds`]: it lives in the measured
+    /// domain, never feeds the simulated accounting, and is the one
+    /// report field (besides the per-task wall clocks) allowed to vary
+    /// between a managed run and a solo run of the same job.
+    pub queue_wait_seconds: f64,
 }
 
 impl JobReport {
@@ -363,6 +371,7 @@ mod tests {
             split_count: reader_times.len(),
             total_slots: slots,
             end_to_end_seconds: 100.0,
+            queue_wait_seconds: 0.0,
         }
     }
 

@@ -6,6 +6,10 @@
 //! - [`job`] — records, task statistics, job reports (T_ideal, overhead)
 //! - [`scheduler`] — locality-aware wave scheduling with Hadoop's
 //!   per-task overhead model
+//! - [`driver`] — the shared chunked drive loop every execution pass
+//!   (scheduler and both failover passes) reads splits through
+//! - [`manager`] — FIFO admission of concurrent jobs with a bounded
+//!   in-flight limit (`HAIL_MAX_CONCURRENT_JOBS`)
 //! - [`shuffle`] — grouped reduce with costed shuffle
 //! - [`failover`] — mid-job node death, task re-execution, slowdown
 //!
@@ -23,7 +27,8 @@
 //! job-overlap change, [`run_map_job`] itself is two-phase: an
 //! *assignment* phase chooses nodes for every split up front from
 //! planner estimates ([`InputFormat::estimate_split`]), and an
-//! *execution* phase hands the whole batch to
+//! *execution* phase that drives the whole batch through the shared
+//! [`ChunkedDrive`] loop — fixed [`SPLIT_BATCH_CHUNK`]-sized calls to
 //! [`InputFormat::read_split_batch`], which the planner-backed formats
 //! fan across a job-level work-stealing pool
 //! ([`MapJob::job_parallelism`], or the `HAIL_JOB_PARALLELISM`
@@ -32,17 +37,27 @@
 //! figure are identical at any setting, and
 //! [`TaskReport::reader_wall_seconds`] reports the measured wall time
 //! separately from the simulated [`TaskReport::reader_seconds`].
+//!
+//! Above single-job execution sits the [`JobManager`]: FIFO admission
+//! of many jobs with at most `HAIL_MAX_CONCURRENT_JOBS` in flight.
+//! Each managed job's output and report stay bit-for-bit identical to
+//! a solo run at any interleaving — concurrency only changes measured
+//! wall clock and the [`JobReport::queue_wait_seconds`] telemetry.
 
 #![forbid(unsafe_code)]
 
+pub mod driver;
 pub mod failover;
 pub mod input_format;
 pub mod job;
+pub mod manager;
 pub mod scheduler;
 pub mod shuffle;
 
+pub use driver::{ChunkedDrive, SPLIT_BATCH_CHUNK};
 pub use failover::{run_map_job_with_failure, FailoverRun, FailureScenario};
 pub use input_format::{InputFormat, InputSplit, SplitContext, SplitPlan, SplitRead, SplitTask};
 pub use job::{JobReport, MapRecord, PathCounts, SelectivityObservation, TaskReport, TaskStats};
+pub use manager::{JobManager, MAX_CONCURRENT_JOBS_ENV};
 pub use scheduler::{run_map_job, JobRun, MapJob};
 pub use shuffle::{run_map_reduce_job, MapReduceJob, MapReduceRun};

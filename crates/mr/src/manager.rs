@@ -1,0 +1,336 @@
+//! Multi-job serving: FIFO admission of concurrent [`MapJob`]s.
+//!
+//! HAIL's premise is a cluster fielding many jobs at once over shared
+//! replicas. The [`JobManager`] is the admission layer that makes that
+//! real: callers queue a batch of jobs, the manager dequeues them in
+//! strict FIFO order, and at most [`JobManager::max_concurrent`] jobs
+//! are in flight at any moment. Each in-flight job runs the ordinary
+//! [`run_map_job`] drive loop, so every job keeps the solo O(chunk)
+//! peak-memory bound (bounded in-flight jobs × bounded chunk each).
+//!
+//! # Determinism contract
+//!
+//! A managed job's output, its report fields, and its own feedback
+//! deltas are bit-for-bit identical to a solo [`run_map_job`] run at
+//! any interleaving — concurrency may only change measured wall clock
+//! ([`crate::job::TaskReport::reader_wall_seconds`]) and the
+//! queue-wait telemetry
+//! ([`crate::job::JobReport::queue_wait_seconds`], which the manager
+//! fills in with the measured wall-clock delay between admission and
+//! dequeue; solo runs report zero). That holds because everything a
+//! job shares with its neighbours is either immutable for the job's
+//! duration (the cluster, the formats) or key-pure and absorbed
+//! deterministically (the execution layer's plan cache and
+//! selectivity feedback — see `read_split_batch`'s contract in
+//! [`crate::input_format::InputFormat`]).
+//!
+//! Jobs that share mutable planner state (one `Arc`'d plan cache or
+//! feedback table plumbed into several jobs' formats) still produce
+//! bit-for-bit identical *output*, because cached plans are keyed so
+//! that a hit returns exactly what a fresh pricing would have built —
+//! but their hit/miss *counters* naturally depend on which job warmed
+//! the cache first. Callers comparing managed reports against solo
+//! baselines with shared caches should compare aggregate counts, not
+//! per-job ones.
+
+use crate::scheduler::{run_map_job, JobRun, MapJob};
+use hail_dfs::DfsCluster;
+use hail_sim::ClusterSpec;
+use hail_types::Result;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Environment override for the manager's in-flight-job bound, read by
+/// [`JobManager::from_env`]. Unset, unparsable, or `0` mean 1 (serial
+/// admission) — the same "absent means no concurrency" convention as
+/// `HAIL_PARALLELISM` / `HAIL_JOB_PARALLELISM`.
+pub const MAX_CONCURRENT_JOBS_ENV: &str = "HAIL_MAX_CONCURRENT_JOBS";
+
+/// The in-flight bound from [`MAX_CONCURRENT_JOBS_ENV`].
+fn env_max_concurrent_jobs() -> usize {
+    std::env::var(MAX_CONCURRENT_JOBS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Admits and runs concurrent map jobs with FIFO dequeue order and a
+/// bounded number in flight.
+///
+/// The manager owns no execution resources itself — worker threads are
+/// scoped to each [`JobManager::run_batch`] call, and the cross-job
+/// resources worth sharing (the execution layer's `JobPool` budget,
+/// per-node gates, plan cache, selectivity feedback) are shared by
+/// plumbing the same `Arc`s into each job's `InputFormat`, not by the
+/// manager reaching into the formats. That keeps the lock hierarchy
+/// one-directional: JobManager → (per job) JobPool → NodeGate →
+/// planner `RwLock`s.
+pub struct JobManager {
+    max_concurrent: usize,
+}
+
+impl JobManager {
+    /// A manager running at most `max_concurrent` jobs at once
+    /// (clamped to at least 1).
+    pub fn new(max_concurrent: usize) -> Self {
+        JobManager {
+            max_concurrent: max_concurrent.max(1),
+        }
+    }
+
+    /// A manager bounded by the [`MAX_CONCURRENT_JOBS_ENV`]
+    /// environment variable (1 when unset).
+    pub fn from_env() -> Self {
+        JobManager::new(env_max_concurrent_jobs())
+    }
+
+    /// The in-flight-job bound.
+    pub fn max_concurrent(&self) -> usize {
+        self.max_concurrent
+    }
+
+    /// Runs `jobs` to completion, at most [`Self::max_concurrent`] at
+    /// a time, and returns one result per job in submission order.
+    ///
+    /// Admission is FIFO: jobs are dequeued strictly in slice order
+    /// (job *i* never starts after job *i+1* has been dequeued),
+    /// though with concurrency > 1 neighbouring jobs overlap and may
+    /// *finish* in any order. Every job's
+    /// [`queue_wait_seconds`](crate::job::JobReport::queue_wait_seconds)
+    /// is set to the measured wall-clock time it spent queued — from
+    /// this call's start to its dequeue.
+    pub fn run_batch(
+        &self,
+        cluster: &DfsCluster,
+        spec: &ClusterSpec,
+        jobs: &[MapJob<'_>],
+    ) -> Vec<Result<JobRun>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let admitted = Instant::now();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<JobRun>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.max_concurrent.min(jobs.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let queue_wait_seconds = admitted.elapsed().as_secs_f64();
+                    let result = run_map_job(cluster, spec, &jobs[i]).map(|mut run| {
+                        run.report.queue_wait_seconds = queue_wait_seconds;
+                        run
+                    });
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every admitted job leaves a result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_format::{InputFormat, InputSplit, SplitPlan, SplitRead, SplitTask};
+    use crate::job::{MapRecord, TaskStats};
+    use hail_sim::HardwareProfile;
+    use hail_types::{BlockId, DatanodeId, Row, StorageConfig, Value};
+
+    /// Emits one row per block and tracks how many batch reads are in
+    /// flight at once (the manager-level concurrency gauge).
+    struct GaugeFormat {
+        in_flight: AtomicUsize,
+        high_water: AtomicUsize,
+    }
+
+    impl GaugeFormat {
+        fn new() -> Self {
+            GaugeFormat {
+                in_flight: AtomicUsize::new(0),
+                high_water: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl InputFormat for GaugeFormat {
+        fn splits(&self, cluster: &DfsCluster, input: &[BlockId]) -> Result<SplitPlan> {
+            let live = cluster.live_nodes();
+            Ok(SplitPlan {
+                splits: input
+                    .iter()
+                    .map(|&b| InputSplit::for_block(b, vec![live[b as usize % live.len()]]))
+                    .collect(),
+                client_cost: Default::default(),
+            })
+        }
+
+        fn read_split(
+            &self,
+            _cluster: &DfsCluster,
+            split: &InputSplit,
+            _task_node: DatanodeId,
+            emit: &mut dyn FnMut(MapRecord),
+        ) -> Result<TaskStats> {
+            emit(MapRecord::good(Row::new(vec![Value::Long(
+                split.blocks[0] as i64,
+            )])));
+            Ok(TaskStats {
+                records: 1,
+                ..Default::default()
+            })
+        }
+
+        fn read_split_batch(
+            &self,
+            cluster: &DfsCluster,
+            batch: &[SplitTask<'_>],
+            _job_parallelism: Option<usize>,
+        ) -> Result<Vec<SplitRead>> {
+            let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            self.high_water.fetch_max(now, Ordering::SeqCst);
+            let reads = batch
+                .iter()
+                .map(|t| {
+                    let mut records = Vec::new();
+                    let stats = self.read_split(cluster, t.split, t.ctx.task_node, &mut |rec| {
+                        records.push(rec)
+                    })?;
+                    Ok(SplitRead {
+                        records,
+                        stats,
+                        reader_wall_seconds: 0.0,
+                    })
+                })
+                .collect();
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            reads
+        }
+
+        fn name(&self) -> &str {
+            "gauge"
+        }
+    }
+
+    fn job<'a>(
+        name: &str,
+        format: &'a dyn InputFormat,
+        blocks: std::ops::Range<u64>,
+    ) -> MapJob<'a> {
+        MapJob {
+            name: name.into(),
+            input: blocks.collect(),
+            format,
+            parallelism: None,
+            job_parallelism: None,
+            map: Box::new(|rec, out| out.push(rec.row.clone())),
+        }
+    }
+
+    #[test]
+    fn max_concurrent_is_clamped() {
+        assert_eq!(JobManager::new(0).max_concurrent(), 1);
+        assert_eq!(JobManager::new(3).max_concurrent(), 3);
+        // from_env honours the same ≥1 clamp whatever the environment
+        // says (the CI matrix runs this suite with the knob set).
+        assert!(JobManager::from_env().max_concurrent() >= 1);
+    }
+
+    /// With one in-flight slot the manager is a strict FIFO queue:
+    /// jobs run in submission order, and each job's measured queue
+    /// wait is at least its predecessor's.
+    #[test]
+    fn serial_admission_is_fifo() {
+        let cluster = DfsCluster::new(2, StorageConfig::default());
+        let spec = ClusterSpec::new(2, HardwareProfile::physical());
+        let fmt = GaugeFormat::new();
+        let order: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let order_ref = &order;
+        let jobs: Vec<MapJob<'_>> = (0..6)
+            .map(|j| MapJob {
+                name: format!("job-{j}"),
+                input: (0..4).collect(),
+                format: &fmt,
+                parallelism: None,
+                job_parallelism: None,
+                map: Box::new(move |rec, out| {
+                    if rec.row.get(0) == Some(&Value::Long(0)) {
+                        order_ref.lock().unwrap().push(j);
+                    }
+                    out.push(rec.row.clone());
+                }),
+            })
+            .collect();
+        let results = JobManager::new(1).run_batch(&cluster, &spec, &jobs);
+        assert_eq!(results.len(), 6);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4, 5]);
+        let mut prev_wait = 0.0;
+        for run in results {
+            let run = run.unwrap();
+            assert_eq!(run.output.len(), 4);
+            assert!(run.report.queue_wait_seconds >= prev_wait);
+            prev_wait = run.report.queue_wait_seconds;
+        }
+        // One in-flight slot means the gauge never saw overlap.
+        assert_eq!(fmt.high_water.load(Ordering::SeqCst), 1);
+    }
+
+    /// The in-flight bound holds: with `max_concurrent = 2`, no more
+    /// than two jobs' batch reads ever overlap, and every job's output
+    /// is bit-for-bit what a solo run produces.
+    #[test]
+    fn bounded_in_flight_and_solo_equivalence() {
+        let cluster = DfsCluster::new(2, StorageConfig::default());
+        let spec = ClusterSpec::new(2, HardwareProfile::physical());
+        let fmt = GaugeFormat::new();
+        let jobs: Vec<MapJob<'_>> = (0..8)
+            .map(|j| job(&format!("job-{j}"), &fmt, (j * 10)..(j * 10 + 7)))
+            .collect();
+        let results = JobManager::new(2).run_batch(&cluster, &spec, &jobs);
+        assert!(fmt.high_water.load(Ordering::SeqCst) <= 2);
+
+        for (j, run) in results.into_iter().enumerate() {
+            let run = run.unwrap();
+            let solo = run_map_job(
+                &cluster,
+                &spec,
+                &job(
+                    &format!("job-{j}"),
+                    &fmt,
+                    (j as u64 * 10)..(j as u64 * 10 + 7),
+                ),
+            )
+            .unwrap();
+            assert_eq!(run.output, solo.output);
+            assert_eq!(
+                run.report.end_to_end_seconds,
+                solo.report.end_to_end_seconds
+            );
+            assert_eq!(run.report.tasks.len(), solo.report.tasks.len());
+            assert!(run.report.queue_wait_seconds >= 0.0);
+            assert_eq!(solo.report.queue_wait_seconds, 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_nothing() {
+        let cluster = DfsCluster::new(1, StorageConfig::default());
+        let spec = ClusterSpec::new(1, HardwareProfile::physical());
+        assert!(JobManager::new(4)
+            .run_batch(&cluster, &spec, &[])
+            .is_empty());
+    }
+}

@@ -9,7 +9,8 @@
 //! `HailSplitting` attacks exactly this term by collapsing the task
 //! count.
 
-use crate::input_format::{InputFormat, InputSplit, SplitContext, SplitTask};
+use crate::driver::ChunkedDrive;
+use crate::input_format::{InputFormat, InputSplit, SplitContext, SplitPlan, SplitTask};
 use crate::job::{JobReport, MapRecord, TaskReport};
 use hail_dfs::DfsCluster;
 use hail_sim::{ClusterSpec, HardwareProfile, SlotPool};
@@ -18,6 +19,13 @@ use hail_types::{BlockId, DatanodeId, HailError, Result, Row};
 /// A map-only job: the input format yields records; `map` turns each
 /// record into zero or more output rows (the paper's annotated map
 /// functions mostly just emit what the reader hands them).
+///
+/// Jobs are `Send + Sync` ([`InputFormat`] is a `Send + Sync` trait and
+/// the map function carries the same bounds), so the
+/// [`crate::manager::JobManager`] can run several of them concurrently
+/// on scoped threads. The map function is still invoked from exactly
+/// one thread at a time — the accounting phase runs strictly in split
+/// order — so the bounds buy shareability, not reentrancy.
 pub struct MapJob<'a> {
     pub name: String,
     pub input: Vec<BlockId>,
@@ -40,7 +48,7 @@ pub struct MapJob<'a> {
     /// clock.
     pub job_parallelism: Option<usize>,
     #[allow(clippy::type_complexity)]
-    pub map: Box<dyn Fn(&MapRecord, &mut Vec<Row>) + 'a>,
+    pub map: Box<dyn Fn(&MapRecord, &mut Vec<Row>) + Send + Sync + 'a>,
 }
 
 impl<'a> MapJob<'a> {
@@ -229,17 +237,6 @@ impl NodeSlots {
 /// the paper's 64 MB HDFS block.
 const FALLBACK_LOGICAL_BLOCK_BYTES: f64 = 64.0 * 1024.0 * 1024.0;
 
-/// How many splits the execution phase reads per
-/// [`InputFormat::read_split_batch`] call. Bounds peak memory: a
-/// chunk's buffered records are mapped and dropped before the next
-/// chunk is read, so a job over thousands of splits holds at most one
-/// chunk's raw records — not the whole job's — while still giving the
-/// job-level pool plenty of splits to overlap and steal. The boundary
-/// is a fixed constant, independent of any parallelism knob, so chunk
-/// barriers (including the per-chunk feedback absorption inside the
-/// batch read) fall identically at every setting.
-pub(crate) const SPLIT_BATCH_CHUNK: usize = 64;
-
 /// The assignment phase's duration estimate for one split when the
 /// format offers none ([`InputFormat::estimate_split`] returned
 /// `None`): a sequential scan of one logical 64 MB block per split
@@ -358,8 +355,22 @@ pub(crate) fn account_split_read(
 /// bit-for-bit identical at every job/split parallelism; job
 /// parallelism 1 reads the splits strictly sequentially on this thread.
 pub fn run_map_job(cluster: &DfsCluster, spec: &ClusterSpec, job: &MapJob<'_>) -> Result<JobRun> {
-    let hw = &spec.profile;
     let plan = job.format.splits(cluster, &job.input)?;
+    run_map_job_with_plan(cluster, spec, job, &plan)
+}
+
+/// [`run_map_job`] against an already-derived split plan — the seam the
+/// failover path uses to run the baseline pass on the plan it
+/// snapshotted, instead of deriving `splits()` a second time. The plan
+/// must come from [`InputFormat::splits`] on the same cluster state;
+/// nothing else about the run changes.
+pub(crate) fn run_map_job_with_plan(
+    cluster: &DfsCluster,
+    spec: &ClusterSpec,
+    job: &MapJob<'_>,
+    plan: &SplitPlan,
+) -> Result<JobRun> {
+    let hw = &spec.profile;
     if plan.splits.is_empty() && !job.input.is_empty() {
         return Err(HailError::Job("input has blocks but no splits".into()));
     }
@@ -368,13 +379,14 @@ pub fn run_map_job(cluster: &DfsCluster, spec: &ClusterSpec, job: &MapJob<'_>) -
     // Phase 1: assignment.
     let nodes = assign_split_nodes(cluster, spec, job.format, &plan.splits)?;
 
-    // Phases 2+3, one fixed-size chunk of splits at a time: execution
-    // (the format's job-level pool overlaps the chunk's reads), then
-    // the deterministic merge + simulated accounting in split order.
-    // Chunking bounds peak memory — a chunk's buffered records are
-    // mapped into `output` and dropped before the next chunk reads —
-    // without touching determinism: the boundaries are parallelism-
-    // independent, and within a chunk results arrive in split order.
+    // Phases 2+3 run through the shared chunked drive loop
+    // ([`ChunkedDrive`]): execution (the format's job-level pool
+    // overlaps each chunk's reads), then the deterministic merge +
+    // simulated accounting in split order. Chunking bounds peak memory
+    // — a chunk's buffered records are mapped into `output` and dropped
+    // before the next chunk reads — without touching determinism: the
+    // boundaries are parallelism-independent, and within a chunk
+    // results arrive in split order.
     let batch: Vec<SplitTask<'_>> = plan
         .splits
         .iter()
@@ -388,27 +400,20 @@ pub fn run_map_job(cluster: &DfsCluster, spec: &ClusterSpec, job: &MapJob<'_>) -
     let mut output = Vec::new();
     let mut tasks = Vec::with_capacity(plan.splits.len());
     let mut scratch = Vec::new();
-    for (chunk_idx, chunk) in batch.chunks(SPLIT_BATCH_CHUNK).enumerate() {
-        let chunk_start = chunk_idx * SPLIT_BATCH_CHUNK;
-        let reads = job
-            .format
-            .read_split_batch(cluster, chunk, job.job_parallelism)?;
-        for (offset, read) in reads.into_iter().enumerate() {
-            let i = chunk_start + offset;
-            tasks.push(account_split_read(
-                job,
-                spec,
-                &mut slots,
-                i,
-                nodes[i],
-                0.0,
-                false,
-                read,
-                &mut output,
-                &mut scratch,
-            ));
-        }
-    }
+    ChunkedDrive::for_job(cluster, job).run(&batch, |i, read| {
+        tasks.push(account_split_read(
+            job,
+            spec,
+            &mut slots,
+            i,
+            nodes[i],
+            0.0,
+            false,
+            read,
+            &mut output,
+            &mut scratch,
+        ));
+    })?;
 
     let makespan = slots.makespan();
     let report = JobReport {
@@ -419,6 +424,7 @@ pub fn run_map_job(cluster: &DfsCluster, spec: &ClusterSpec, job: &MapJob<'_>) -
         total_slots: slots.live_slot_count(),
         tasks,
         end_to_end_seconds: hw.job_startup_s + split_phase_seconds + makespan,
+        queue_wait_seconds: 0.0,
     };
     Ok(JobRun { output, report })
 }

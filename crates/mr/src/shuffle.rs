@@ -20,9 +20,9 @@ pub struct MapReduceJob<'a> {
     pub input: Vec<BlockId>,
     pub format: &'a dyn crate::input_format::InputFormat,
     #[allow(clippy::type_complexity)]
-    pub map: Box<dyn Fn(&MapRecord, &mut Vec<(Value, Row)>) + 'a>,
+    pub map: Box<dyn Fn(&MapRecord, &mut Vec<(Value, Row)>) + Send + Sync + 'a>,
     #[allow(clippy::type_complexity)]
-    pub reduce: Box<dyn Fn(&Value, &[Row], &mut Vec<Row>) + 'a>,
+    pub reduce: Box<dyn Fn(&Value, &[Row], &mut Vec<Row>) + Send + Sync + 'a>,
     /// Number of reduce tasks (≥1).
     pub reducers: usize,
     /// Intra-split read parallelism for the map phase (see
@@ -52,7 +52,11 @@ pub fn run_map_reduce_job(
     job: &MapReduceJob<'_>,
 ) -> Result<MapReduceRun> {
     // Map phase: collect (key, row) pairs from the user's map function.
-    let pairs_cell: std::cell::RefCell<Vec<(Value, Row)>> = std::cell::RefCell::new(Vec::new());
+    // The capture is a Mutex (not a RefCell) purely to satisfy MapJob's
+    // Send + Sync map bound; the scheduler still invokes the map
+    // function from one thread in split order, so there is never
+    // contention.
+    let pairs_cell: std::sync::Mutex<Vec<(Value, Row)>> = std::sync::Mutex::new(Vec::new());
     let map_run = {
         let map_job = MapJob {
             name: job.name.clone(),
@@ -63,12 +67,12 @@ pub fn run_map_reduce_job(
             map: Box::new(|rec, _out| {
                 let mut emitted = Vec::new();
                 (job.map)(rec, &mut emitted);
-                pairs_cell.borrow_mut().append(&mut emitted);
+                pairs_cell.lock().unwrap().append(&mut emitted);
             }),
         };
         run_map_job(cluster, spec, &map_job)?
     };
-    let mut pairs = pairs_cell.into_inner();
+    let mut pairs = pairs_cell.into_inner().unwrap();
     {
         // Shuffle: group by key. Cost: map output crosses the network
         // once and is merge-sorted.

@@ -146,7 +146,7 @@ fn bad_records_survive_upload_and_reach_the_map_function() {
     // Run a full scan and count bad records handed to the map function.
     let query = HailQuery::full_scan();
     let format = HailInputFormat::new(dataset.clone(), query);
-    let bad_seen = std::cell::Cell::new(0usize);
+    let bad_seen = std::sync::atomic::AtomicUsize::new(0);
     let job = MapJob {
         name: "badscan".into(),
         input: dataset.blocks.clone(),
@@ -155,7 +155,7 @@ fn bad_records_survive_upload_and_reach_the_map_function() {
         job_parallelism: None,
         map: Box::new(|rec, out| {
             if rec.bad {
-                bad_seen.set(bad_seen.get() + 1);
+                bad_seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             } else {
                 out.push(rec.row.clone());
             }
@@ -163,7 +163,11 @@ fn bad_records_survive_upload_and_reach_the_map_function() {
     };
     let spec = ClusterSpec::new(3, HardwareProfile::physical());
     let run = run_map_job(&cluster, &spec, &job).unwrap();
-    assert_eq!(bad_seen.get(), n_bad, "every bad record must reach map()");
+    assert_eq!(
+        bad_seen.load(std::sync::atomic::Ordering::Relaxed),
+        n_bad,
+        "every bad record must reach map()"
+    );
     assert_eq!(run.output.len(), 800 - n_bad);
 }
 

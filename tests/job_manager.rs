@@ -1,0 +1,449 @@
+//! Multi-job serving end to end: the `JobManager` admitting ~200
+//! queued Bob/Synthetic queries at concurrency 1/2/4 over one shared
+//! `PlanCache`/`JobPool`, with per-job results bit-for-bit identical
+//! to solo runs at every interleaving.
+//!
+//! Covers the acceptance criteria of the multi-job change:
+//!
+//! - per-job **output** identical to a solo run at concurrency 1/2/4
+//!   (cross-job cache sharing may only change counters, never rows);
+//! - for jobs with pairwise-distinct filter shapes, the whole
+//!   **report** (modulo measured wall clock and queue wait) is
+//!   identical to a solo run;
+//! - peak memory stays O(chunk) per in-flight job: no
+//!   `read_split_batch` call ever exceeds `SPLIT_BATCH_CHUNK` splits,
+//!   managed or not;
+//! - one shared plan cache serves strictly more hits than per-job
+//!   private caches;
+//! - failover under concurrency: a mid-job node death, then ≥4
+//!   concurrent jobs over the degraded cluster, still bit-for-bit
+//!   against solo runs on that cluster.
+
+use hail::prelude::*;
+use hail_bench::{
+    make_shared_format, run_queries_managed, setup_hail, uv_testbed, ExperimentScale,
+    SharedJobInfra, SystemSetup,
+};
+use hail_mr::{InputSplit, JobReport, JobRun, SplitContext, SplitPlan, SplitRead, SplitTask};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const CONCURRENCIES: [usize; 3] = [1, 2, 4];
+
+fn uv_setup(rows_per_node: usize, blocks_per_node: usize) -> (hail_bench::Testbed, SystemSetup) {
+    let scale = ExperimentScale::query(4, rows_per_node)
+        .with_blocks_per_node(blocks_per_node)
+        .with_partition_size(64);
+    let tb = uv_testbed(scale, HardwareProfile::physical());
+    let setup = setup_hail(&tb, &[2, 0, 3]).unwrap(); // visitDate, sourceIP, adRevenue
+    (tb, setup)
+}
+
+fn syn_setup(rows_per_node: usize, blocks_per_node: usize) -> (hail_bench::Testbed, SystemSetup) {
+    let scale = ExperimentScale::query(4, rows_per_node)
+        .with_blocks_per_node(blocks_per_node)
+        .with_partition_size(64);
+    let tb = hail_bench::syn_testbed(scale, HardwareProfile::physical());
+    let setup = setup_hail(&tb, &[0, 1, 2]).unwrap();
+    (tb, setup)
+}
+
+/// A solo run with private infrastructure — its own cache and pool —
+/// the baseline every managed job must reproduce bit-for-bit.
+fn solo(setup: &SystemSetup, spec: &ClusterSpec, query: &HailQuery, splitting: bool) -> JobRun {
+    let infra = SharedJobInfra::for_jobs(1);
+    let format = make_shared_format(setup, spec, query, splitting, &infra);
+    let job = MapJob::collecting("solo", setup.dataset.blocks.clone(), format.as_ref());
+    run_map_job(&setup.cluster, spec, &job).unwrap()
+}
+
+/// Bob-style UserVisits query variants: the five paper queries' filter
+/// families with varying literals. Cycles with period 25, so a batch
+/// of 100 holds 25 unique queries, each queued four times.
+fn uv_queries(n: usize, schema: &Schema) -> Vec<HailQuery> {
+    (0..n)
+        .map(|i| {
+            let k = i % 25;
+            match k % 5 {
+                0 => HailQuery::parse(
+                    &format!("@4 >= {} and @4 <= {}", k, k + 40),
+                    "{@8, @9, @4}",
+                    schema,
+                ),
+                1 => HailQuery::parse(
+                    &format!("@3 between(19{:02}-01-01, 2000-01-01)", 90 + (k % 10)),
+                    "{@1}",
+                    schema,
+                ),
+                2 => HailQuery::parse(
+                    &format!("@1 = '172.101.11.{}'", 40 + k),
+                    "{@8, @9, @4}",
+                    schema,
+                ),
+                3 => HailQuery::parse(&format!("@9 <= {}", 50 + 10 * k), "{@1, @9}", schema),
+                _ => HailQuery::parse(&format!("@8 = 'searchword{}'", k % 7), "{@1, @8}", schema),
+            }
+            .unwrap()
+        })
+        .collect()
+}
+
+/// Synthetic query variants in the Table-1 style: selectivity and
+/// projectivity sweeps on @1. Cycles with period 25.
+fn syn_queries(n: usize, schema: &Schema) -> Vec<HailQuery> {
+    let projections = ["", "{@1}", "{@1, @2, @3}", "{@1, @5, @9, @13}"];
+    (0..n)
+        .map(|i| {
+            let k = i % 25;
+            HailQuery::parse(
+                &format!("@1 <= {}", 9 + 37 * k),
+                projections[k % projections.len()],
+                schema,
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+/// ~200 queued Bob/Synthetic queries through the manager at
+/// concurrency 1/2/4: every job's output is bit-for-bit its solo
+/// run's, and queue-wait telemetry surfaces for queued jobs.
+#[test]
+fn two_hundred_queries_match_solo_at_every_concurrency() {
+    let (uv_tb, uv) = uv_setup(400, 4);
+    let (syn_tb, syn) = syn_setup(300, 4);
+    let uv_qs = uv_queries(100, &bob_schema());
+    let syn_qs = syn_queries(100, &synthetic_schema());
+
+    // Solo baselines, one per unique query.
+    let uv_expected: Vec<JobRun> = uv_qs[..25]
+        .iter()
+        .map(|q| solo(&uv, &uv_tb.spec, q, true))
+        .collect();
+    let syn_expected: Vec<JobRun> = syn_qs[..25]
+        .iter()
+        .map(|q| solo(&syn, &syn_tb.spec, q, true))
+        .collect();
+
+    for conc in CONCURRENCIES {
+        let manager = JobManager::new(conc);
+        for (setup, spec, queries, expected) in [
+            (&uv, &uv_tb.spec, &uv_qs, &uv_expected),
+            (&syn, &syn_tb.spec, &syn_qs, &syn_expected),
+        ] {
+            let infra = SharedJobInfra::for_jobs(conc);
+            let runs = run_queries_managed(setup, spec, queries, true, &manager, &infra).unwrap();
+            assert_eq!(runs.len(), queries.len());
+            for (i, run) in runs.iter().enumerate() {
+                assert_eq!(
+                    run.output,
+                    expected[i % 25].output,
+                    "concurrency {conc}, job {i}: managed output diverged from solo"
+                );
+                assert!(run.report.queue_wait_seconds >= 0.0);
+            }
+            // With one in-flight slot and 100 queued jobs, the tail of
+            // the queue measurably waited.
+            if conc == 1 {
+                assert!(
+                    runs.last().unwrap().report.queue_wait_seconds > 0.0,
+                    "the last of 100 serially admitted jobs waited"
+                );
+            }
+        }
+    }
+}
+
+/// `JobReport` rendered with the measured-wall-clock fields (the only
+/// fields allowed to vary between a managed and a solo run) zeroed.
+fn report_modulo_wall(report: &JobReport) -> String {
+    let mut r = report.clone();
+    r.job_name = String::new(); // submitter-chosen label, not engine state
+    r.queue_wait_seconds = 0.0;
+    for t in &mut r.tasks {
+        t.reader_wall_seconds = 0.0;
+    }
+    format!("{r:?}")
+}
+
+/// Queries whose filter shapes are pairwise distinct (different column
+/// sets or predicate classes), so no cross-job cache entry is ever
+/// shared and the full determinism contract applies: output AND report
+/// identical to solo, at any interleaving.
+fn distinct_shape_queries(schema: &Schema) -> Vec<HailQuery> {
+    [
+        ("@3 between(1999-01-01, 2000-01-01)", "{@1}"),
+        ("@1 = '172.101.11.46'", "{@8, @9, @4}"),
+        ("@1 = '172.101.11.46' and @3 = 1992-12-22", "{@8, @9, @4}"),
+        ("@4 >= 1 and @4 <= 10", "{@8, @9, @4}"),
+        ("@8 = 'searchword3'", "{@1, @8}"),
+        ("@9 <= 120", "{@1, @9}"),
+        ("@4 >= 1 and @4 <= 10 and @9 <= 200", "{@4, @9}"),
+        ("@1 = '172.101.11.46' and @4 <= 50", "{@1, @4}"),
+    ]
+    .iter()
+    .map(|(f, p)| HailQuery::parse(f, p, schema).unwrap())
+    .collect()
+}
+
+/// For distinct-shape jobs, managed runs reproduce the solo run's
+/// whole report — every simulated figure, schedule entry, and cache
+/// counter — not just the output, at every concurrency.
+#[test]
+fn distinct_shapes_reproduce_full_reports() {
+    let (tb, setup) = uv_setup(500, 4);
+    let queries = distinct_shape_queries(&bob_schema());
+    let expected: Vec<JobRun> = queries
+        .iter()
+        .map(|q| solo(&setup, &tb.spec, q, true))
+        .collect();
+    for conc in CONCURRENCIES {
+        let infra = SharedJobInfra::for_jobs(conc);
+        let runs = run_queries_managed(
+            &setup,
+            &tb.spec,
+            &queries,
+            true,
+            &JobManager::new(conc),
+            &infra,
+        )
+        .unwrap();
+        for (run, exp) in runs.iter().zip(&expected) {
+            assert_eq!(run.output, exp.output, "concurrency {conc}: output");
+            assert_eq!(
+                report_modulo_wall(&run.report),
+                report_modulo_wall(&exp.report),
+                "concurrency {conc}: report must be bit-for-bit modulo wall clock"
+            );
+        }
+    }
+}
+
+/// One shared plan cache across the batch serves strictly more hits
+/// than the same jobs each warming a private cache: later same-shape
+/// jobs reuse plans the first job priced.
+#[test]
+fn shared_cache_beats_private_caches() {
+    let (tb, setup) = uv_setup(400, 4);
+    let query =
+        HailQuery::parse("@3 between(1999-01-01, 2000-01-01)", "{@1}", &bob_schema()).unwrap();
+    let queries: Vec<HailQuery> = (0..40).map(|_| query.clone()).collect();
+
+    // Baseline: each job with its own private cache.
+    let mut private_hits = 0u64;
+    let mut solo_output = None;
+    for q in &queries {
+        let infra = SharedJobInfra::for_jobs(1);
+        let format = make_shared_format(&setup, &tb.spec, q, true, &infra);
+        let job = MapJob::collecting("solo", setup.dataset.blocks.clone(), format.as_ref());
+        let run = run_map_job(&setup.cluster, &tb.spec, &job).unwrap();
+        private_hits += infra.plan_cache.stats().hits;
+        solo_output.get_or_insert(run.output);
+    }
+
+    // Shared: one cache across all 40 jobs, four in flight.
+    let infra = SharedJobInfra::for_jobs(4);
+    let runs = run_queries_managed(
+        &setup,
+        &tb.spec,
+        &queries,
+        true,
+        &JobManager::new(4),
+        &infra,
+    )
+    .unwrap();
+    let shared_hits = infra.plan_cache.stats().hits;
+    assert!(
+        shared_hits > private_hits,
+        "shared cache must serve strictly more hits: shared {shared_hits} vs private {private_hits}"
+    );
+    // Sharing may only change counters — never rows.
+    let solo_output = solo_output.unwrap();
+    for run in &runs {
+        assert_eq!(run.output, solo_output);
+    }
+    // And the repeat jobs priced nothing: total evaluations match what
+    // one warm-up pass costs.
+    let first_private = {
+        let infra = SharedJobInfra::for_jobs(1);
+        let format = make_shared_format(&setup, &tb.spec, &query, true, &infra);
+        let job = MapJob::collecting("warm", setup.dataset.blocks.clone(), format.as_ref());
+        run_map_job(&setup.cluster, &tb.spec, &job).unwrap();
+        infra.plan_cache.stats().cost_evaluations
+    };
+    assert_eq!(infra.plan_cache.stats().cost_evaluations, first_private);
+}
+
+/// Failover under concurrency: a job survives a mid-run node death
+/// (through the shared drive loop's re-evaluation and rerun passes),
+/// then four concurrent jobs serve from the degraded cluster with
+/// output and reports still bit-for-bit against solo runs on it.
+#[test]
+fn concurrent_jobs_on_a_degraded_cluster_match_solo() {
+    let (tb, mut setup) = uv_setup(500, 4);
+    let queries = distinct_shape_queries(&bob_schema());
+
+    // Mid-job death: node 1 dies halfway through the first query.
+    let failover = {
+        let infra = SharedJobInfra::for_jobs(1);
+        let format = make_shared_format(&setup, &tb.spec, &queries[0], true, &infra);
+        let job = MapJob::collecting(
+            "under-failure",
+            setup.dataset.blocks.clone(),
+            format.as_ref(),
+        );
+        run_map_job_with_failure(
+            &mut setup.cluster,
+            &tb.spec,
+            &job,
+            FailureScenario::at_half(1),
+        )
+        .unwrap()
+    };
+    assert!(setup.cluster.live_nodes().len() < 4, "the node stayed dead");
+    let oracle = canonical(&oracle_eval(&tb.texts, &tb.schema, &queries[0]));
+    assert_eq!(
+        canonical(&failover.output),
+        oracle,
+        "failover must not lose or invent rows"
+    );
+
+    // Concurrent serving over the degraded cluster.
+    let expected: Vec<JobRun> = queries
+        .iter()
+        .map(|q| solo(&setup, &tb.spec, q, true))
+        .collect();
+    let infra = SharedJobInfra::for_jobs(4);
+    let runs = run_queries_managed(
+        &setup,
+        &tb.spec,
+        &queries,
+        true,
+        &JobManager::new(4),
+        &infra,
+    )
+    .unwrap();
+    for (run, exp) in runs.iter().zip(&expected) {
+        assert_eq!(run.output, exp.output, "degraded-cluster output diverged");
+        assert_eq!(
+            report_modulo_wall(&run.report),
+            report_modulo_wall(&exp.report),
+            "degraded-cluster report diverged"
+        );
+        // Every scheduled task avoided the dead node.
+        for t in &run.report.tasks {
+            assert_ne!(t.node, 1, "no task may be scheduled on a dead node");
+        }
+    }
+}
+
+/// Wraps a format and records the largest `read_split_batch` it is
+/// ever handed — the O(chunk) memory-bound probe.
+struct BatchRecordingFormat {
+    inner: Box<dyn InputFormat>,
+    max_batch: AtomicUsize,
+    calls: AtomicUsize,
+}
+
+impl BatchRecordingFormat {
+    fn new(inner: Box<dyn InputFormat>) -> Self {
+        BatchRecordingFormat {
+            inner,
+            max_batch: AtomicUsize::new(0),
+            calls: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl InputFormat for BatchRecordingFormat {
+    fn splits(&self, cluster: &DfsCluster, input: &[hail::types::BlockId]) -> Result<SplitPlan> {
+        self.inner.splits(cluster, input)
+    }
+
+    fn read_split(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        task_node: hail::types::DatanodeId,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        self.inner.read_split(cluster, split, task_node, emit)
+    }
+
+    fn read_split_with(
+        &self,
+        cluster: &DfsCluster,
+        split: &InputSplit,
+        ctx: &SplitContext,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        self.inner.read_split_with(cluster, split, ctx, emit)
+    }
+
+    fn read_split_batch(
+        &self,
+        cluster: &DfsCluster,
+        batch: &[SplitTask<'_>],
+        job_parallelism: Option<usize>,
+    ) -> Result<Vec<SplitRead>> {
+        self.max_batch.fetch_max(batch.len(), Ordering::SeqCst);
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        self.inner.read_split_batch(cluster, batch, job_parallelism)
+    }
+
+    fn estimate_split(&self, cluster: &DfsCluster, split: &InputSplit) -> Option<f64> {
+        self.inner.estimate_split(cluster, split)
+    }
+
+    fn estimate_splits(&self, cluster: &DfsCluster, splits: &[InputSplit]) -> Option<Vec<f64>> {
+        self.inner.estimate_splits(cluster, splits)
+    }
+
+    fn name(&self) -> &str {
+        "batch-recording"
+    }
+}
+
+/// Peak memory stays O(chunk) per in-flight job under the manager: a
+/// job over >64 per-block splits never sees a `read_split_batch`
+/// larger than `SPLIT_BATCH_CHUNK`, at concurrency 4 either.
+#[test]
+fn managed_jobs_keep_chunked_reads_bounded() {
+    // Per-block splits (no HailSplitting) over 4 × 20 = 80 blocks, so
+    // every job's drive loop must chunk: 80 > SPLIT_BATCH_CHUNK.
+    let (tb, setup) = uv_setup(240, 20);
+    assert!(setup.dataset.blocks.len() > SPLIT_BATCH_CHUNK);
+    let query = HailQuery::parse("@9 <= 150", "{@1, @9}", &bob_schema()).unwrap();
+
+    let infra = SharedJobInfra::for_jobs(4);
+    let formats: Vec<BatchRecordingFormat> = (0..4)
+        .map(|_| {
+            BatchRecordingFormat::new(make_shared_format(&setup, &tb.spec, &query, false, &infra))
+        })
+        .collect();
+    let jobs: Vec<MapJob<'_>> = formats
+        .iter()
+        .map(|f| {
+            MapJob::collecting(
+                "bounded",
+                setup.dataset.blocks.clone(),
+                f as &dyn InputFormat,
+            )
+        })
+        .collect();
+    let runs = JobManager::new(4).run_batch(&setup.cluster, &tb.spec, &jobs);
+    let expected = solo(&setup, &tb.spec, &query, false);
+    for run in runs {
+        assert_eq!(run.unwrap().output, expected.output);
+    }
+    for f in &formats {
+        let max = f.max_batch.load(Ordering::SeqCst);
+        assert!(
+            max > 0 && max <= SPLIT_BATCH_CHUNK,
+            "chunk bound violated: {max}"
+        );
+        assert!(
+            f.calls.load(Ordering::SeqCst) >= setup.dataset.blocks.len() / SPLIT_BATCH_CHUNK,
+            "the drive loop actually chunked"
+        );
+    }
+}
