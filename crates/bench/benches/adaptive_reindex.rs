@@ -1,0 +1,148 @@
+//! Adaptive re-indexing end to end: a repeated ~5%-selective query on
+//! an unindexed column is driven through [`run_adaptive_workload`]
+//! until the advisor rebuilds the missing clustered index, then the
+//! workload keeps running against the new design.
+//!
+//! Headline metrics — jobs until the FullScan→index flip, per-job wall
+//! clock (simulated and measured) before vs after the flip, and the
+//! cost-model evaluations the warm plan cache saved across the run —
+//! are written to `BENCH_8.json` via [`BenchSummary`] for the driver
+//! to grep.
+
+use hail_bench::{
+    run_adaptive_workload, setup_hail, uv_testbed, BenchSummary, ExperimentScale, Report,
+    SharedJobInfra,
+};
+use hail_core::HailQuery;
+use hail_exec::{ReindexAdvisor, ReindexPolicy, SelectivityFeedback};
+use hail_mr::JobManager;
+use hail_sim::HardwareProfile;
+use hail_types::AccessPathKind;
+
+/// Total jobs driven through the loop (round size 1: one advisory
+/// round per job, so the flip lands after `hysteresis_rounds` jobs).
+const JOBS: usize = 12;
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn main() {
+    let scale = ExperimentScale::query(4, 30_000)
+        .with_blocks_per_node(8)
+        .with_partition_size(64);
+    let tb = uv_testbed(scale, HardwareProfile::physical());
+    // visitDate and sourceIP indexed at upload; duration (@9) is not.
+    let mut hail = setup_hail(&tb, &[2, 0]).expect("hail setup");
+
+    // ~5% selective range on the unindexed duration column.
+    let query = HailQuery::parse("@9 <= 500", "{@1, @9}", &tb.schema).expect("query");
+    let queries: Vec<HailQuery> = (0..JOBS).map(|_| query.clone()).collect();
+
+    let manager = JobManager::new(2);
+    let infra = SharedJobInfra::for_jobs(2);
+    let advisor = ReindexAdvisor::new(ReindexPolicy {
+        enabled: true, // the bench measures the loop even under the disable leg
+        ..ReindexPolicy::default()
+    });
+    let feedback = SelectivityFeedback::default();
+    let run = run_adaptive_workload(
+        &mut hail, &tb.spec, &queries, true, &manager, &infra, &advisor, &feedback, 1,
+    )
+    .expect("adaptive workload");
+
+    assert_eq!(run.events.len(), 1, "exactly one rebuild fires");
+    let event = &run.events[0];
+    let flip = event.after_job;
+
+    // Every job returns the same rows — the rewrite moved data (the
+    // new clustered replica emits them in sorted order), never changed
+    // it, so the canonicalized sets match across the flip.
+    let rows_of = |job: &hail_mr::JobRun| {
+        let mut rows: Vec<String> = job.output.iter().map(|r| r.to_string()).collect();
+        rows.sort();
+        rows
+    };
+    let first = rows_of(&run.runs[0]);
+    for (i, job) in run.runs.iter().enumerate() {
+        assert_eq!(
+            first,
+            rows_of(job),
+            "job {i}: rows diverged across the flip"
+        );
+    }
+
+    // Per-job costs on each side of the flip.
+    let sim_s = |r: &hail_mr::JobRun| r.report.end_to_end_seconds;
+    let wall_ms = |r: &hail_mr::JobRun| r.report.reader_wall_seconds() * 1e3;
+    let pre: Vec<&hail_mr::JobRun> = run.runs[..flip].iter().collect();
+    let post: Vec<&hail_mr::JobRun> = run.runs[flip..].iter().collect();
+    let pre_sim = mean(&pre.iter().map(|r| sim_s(r)).collect::<Vec<_>>());
+    let post_sim = mean(&post.iter().map(|r| sim_s(r)).collect::<Vec<_>>());
+    let pre_wall = mean(&pre.iter().map(|r| wall_ms(r)).collect::<Vec<_>>());
+    let post_wall = mean(&post.iter().map(|r| wall_ms(r)).collect::<Vec<_>>());
+    assert!(
+        post_sim < pre_sim,
+        "the index must make the simulated job cheaper: {post_sim} vs {pre_sim}"
+    );
+    let last_counts = run.runs.last().unwrap().report.path_counts();
+    assert!(
+        last_counts.get(AccessPathKind::ClusteredIndexScan) > 0
+            && last_counts.get(AccessPathKind::FullScan) == 0,
+        "post-flip jobs plan onto the new index"
+    );
+
+    // Cost-model evaluations the warm cache saved across the run: each
+    // hit served one block plan without pricing; a miss pays
+    // (evaluations / misses) on average.
+    let stats = infra.plan_cache.stats();
+    let per_miss = if stats.misses > 0 {
+        stats.cost_evaluations as f64 / stats.misses as f64
+    } else {
+        0.0
+    };
+    let evals_saved = stats.hits as f64 * per_miss;
+
+    let mut table = Report::new(
+        "adaptive-reindex",
+        format!("{JOBS} identical ~5%-selective jobs, advisor round per job"),
+        "simulated s / measured ms",
+    );
+    table.row("jobs until flip", None, flip as f64);
+    table.row("sim end-to-end s (pre-flip mean)", None, pre_sim);
+    table.row("sim end-to-end s (post-flip mean)", None, post_sim);
+    table.row("reader wall ms (pre-flip mean)", None, pre_wall);
+    table.row("reader wall ms (post-flip mean)", None, post_wall);
+    table.note(format!(
+        "rebuild: {} on column {} — {} replicas rewritten, {} blocks skipped",
+        event.outcome.action.kind,
+        event.outcome.action.column + 1,
+        event.outcome.replicas_rewritten,
+        event.outcome.blocks_skipped
+    ));
+    table.note(format!(
+        "plan cache: {} hits, {} misses, {} candidates priced (~{evals_saved:.0} evaluations saved)",
+        stats.hits, stats.misses, stats.cost_evaluations
+    ));
+    table.print();
+
+    let mut summary = BenchSummary::new("BENCH_8");
+    summary.metric("jobs_until_flip", flip as f64);
+    summary.metric(
+        "replicas_rewritten",
+        event.outcome.replicas_rewritten as f64,
+    );
+    summary.metric("sim_end_to_end_s_pre_flip", pre_sim);
+    summary.metric("sim_end_to_end_s_post_flip", post_sim);
+    summary.metric("sim_speedup_from_flip", pre_sim / post_sim);
+    summary.metric("reader_wall_ms_pre_flip", pre_wall);
+    summary.metric("reader_wall_ms_post_flip", post_wall);
+    summary.metric("cost_model_evaluations_saved", evals_saved);
+    summary.report(table);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    summary.write_to(out).expect("write BENCH_8.json");
+    eprintln!("wrote {out}");
+}

@@ -17,7 +17,9 @@
 //!    that the executor never costs correctness and what it does to
 //!    wall clock when there is little work to overlap.
 
-use hail_bench::{run_query_at, setup_hail, uv_testbed, ExperimentScale, Report};
+use hail_bench::{
+    json_mode, run_query_at, setup_hail, uv_testbed, BenchSummary, ExperimentScale, Report,
+};
 use hail_core::HailQuery;
 use hail_exec::HailInputFormat;
 use hail_mr::{InputFormat, InputSplit, SplitContext};
@@ -91,7 +93,6 @@ fn main() {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     ));
     per_split.note("records and their order identical at every parallelism");
-    per_split.print();
 
     // ── 2. Bob queries end to end ───────────────────────────────────
     let mut jobs = Report::new(
@@ -133,5 +134,21 @@ fn main() {
         }
     }
     jobs.note("outputs and simulated reports identical at every parallelism");
-    jobs.print();
+
+    // `--json` bundles both tables plus the headline speedups into one
+    // machine-readable BenchSummary document; plain runs print the
+    // aligned tables as before.
+    let mut summary = BenchSummary::new("split_parallelism");
+    for (i, p) in PARALLELISMS.iter().enumerate() {
+        summary.metric(format!("per_split_wall_ms_p{p}"), wall_by_parallelism[i]);
+    }
+    summary.metric("per_split_speedup_1_to_4", speedup_4);
+    summary.report(per_split.clone());
+    summary.report(jobs.clone());
+    if json_mode() {
+        println!("{}", summary.to_json());
+    } else {
+        per_split.print();
+        jobs.print();
+    }
 }

@@ -14,8 +14,8 @@ use hail_core::{
 };
 use hail_dfs::DfsCluster;
 use hail_exec::{
-    shared_job_pool, ExecutorConfig, HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat,
-    JobPool, PlanCache, SelectivityFeedback,
+    apply_reindex, shared_job_pool, ExecutorConfig, HadoopInputFormat, HadoopPlusPlusInputFormat,
+    HailInputFormat, JobPool, PlanCache, ReindexAdvisor, ReindexOutcome, SelectivityFeedback,
 };
 use hail_index::ReplicaIndexConfig;
 use hail_mr::{run_map_job, InputFormat, JobManager, JobRun, MapJob};
@@ -413,6 +413,83 @@ pub fn run_queries_managed(
         .run_batch(&setup.cluster, spec, &jobs)
         .into_iter()
         .collect()
+}
+
+/// One adaptive rebuild that fired during [`run_adaptive_workload`]:
+/// which job boundary it ran at and what it built.
+#[derive(Debug, Clone)]
+pub struct ReindexEvent {
+    /// Jobs completed before the rebuild ran — the flip boundary. Job
+    /// indexes `0..after_job` planned against the old design, jobs
+    /// `after_job..` against the new one.
+    pub after_job: usize,
+    pub outcome: ReindexOutcome,
+}
+
+/// The result of an adaptive workload: per-job runs in submission
+/// order, plus every rebuild the advisor fired between rounds.
+#[derive(Debug)]
+pub struct AdaptiveRun {
+    pub runs: Vec<JobRun>,
+    pub events: Vec<ReindexEvent>,
+}
+
+/// Drives a workload through the `JobManager` with the adaptive
+/// re-indexing loop closed: jobs run in rounds of `round_size`, and
+/// *between* rounds the harness absorbs every finished job's
+/// selectivity observations into `feedback` (in job-submission order),
+/// asks the advisor for rebuild recommendations, and applies them to
+/// the cluster.
+///
+/// The between-rounds placement is the correctness mechanism, not a
+/// simplification: `JobManager::run_batch` borrows the cluster shared
+/// (`&DfsCluster`) while [`apply_reindex`] needs it exclusively
+/// (`&mut`), so a rebuild can only run when no job is in flight —
+/// queries see the old design or the new one, never a half-registered
+/// hybrid, and no admitted job ever blocks mid-split on background
+/// maintenance. Because rounds are cut by job count (not by
+/// concurrency) and feedback is absorbed in submission order, the
+/// FullScan→index flip lands at the same job boundary whatever
+/// `HAIL_MAX_CONCURRENT_JOBS` is.
+///
+/// A disabled advisor (policy `enabled: false`, e.g. under
+/// `HAIL_DISABLE_REINDEX=1`) turns this into plain batched serving:
+/// evidence still accumulates, but the design never changes.
+#[allow(clippy::too_many_arguments)]
+pub fn run_adaptive_workload(
+    setup: &mut SystemSetup,
+    spec: &ClusterSpec,
+    queries: &[HailQuery],
+    hail_splitting: bool,
+    manager: &JobManager,
+    infra: &SharedJobInfra,
+    advisor: &ReindexAdvisor,
+    feedback: &SelectivityFeedback,
+    round_size: usize,
+) -> Result<AdaptiveRun> {
+    let round = round_size.max(1);
+    let blocks = setup.dataset.blocks.clone();
+    let mut runs = Vec::with_capacity(queries.len());
+    let mut events = Vec::new();
+    for chunk in queries.chunks(round) {
+        let mut batch = run_queries_managed(setup, spec, chunk, hail_splitting, manager, infra)?;
+        // Absorb evidence deterministically: jobs in submission order,
+        // tasks in each report's schedule order.
+        for run in &batch {
+            for task in &run.report.tasks {
+                feedback.absorb(&task.stats);
+            }
+        }
+        runs.append(&mut batch);
+        for action in advisor.note_round(feedback, setup.cluster.namenode(), &blocks) {
+            let outcome = apply_reindex(&mut setup.cluster, &blocks, &action)?;
+            events.push(ReindexEvent {
+                after_job: runs.len(),
+                outcome,
+            });
+        }
+    }
+    Ok(AdaptiveRun { runs, events })
 }
 
 /// Runs a query under a staged node failure (§6.4.3). The cluster's

@@ -25,5 +25,7 @@ pub use failure::{
     blocks_affected_by, recover_logical_rows, verify_replica_equivalence, EXPIRY_INTERVAL_S,
 };
 pub use namenode::Namenode;
-pub use pipeline::{hail_upload_block, hdfs_upload_block, store_transformed_block, FaultPlan};
+pub use pipeline::{
+    hail_upload_block, hdfs_upload_block, rewrite_replica, store_transformed_block, FaultPlan,
+};
 pub use placement::PlacementPolicy;

@@ -17,9 +17,12 @@
 
 use crate::cluster::DfsCluster;
 use bytes::Bytes;
-use hail_index::{HailBlockReplicaInfo, IndexMetadata, IndexedBlock, ReplicaIndexConfig};
+use hail_index::{
+    HailBlockReplicaInfo, IndexMetadata, IndexedBlock, ReplicaIndexConfig, SidecarSpec, SortOrder,
+};
 use hail_pax::checksum::{chunk_checksums, packetize, reassemble, Packet};
 use hail_pax::PaxBlock;
+use hail_sim::CostLedger;
 use hail_types::{BlockId, DatanodeId, HailError, Result};
 
 /// Fault-injection plan for upload tests.
@@ -245,6 +248,72 @@ pub fn hail_upload_block(
     Ok(block)
 }
 
+/// Rewrites one stored replica in place with a new sort order and
+/// sidecar spec — the adaptive re-indexing path (the LIAH-style
+/// follow-up to the paper's static upload-time design).
+///
+/// The datanode re-runs upload step 7 locally — no network hop, the
+/// data is already on its disk: read the replica, take its logical PAX
+/// payload, re-sort/re-index in main memory, re-checksum, and flush.
+/// It then re-registers with the namenode, which overwrites this
+/// `(block, datanode)`'s `Dir_rep` entry *atomically under `&mut`* and
+/// bumps the design epoch — so every `PlanCache` entry whose
+/// fingerprint embedded the old metadata revalidates and re-plans,
+/// while entries for untouched blocks keep verifying.
+///
+/// Because the whole rewrite holds `&mut DfsCluster`, no query can be
+/// planning or reading while the design mutates: readers observe either
+/// the old replica (before this call) or the new one (after), never a
+/// half-registered hybrid.
+///
+/// Costs are charged like the upload's: the re-read, sort/index CPU and
+/// flush all land on the datanode's upload ledger (it is background
+/// maintenance work, not part of any query's read path).
+pub fn rewrite_replica(
+    cluster: &mut DfsCluster,
+    block: BlockId,
+    datanode: DatanodeId,
+    order: SortOrder,
+    spec: &SidecarSpec,
+) -> Result<()> {
+    // Read the stored replica back (background I/O: charged to the
+    // node's own upload ledger, with checksum verification like any
+    // full-replica read).
+    let mut ledger = CostLedger::new();
+    let bytes = cluster
+        .datanode(datanode)?
+        .read_replica(block, &mut ledger)?;
+    let old = IndexedBlock::parse(bytes)?;
+
+    // Step 7, locally: sort + index + sidecars over the logical rows.
+    let rebuilt = IndexedBlock::build_with(old.pax(), order, spec)?;
+    let node = cluster.datanode_mut(datanode)?;
+    node.add_extra(&ledger);
+    if order.column().is_some() {
+        node.add_sort_cpu(old.pax().byte_len() as u64);
+    }
+    let sidecar_total = rebuilt.metadata().sidecar_bytes_total();
+    if sidecar_total > 0 {
+        node.add_sort_cpu(sidecar_total as u64);
+    }
+
+    // Flush the replacement files, then re-register: `Dir_rep` flips to
+    // the new metadata and the design epoch bumps in the same exclusive
+    // section.
+    let checksums = chunk_checksums(rebuilt.bytes());
+    let meta = rebuilt.metadata().clone();
+    let replica_bytes = rebuilt.byte_len();
+    node.write_replica(block, rebuilt.bytes().clone(), checksums)?;
+    cluster
+        .namenode_mut()
+        .register_replica(HailBlockReplicaInfo::new(
+            block,
+            datanode,
+            meta,
+            replica_bytes,
+        ))
+}
+
 /// Stores a block whose per-replica payloads were produced elsewhere
 /// (the Hadoop++ post-upload indexing jobs use this to rewrite data as
 /// binary-with-trojan-index; all replicas are identical).
@@ -281,7 +350,7 @@ pub fn store_transformed_block(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hail_index::{ReplicaIndexConfig, SortOrder};
+    use hail_index::{ReplicaIndexConfig, SidecarSpec, SortOrder};
     use hail_pax::blocks_from_text;
     use hail_types::{DataType, Field, Schema, StorageConfig, Value};
 
@@ -378,6 +447,58 @@ mod tests {
             c.namenode().get_hosts_with_index(block, 1).unwrap(),
             vec![hosts[1]]
         );
+    }
+
+    #[test]
+    fn rewrite_replica_reindexes_in_place() {
+        let mut c = cluster();
+        let pax = pax_block();
+        let orders = ReplicaIndexConfig::first_indexed(3, &[0]);
+        let block = hail_upload_block(&mut c, 0, &pax, &orders, &FaultPlan::none()).unwrap();
+        let hosts = c.namenode().get_hosts(block).unwrap();
+        let target = hosts[2]; // the unsorted replica
+        let epoch = c.namenode().design_epoch();
+
+        rewrite_replica(
+            &mut c,
+            block,
+            target,
+            SortOrder::Clustered { column: 1 },
+            &SidecarSpec::default(),
+        )
+        .unwrap();
+
+        // Dir_rep flipped and the epoch bumped.
+        assert!(c.namenode().design_epoch() > epoch);
+        assert_eq!(
+            c.namenode().get_hosts_with_index(block, 1).unwrap(),
+            vec![target]
+        );
+        // The stored bytes really are the re-sorted, re-indexed block,
+        // and checksums match the new content.
+        let mut ledger = hail_sim::CostLedger::new();
+        let bytes = c
+            .datanode(target)
+            .unwrap()
+            .read_replica(block, &mut ledger)
+            .unwrap();
+        let rebuilt = IndexedBlock::parse(bytes).unwrap();
+        assert_eq!(rebuilt.sort_order(), SortOrder::Clustered { column: 1 });
+        assert!(rebuilt.index().is_some());
+        // Logical content is untouched (same rows, new physical order).
+        assert_eq!(rebuilt.pax().row_count(), pax.row_count());
+
+        // Rewriting on a dead node refuses cleanly.
+        c.kill_node(hosts[1]).unwrap();
+        let err = rewrite_replica(
+            &mut c,
+            block,
+            hosts[1],
+            SortOrder::Clustered { column: 1 },
+            &SidecarSpec::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HailError::DeadDatanode(_)));
     }
 
     #[test]

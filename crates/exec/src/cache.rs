@@ -795,6 +795,19 @@ impl SelectivityFeedback {
             .unwrap_or(0)
     }
 
+    /// Every `(column, predicate class)` with recorded evidence, in
+    /// deterministic (column, class) order — the enumeration the
+    /// re-indexing advisor walks when it looks for sustained evidence
+    /// of a selective predicate on an unindexed column.
+    pub fn observed_classes(&self) -> Vec<(usize, bool)> {
+        let inner = self.inner.read().unwrap();
+        inner
+            .iter()
+            .filter(|(_, f)| f.weight > 0.0)
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
     /// The effective selectivity for a (column, class): the static
     /// `prior` when nothing was observed, otherwise the prior-weighted
     /// blend `(prior·Wp + Σ decayed obs) / (Wp + W)`.

@@ -35,6 +35,11 @@
 //!   persisted per-block zone-map/Bloom synopses *before* candidate
 //!   enumeration, so provably-empty blocks get zero-cost plans and are
 //!   never priced or read (conservative: any doubt means no prune)
+//! - [`adapt`] — adaptive re-indexing: a [`ReindexAdvisor`] that turns
+//!   sustained [`SelectivityFeedback`] evidence into in-place replica
+//!   rewrites building the missing clustered index or bitmap sidecar,
+//!   applied under `&mut DfsCluster` so concurrent queries see either
+//!   the old design or the new one — never a half-registered hybrid
 //! - [`splitting`] — default Hadoop splitting and `HailSplitting`
 //!   (§4.3), consuming plans instead of re-deriving replica choices
 //! - [`formats`] — the three `InputFormat`s (Hadoop, Hadoop++, HAIL),
@@ -93,6 +98,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adapt;
 pub mod cache;
 pub mod executor;
 pub mod formats;
@@ -102,6 +108,10 @@ pub mod readers;
 pub mod splitting;
 pub mod synopsis;
 
+pub use adapt::{
+    apply_reindex, env_reindex_enabled, plan_rewrites, ReindexAction, ReindexAdvisor, ReindexKind,
+    ReindexOutcome, ReindexPolicy, ReplicaRewrite, DISABLE_REINDEX_ENV,
+};
 pub use cache::{
     BlockFingerprint, CacheStats, FilterShape, PlanCache, SelectivityChoice, SelectivityFeedback,
     SelectivitySource, ValidatedLookup,

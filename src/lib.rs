@@ -89,14 +89,15 @@ pub mod prelude {
         DatasetFormat, HailQuery, Predicate,
     };
     pub use hail_dfs::{
-        hail_upload_block, hdfs_upload_block, recover_logical_rows, verify_replica_equivalence,
-        DfsCluster, FaultPlan,
+        hail_upload_block, hdfs_upload_block, recover_logical_rows, rewrite_replica,
+        verify_replica_equivalence, DfsCluster, FaultPlan,
     };
     pub use hail_exec::{
-        default_splits, hail_splits, read_hail_block, AccessPath, CacheStats, ExecutorConfig,
-        ExecutorContext, HadoopInputFormat, HadoopPlusPlusInputFormat, HailInputFormat, JobPool,
-        JobPoolConfig, PlanCache, PlannerConfig, QueryPlan, QueryPlanner, SelectivityEstimate,
-        SelectivityFeedback,
+        apply_reindex, default_splits, hail_splits, read_hail_block, AccessPath, CacheStats,
+        ExecutorConfig, ExecutorContext, HadoopInputFormat, HadoopPlusPlusInputFormat,
+        HailInputFormat, JobPool, JobPoolConfig, PlanCache, PlannerConfig, QueryPlan, QueryPlanner,
+        ReindexAction, ReindexAdvisor, ReindexKind, ReindexOutcome, ReindexPolicy,
+        SelectivityEstimate, SelectivityFeedback,
     };
     pub use hail_index::{
         ClusteredIndex, IndexKind, IndexedBlock, KeyBounds, ReplicaIndexConfig, SidecarMetadata,
