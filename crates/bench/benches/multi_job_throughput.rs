@@ -23,18 +23,6 @@ const SAMPLES: usize = 5;
 /// Queue depth: each Bob query queued this many times.
 const REPEATS: usize = 4;
 
-/// Percentile over measured queue waits (nearest-rank on the sorted
-/// sample; small n, no interpolation needed).
-fn percentile_ms(waits: &[f64], p: f64) -> f64 {
-    if waits.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = waits.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank] * 1e3
-}
-
 fn main() {
     let scale = ExperimentScale::query(4, 60_000)
         .with_blocks_per_node(16)
@@ -67,15 +55,16 @@ fn main() {
             // inside the measured batch at every concurrency alike.
             let infra = SharedJobInfra::for_jobs(conc);
             let started = Instant::now();
-            let runs = run_queries_managed(&hail, &tb.spec, &queries, true, &manager, &infra)
+            let batch = run_queries_managed(&hail, &tb.spec, &queries, true, &manager, &infra)
                 .expect("managed batch");
             best_secs = best_secs.min(started.elapsed().as_secs_f64());
-            last = Some(runs);
+            last = Some(batch);
         }
-        let runs = last.unwrap();
+        let batch = last.unwrap();
 
         // Concurrency may only change wall clock, never results.
-        let outputs: Vec<Vec<String>> = runs
+        let outputs: Vec<Vec<String>> = batch
+            .runs
             .iter()
             .map(|r| r.output.iter().map(|row| row.to_string()).collect())
             .collect();
@@ -87,10 +76,9 @@ fn main() {
             ),
         }
 
-        let waits: Vec<f64> = runs.iter().map(|r| r.report.queue_wait_seconds).collect();
         let jobs_per_sec = queries.len() as f64 / best_secs;
-        let p50 = percentile_ms(&waits, 50.0);
-        let p95 = percentile_ms(&waits, 95.0);
+        let p50 = batch.summary.queue_wait_p50_seconds * 1e3;
+        let p95 = batch.summary.queue_wait_p95_seconds * 1e3;
         throughput.push(jobs_per_sec);
         table.row(format!("concurrency={conc} jobs/sec"), None, jobs_per_sec);
         table.row(format!("concurrency={conc} queue-wait p50 ms"), None, p50);

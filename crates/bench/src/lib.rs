@@ -19,6 +19,6 @@ pub use report::{json_mode, BenchSummary, Report, ReportRow};
 pub use setup::{
     make_shared_format, run_adaptive_workload, run_queries_managed, run_query, run_query_at,
     run_query_overlapped, run_query_with_failure, setup_hadoop, setup_hail, setup_hail_with_config,
-    setup_hpp, syn_testbed, uv_testbed, AdaptiveRun, ExperimentScale, ReindexEvent, SharedJobInfra,
-    SystemSetup, Testbed, LOGICAL_BLOCK,
+    setup_hpp, syn_testbed, uv_testbed, AdaptiveRun, BatchSummary, ExperimentScale, ManagedBatch,
+    ReindexEvent, SharedJobInfra, SystemSetup, Testbed, LOGICAL_BLOCK,
 };

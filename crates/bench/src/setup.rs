@@ -325,12 +325,19 @@ fn make_format(
 /// same cache and draw from the same pool, so a query whose filter
 /// shape another job already planned reuses its block plans.
 ///
-/// `feedback` defaults to `None`: a feedback store shared between
-/// *concurrently running* jobs absorbs observations in completion
-/// order across jobs, so per-job cost accounting would no longer be
-/// bit-for-bit reproducible against a solo run. Query *output* stays
-/// exact either way; deployments that prefer adaptivity over
-/// report reproducibility can plug a store in.
+/// `feedback` defaults to a fresh shared store. Sharing one
+/// [`SelectivityFeedback`] between *concurrently running* jobs is safe
+/// because formats built by [`make_shared_format`] freeze the store for
+/// the duration of each job (`PlannerConfig::defer_feedback`):
+/// observations are collected into per-task statistics but absorbed
+/// only afterwards, by [`run_queries_managed`], in **job-submission
+/// order** (tasks in schedule order within each job). During a batch
+/// every job plans against the same read-only snapshot, and the write
+/// order is fixed by submission rather than by completion races — so
+/// outputs, reports, and the post-batch feedback state are bit-for-bit
+/// identical at every `HAIL_MAX_CONCURRENT_JOBS`. Use
+/// [`SharedJobInfra::without_shared_feedback`] to opt out and plan
+/// from the static prior alone.
 pub struct SharedJobInfra {
     pub plan_cache: Arc<PlanCache>,
     pub feedback: Option<Arc<SelectivityFeedback>>,
@@ -343,9 +350,16 @@ impl SharedJobInfra {
     pub fn for_jobs(max_jobs: usize) -> Self {
         SharedJobInfra {
             plan_cache: Arc::new(PlanCache::default()),
-            feedback: None,
+            feedback: Some(Arc::new(SelectivityFeedback::default())),
             pool: shared_job_pool(max_jobs, &ExecutorConfig::default()),
         }
+    }
+
+    /// Drops the shared feedback store: jobs plan from the static
+    /// selectivity prior alone, and nothing is absorbed after batches.
+    pub fn without_shared_feedback(mut self) -> Self {
+        self.feedback = None;
+        self
     }
 }
 
@@ -373,6 +387,10 @@ pub fn make_shared_format(
             f.map_slots = spec.profile.map_slots;
             f.planner.plan_cache = Some(infra.plan_cache.clone());
             f.planner.feedback = infra.feedback.clone();
+            // Freeze the shared store during the job; the batch runner
+            // absorbs observations afterwards in submission order (the
+            // determinism contract on [`SharedJobInfra`]).
+            f.planner.defer_feedback = true;
             Box::new(f)
         }
         DatasetFormat::HadoopPlusPlus => Box::new(
@@ -382,10 +400,80 @@ pub fn make_shared_format(
     }
 }
 
+/// Batch-level aggregates [`run_queries_managed`] computes over its
+/// runs, so benches and tests stop recomputing percentiles by hand.
+///
+/// The queue-wait percentiles use the nearest-rank method over every
+/// job's [`hail_mr::JobReport::queue_wait_seconds`]. The sharing
+/// counters aggregate the telemetry-only
+/// [`hail_mr::TaskStats::blocks_read_shared`] /
+/// [`hail_mr::TaskStats::shared_bytes_saved`] fields — which decode
+/// was shared depends on real thread timing, so these (and the wait
+/// percentiles) are **outside** the determinism contract; everything
+/// else in the runs is bit-for-bit reproducible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchSummary {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    pub queue_wait_p50_seconds: f64,
+    pub queue_wait_p95_seconds: f64,
+    /// Block reads served by attaching to another job's decode.
+    pub blocks_read_shared: u64,
+    /// Simulated disk bytes those attached reads did not re-read.
+    pub shared_bytes_saved: u64,
+    /// Logical block reads requested across all jobs (before pruning
+    /// or sharing).
+    pub logical_blocks: u64,
+    /// Blocks skipped via synopsis pruning, summed across jobs.
+    pub blocks_pruned: u64,
+}
+
+/// What [`run_queries_managed`] returns: per-query runs in submission
+/// order plus the batch-level [`BatchSummary`].
+#[derive(Debug)]
+pub struct ManagedBatch {
+    pub runs: Vec<JobRun>,
+    pub summary: BatchSummary,
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) over unsorted samples.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+    samples[rank.min(samples.len()) - 1]
+}
+
+fn summarize_batch(runs: &[JobRun], logical_blocks: u64) -> BatchSummary {
+    let mut waits: Vec<f64> = runs.iter().map(|r| r.report.queue_wait_seconds).collect();
+    BatchSummary {
+        jobs: runs.len(),
+        queue_wait_p50_seconds: percentile(&mut waits, 50.0),
+        queue_wait_p95_seconds: percentile(&mut waits, 95.0),
+        blocks_read_shared: runs.iter().map(|r| r.report.blocks_read_shared()).sum(),
+        shared_bytes_saved: runs.iter().map(|r| r.report.shared_bytes_saved()).sum(),
+        logical_blocks,
+        blocks_pruned: runs.iter().map(|r| r.report.blocks_pruned()).sum(),
+    }
+}
+
 /// Runs many queries as one [`JobManager`] batch over shared multi-job
-/// infrastructure, returning per-query runs in submission order.
-/// Failing jobs fail the whole call (the benches and tests expect
-/// all-success).
+/// infrastructure, returning per-query runs in submission order plus
+/// batch aggregates. Failing jobs fail the whole call (the benches and
+/// tests expect all-success).
+///
+/// Two pieces of cross-job wiring happen here:
+///
+/// - the pool's scan-share registry (if any) subscribes to the
+///   manager's in-flight block interest, so retained decodes are
+///   evicted the moment no admitted job still wants their block;
+/// - when the infra carries a shared feedback store, every job's
+///   observations are absorbed **after** the batch, in submission
+///   order (the store was frozen during the batch via
+///   `PlannerConfig::defer_feedback`) — the [`SharedJobInfra`]
+///   determinism contract.
 pub fn run_queries_managed(
     setup: &SystemSetup,
     spec: &ClusterSpec,
@@ -393,7 +481,10 @@ pub fn run_queries_managed(
     hail_splitting: bool,
     manager: &JobManager,
     infra: &SharedJobInfra,
-) -> Result<Vec<JobRun>> {
+) -> Result<ManagedBatch> {
+    if let Some(registry) = infra.pool.scan_share() {
+        registry.attach_in_flight(manager.in_flight_blocks());
+    }
     let formats: Vec<Box<dyn InputFormat>> = queries
         .iter()
         .map(|q| make_shared_format(setup, spec, q, hail_splitting, infra))
@@ -409,10 +500,22 @@ pub fn run_queries_managed(
             )
         })
         .collect();
-    manager
+    let runs: Vec<JobRun> = manager
         .run_batch(&setup.cluster, spec, &jobs)
         .into_iter()
-        .collect()
+        .collect::<Result<_>>()?;
+    if let Some(feedback) = &infra.feedback {
+        // The submission-order barrier: jobs in submission order,
+        // tasks in each report's schedule order.
+        for run in &runs {
+            for task in &run.report.tasks {
+                feedback.absorb(&task.stats);
+            }
+        }
+    }
+    let logical = (queries.len() * setup.dataset.blocks.len()) as u64;
+    let summary = summarize_batch(&runs, logical);
+    Ok(ManagedBatch { runs, summary })
 }
 
 /// One adaptive rebuild that fired during [`run_adaptive_workload`]:
@@ -474,15 +577,30 @@ pub fn run_adaptive_workload(
     for chunk in queries.chunks(round) {
         let mut batch = run_queries_managed(setup, spec, chunk, hail_splitting, manager, infra)?;
         // Absorb evidence deterministically: jobs in submission order,
-        // tasks in each report's schedule order.
-        for run in &batch {
-            for task in &run.report.tasks {
-                feedback.absorb(&task.stats);
+        // tasks in each report's schedule order. When the advisor's
+        // store *is* the infra's shared store, `run_queries_managed`
+        // already absorbed this round — absorbing again would double
+        // every observation.
+        let absorbed_by_batch = infra
+            .feedback
+            .as_ref()
+            .is_some_and(|f| std::ptr::eq(Arc::as_ptr(f), feedback));
+        if !absorbed_by_batch {
+            for run in &batch.runs {
+                for task in &run.report.tasks {
+                    feedback.absorb(&task.stats);
+                }
             }
         }
-        runs.append(&mut batch);
+        runs.append(&mut batch.runs);
         for action in advisor.note_round(feedback, setup.cluster.namenode(), &blocks) {
             let outcome = apply_reindex(&mut setup.cluster, &blocks, &action)?;
+            // A rewrite changes what a block's replicas physically
+            // contain; any decode the scan-share registry retained for
+            // those blocks is stale now.
+            if let Some(registry) = infra.pool.scan_share() {
+                registry.clear();
+            }
             events.push(ReindexEvent {
                 after_job: runs.len(),
                 outcome,

@@ -183,6 +183,20 @@ impl Datanode {
         Ok(())
     }
 
+    /// Charges exactly what [`Datanode::read_replica`] would charge (one
+    /// seek + the whole data file) *without* touching the bytes. Scan
+    /// sharing uses this to synthesize a consumer's ledger when it
+    /// attaches to another job's read: the stored length is a property
+    /// of the replica, so the charge is bit-for-bit what a solo read
+    /// would have recorded. Fails like a real read if the node is dead
+    /// or the replica unknown.
+    pub fn charge_replica_read(&self, block: BlockId, ledger: &mut CostLedger) -> Result<()> {
+        let file = self.replica(block)?;
+        ledger.seeks += 1;
+        ledger.disk_read += file.data.len() as u64;
+        Ok(())
+    }
+
     /// Corrupts one byte of a stored replica (failure-injection tests).
     pub fn corrupt_replica(&mut self, block: BlockId, byte: usize) -> Result<()> {
         let file = self

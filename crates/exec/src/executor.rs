@@ -30,6 +30,7 @@
 //! skipped (their results could never influence the outcome); tasks
 //! below it always run, in case one fails at a lower index still.
 
+use crate::sharing::ScanShareRegistry;
 use hail_types::{DatanodeId, Result};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -193,6 +194,11 @@ pub struct ExecutorContext {
     /// [`ExecutorConfig::per_node_slots`]. Set by the [`JobPool`] so
     /// concurrent splits share one per-node bound.
     shared_gate: Option<Arc<NodeGate>>,
+    /// The cross-job scan-share registry, when this context executes a
+    /// managed job whose block decodes may be shared with other
+    /// in-flight jobs ([`crate::sharing`]). `None` reads every block
+    /// independently.
+    scan_share: Option<Arc<ScanShareRegistry>>,
 }
 
 impl ExecutorContext {
@@ -200,6 +206,7 @@ impl ExecutorContext {
         ExecutorContext {
             config,
             shared_gate: None,
+            scan_share: None,
         }
     }
 
@@ -225,6 +232,19 @@ impl ExecutorContext {
     /// True if a job-wide [`NodeGate`] is attached to this context.
     pub fn has_shared_gate(&self) -> bool {
         self.shared_gate.is_some()
+    }
+
+    /// Builder-style scan-share registry: when set, block reads driven
+    /// by this context may attach to (or produce for) decodes shared
+    /// with other in-flight jobs.
+    pub fn with_scan_share(mut self, scan_share: Option<Arc<ScanShareRegistry>>) -> Self {
+        self.scan_share = scan_share;
+        self
+    }
+
+    /// The attached cross-job scan-share registry, if any.
+    pub fn scan_share(&self) -> Option<&Arc<ScanShareRegistry>> {
+        self.scan_share.as_ref()
     }
 
     /// The worker count that would actually run `n` tasks.
@@ -430,6 +450,7 @@ impl Drop for IntraClaim<'_> {
 pub struct SplitLease<'a> {
     budget: &'a ParallelismBudget,
     gate: Option<&'a Arc<NodeGate>>,
+    scan_share: Option<&'a Arc<ScanShareRegistry>>,
 }
 
 impl<'a> SplitLease<'a> {
@@ -446,6 +467,11 @@ impl<'a> SplitLease<'a> {
     /// The job-wide per-node gate, if the job configured one.
     pub fn shared_gate(&self) -> Option<Arc<NodeGate>> {
         self.gate.cloned()
+    }
+
+    /// The pool's cross-job scan-share registry, if one is attached.
+    pub fn scan_share(&self) -> Option<Arc<ScanShareRegistry>> {
+        self.scan_share.cloned()
     }
 }
 
@@ -485,6 +511,7 @@ pub struct JobPool {
     workers: usize,
     budget: ParallelismBudget,
     gate: Option<Arc<NodeGate>>,
+    scan_share: Option<Arc<ScanShareRegistry>>,
 }
 
 impl JobPool {
@@ -496,7 +523,21 @@ impl JobPool {
             gate: config
                 .per_node_slots
                 .map(|slots| Arc::new(NodeGate::new(slots))),
+            scan_share: None,
         }
+    }
+
+    /// Builder-style cross-job scan-share registry: a pool shared by
+    /// concurrent managed jobs attaches one so overlapping block
+    /// decodes are produced once and shared ([`crate::sharing`]).
+    pub fn with_scan_share(mut self, scan_share: Option<Arc<ScanShareRegistry>>) -> Self {
+        self.scan_share = scan_share;
+        self
+    }
+
+    /// The pool's cross-job scan-share registry, if one is attached.
+    pub fn scan_share(&self) -> Option<&Arc<ScanShareRegistry>> {
+        self.scan_share.as_ref()
     }
 
     /// The job-wide thread budget.
@@ -554,6 +595,7 @@ impl JobPool {
             let lease = SplitLease {
                 budget: &self.budget,
                 gate: self.gate.as_ref(),
+                scan_share: self.scan_share.as_ref(),
             };
             let out = (0..n).map(|i| task(i, &lease)).collect();
             self.budget.release(1);
@@ -576,6 +618,7 @@ impl JobPool {
                 let lease = SplitLease {
                     budget: &self.budget,
                     gate: self.gate.as_ref(),
+                    scan_share: self.scan_share.as_ref(),
                 };
                 scope.spawn(move || {
                     loop {

@@ -459,7 +459,11 @@ fn read_split_via_planner(
         cluster, config, executor, dataset, query, split, task_node, emit,
     )?;
     if let Some(feedback) = &config.feedback {
-        feedback.absorb(&total);
+        // Under `defer_feedback` the store is frozen for the whole
+        // batch; the batch runner absorbs in submission order later.
+        if !config.defer_feedback {
+            feedback.absorb(&total);
+        }
     }
     Ok(total)
 }
@@ -489,12 +493,20 @@ fn read_split_unabsorbed(
         total.plan_cache_hits = plan.blocks.iter().filter(|b| b.cached).count() as u64;
         total.plan_cache_misses = plan.blocks.len() as u64 - total.plan_cache_hits;
     }
+    let scan_share = context.scan_share().map(Arc::as_ref);
     if context.workers_for(split.blocks.len()) <= 1 && !context.has_shared_gate() {
         // Serial: stream records straight to `emit`, no buffering —
         // the exact pre-executor behavior.
         for &block in &split.blocks {
-            let stats =
-                planner.execute_block(&plan, block, task_node, &dataset.schema, query, emit)?;
+            let stats = planner.execute_block_shared(
+                &plan,
+                block,
+                task_node,
+                &dataset.schema,
+                query,
+                scan_share,
+                emit,
+            )?;
             total.merge(&stats);
         }
     } else {
@@ -513,12 +525,13 @@ fn read_split_unabsorbed(
             |i| {
                 let block = split.blocks[i];
                 let mut records = Vec::new();
-                let stats = planner.execute_block(
+                let stats = planner.execute_block_shared(
                     &plan,
                     block,
                     task_node,
                     &dataset.schema,
                     query,
+                    scan_share,
                     &mut |rec| records.push(rec),
                 )?;
                 Ok((stats, records))
@@ -590,7 +603,8 @@ fn batch_read_via_planner(
             parallelism: claim.workers(),
             per_node_slots: None,
         })
-        .with_shared_gate(lease.shared_gate());
+        .with_shared_gate(lease.shared_gate())
+        .with_scan_share(lease.scan_share());
         let mut records = Vec::new();
         let wall = Instant::now();
         let stats = read_split_unabsorbed(
@@ -650,10 +664,14 @@ fn batch_read_via_planner(
         pool.run(batch.len(), run_split)?
     };
     // The barrier: fold every split's observations into the feedback
-    // store in batch (split) order — never completion order.
+    // store in batch (split) order — never completion order. Under
+    // `defer_feedback` the store stays frozen through the whole job;
+    // the managed-batch runner absorbs in job-submission order instead.
     if let Some(feedback) = &config.feedback {
-        for read in &reads {
-            feedback.absorb(&read.stats);
+        if !config.defer_feedback {
+            for read in &reads {
+                feedback.absorb(&read.stats);
+            }
         }
     }
     Ok(reads)
@@ -673,9 +691,17 @@ fn batch_read_via_planner(
 pub fn shared_job_pool(max_jobs: usize, executor: &ExecutorConfig) -> Arc<JobPool> {
     let max_jobs = max_jobs.max(1);
     let job_workers = env_job_parallelism().max(1);
-    Arc::new(JobPool::new(JobPoolConfig {
-        workers: job_workers * max_jobs,
-        budget: job_workers.max(executor.parallelism.max(1)) * max_jobs,
-        per_node_slots: executor.per_node_slots,
-    }))
+    // A pool serving concurrent jobs is exactly where overlapping block
+    // decodes can be shared, so it carries the cross-job scan-share
+    // registry (unless `HAIL_DISABLE_SCAN_SHARING` turns sharing off).
+    let scan_share = crate::sharing::env_scan_sharing_enabled()
+        .then(|| Arc::new(crate::sharing::ScanShareRegistry::new()));
+    Arc::new(
+        JobPool::new(JobPoolConfig {
+            workers: job_workers * max_jobs,
+            budget: job_workers.max(executor.parallelism.max(1)) * max_jobs,
+            per_node_slots: executor.per_node_slots,
+        })
+        .with_scan_share(scan_share),
+    )
 }

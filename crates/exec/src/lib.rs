@@ -31,6 +31,12 @@
 //!   (per-worker deques, `HAIL_JOB_PARALLELISM`) that overlaps whole
 //!   splits across the job, sharing one global thread budget and one
 //!   job-wide per-node gate with the intra-split workers
+//! - [`sharing`] — cooperative scan sharing: a [`ScanShareRegistry`]
+//!   under which a job whose plan touches a block another in-flight job
+//!   is already decoding *attaches* to that decode (producer reads
+//!   once, each consumer applies its own residual predicate/projection
+//!   with solo-identical accounting), keyed by (block, replica,
+//!   access-path shape) and disabled via `HAIL_DISABLE_SCAN_SHARING`
 //! - [`synopsis`] — block skipping: evaluate the query against the
 //!   persisted per-block zone-map/Bloom synopses *before* candidate
 //!   enumeration, so provably-empty blocks get zero-cost plans and are
@@ -105,6 +111,7 @@ pub mod formats;
 pub mod path;
 pub mod planner;
 pub mod readers;
+pub mod sharing;
 pub mod splitting;
 pub mod synopsis;
 
@@ -130,5 +137,9 @@ pub use planner::{
     BlockPlan, Candidate, CostModel, PlannerConfig, QueryPlan, QueryPlanner, SelectivityEstimate,
 };
 pub use readers::{read_hadoop_text_block, read_hail_block, read_hpp_block};
+pub use sharing::{
+    env_scan_sharing_enabled, Acquired, DecodedBlock, ScanShareRegistry, ShareKey, ShareShape,
+    ShareStats, DISABLE_SCAN_SHARING_ENV,
+};
 pub use splitting::{default_splits, hail_splits, plan_default_splits, plan_hail_splits};
 pub use synopsis::{env_synopsis_pruning, PruneInfo, PruneReason, DISABLE_SYNOPSES_ENV};

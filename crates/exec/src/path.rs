@@ -20,11 +20,13 @@
 //! filter column, a [`SelectivityObservation`] that feeds the planner's
 //! [`crate::cache::SelectivityFeedback`] store.
 
+use crate::sharing::{DecodedBlock, ShareShape};
 use hail_core::{CmpOp, HailQuery, Predicate, RowBlock};
 use hail_dfs::DfsCluster;
 use hail_index::{IndexKind, IndexedBlock, UnclusteredIndex};
 use hail_mr::{MapRecord, SelectivityObservation, TaskStats};
 use hail_pax::PaxBlock;
+use hail_sim::CostLedger;
 use hail_types::{AccessPathKind, BlockId, DatanodeId, HailError, Result, Schema, Value};
 use std::fmt;
 
@@ -76,6 +78,46 @@ pub trait AccessPath: fmt::Debug {
         access: &BlockAccess<'_>,
         emit: &mut dyn FnMut(MapRecord),
     ) -> Result<TaskStats>;
+
+    /// The scan-share shape of this path's decode, if the read splits
+    /// into "produce decoded block" + "apply residual" so concurrent
+    /// jobs can share one physical decode. `None` (the default) means
+    /// the path never shares and always executes independently.
+    fn share_shape(&self) -> Option<ShareShape> {
+        None
+    }
+
+    /// Performs only the physical decode of this path's read — the part
+    /// one producer can do on behalf of every attached consumer. Must
+    /// behave exactly like the decode inside [`AccessPath::execute`]
+    /// (same checksum verification, same failure modes); the I/O cost
+    /// is *not* charged here but replayed per consumer by
+    /// [`AccessPath::apply_residual`], so each job's ledger is
+    /// bit-for-bit what a solo read records. Only meaningful when
+    /// [`AccessPath::share_shape`] is `Some`.
+    fn produce_decoded(&self, _access: &BlockAccess<'_>) -> Result<DecodedBlock> {
+        Err(HailError::Internal(
+            "access path does not support scan sharing".into(),
+        ))
+    }
+
+    /// Applies this path's residual work — cost accounting, predicate
+    /// evaluation, projection, record emission — against an
+    /// already-decoded block of this path's [`AccessPath::share_shape`].
+    /// `execute` == `produce_decoded` + `apply_residual` by
+    /// construction: shareable paths implement `execute` as exactly
+    /// that composition, so a shared read cannot diverge from a solo
+    /// one. Returns stats with [`TaskStats::paths`] recorded.
+    fn apply_residual(
+        &self,
+        _decoded: &DecodedBlock,
+        _access: &BlockAccess<'_>,
+        _emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        Err(HailError::Internal(
+            "access path does not support scan sharing".into(),
+        ))
+    }
 }
 
 /// The physical layout a [`FullScan`] streams over. Mirrors
@@ -101,42 +143,6 @@ pub struct FullScan {
 impl FullScan {
     pub fn new(layout: ScanLayout) -> Self {
         FullScan { layout }
-    }
-
-    fn scan_pax(&self, a: &BlockAccess<'_>, emit: &mut dyn FnMut(MapRecord)) -> Result<TaskStats> {
-        let dn = a.cluster.datanode(a.replica)?;
-        let mut stats = TaskStats::default();
-        let bytes = dn.read_replica(a.block, &mut stats.ledger)?;
-        let indexed = IndexedBlock::parse(bytes)?;
-        let pax = indexed.pax();
-
-        // Predicate evaluation + tuple reconstruction stream over the
-        // block.
-        stats.ledger.scan_cpu += pax.byte_len() as u64;
-        a.charge_remote(&mut stats, pax.byte_len() as u64);
-
-        // When the whole conjunction sits on one column, the match count
-        // below doubles as that column's selectivity observation — no
-        // extra per-row decode.
-        let mut matched = 0u64;
-        let projection = a.query.projected_columns(a.schema);
-        for row in 0..pax.row_count() {
-            if full_predicate_match(a.query, pax, row)? {
-                matched += 1;
-                emit(MapRecord::good(pax.reconstruct(row, &projection)?));
-                stats.records += 1;
-            }
-        }
-        if let Some((column, eq)) = sole_filter_column(a.query) {
-            stats.selectivity.push(SelectivityObservation {
-                column,
-                eq,
-                matched,
-                total: pax.row_count() as u64,
-            });
-        }
-        emit_pax_bad_records(&indexed, &mut stats, emit)?;
-        Ok(stats)
     }
 
     fn scan_text(
@@ -238,9 +244,81 @@ impl AccessPath for FullScan {
     ) -> Result<TaskStats> {
         let mut stats = match self.layout {
             ScanLayout::Text { delimiter } => self.scan_text(access, delimiter, emit)?,
-            ScanLayout::HailPax => self.scan_pax(access, emit)?,
+            ScanLayout::HailPax => {
+                // The PAX scan is the produce + residual composition, so
+                // shared and solo reads cannot diverge.
+                let decoded = self.produce_decoded(access)?;
+                return self.apply_residual(&decoded, access, emit);
+            }
             ScanLayout::RowLayout => self.scan_rows(access, emit)?,
         };
+        stats.paths.record(self.kind());
+        Ok(stats)
+    }
+
+    fn share_shape(&self) -> Option<ShareShape> {
+        (self.layout == ScanLayout::HailPax).then_some(ShareShape::PaxVerified)
+    }
+
+    fn produce_decoded(&self, a: &BlockAccess<'_>) -> Result<DecodedBlock> {
+        if self.layout != ScanLayout::HailPax {
+            return Err(HailError::Internal(
+                "full scan shares only the PAX layout".into(),
+            ));
+        }
+        let dn = a.cluster.datanode(a.replica)?;
+        // The same checksum-verified read a solo scan performs; the
+        // scratch ledger is discarded because every consumer — producer
+        // included — replays the identical charge via
+        // `charge_replica_read` in `apply_residual`.
+        let mut scratch = CostLedger::default();
+        let bytes = dn.read_replica(a.block, &mut scratch)?;
+        Ok(DecodedBlock::new(IndexedBlock::parse(bytes)?))
+    }
+
+    fn apply_residual(
+        &self,
+        decoded: &DecodedBlock,
+        a: &BlockAccess<'_>,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        if self.layout != ScanLayout::HailPax {
+            return Err(HailError::Internal(
+                "full scan shares only the PAX layout".into(),
+            ));
+        }
+        let dn = a.cluster.datanode(a.replica)?;
+        let mut stats = TaskStats::default();
+        dn.charge_replica_read(a.block, &mut stats.ledger)?;
+        let indexed = decoded.indexed();
+        let pax = indexed.pax();
+
+        // Predicate evaluation + tuple reconstruction stream over the
+        // block.
+        stats.ledger.scan_cpu += pax.byte_len() as u64;
+        a.charge_remote(&mut stats, pax.byte_len() as u64);
+
+        // When the whole conjunction sits on one column, the match count
+        // below doubles as that column's selectivity observation — no
+        // extra per-row decode.
+        let mut matched = 0u64;
+        let projection = a.query.projected_columns(a.schema);
+        for row in 0..pax.row_count() {
+            if full_predicate_match(a.query, pax, row)? {
+                matched += 1;
+                emit(MapRecord::good(pax.reconstruct(row, &projection)?));
+                stats.records += 1;
+            }
+        }
+        if let Some((column, eq)) = sole_filter_column(a.query) {
+            stats.selectivity.push(SelectivityObservation {
+                column,
+                eq,
+                matched,
+                total: pax.row_count() as u64,
+            });
+        }
+        emit_pax_bad_records(indexed, &mut stats, emit)?;
         stats.paths.record(self.kind());
         Ok(stats)
     }
@@ -266,9 +344,29 @@ impl AccessPath for ClusteredIndexScan {
     }
 
     fn execute(&self, a: &BlockAccess<'_>, emit: &mut dyn FnMut(MapRecord)) -> Result<TaskStats> {
+        // Produce + residual composition — identical to a shared read.
+        let decoded = self.produce_decoded(a)?;
+        self.apply_residual(&decoded, a, emit)
+    }
+
+    fn share_shape(&self) -> Option<ShareShape> {
+        Some(ShareShape::PaxPeek)
+    }
+
+    fn produce_decoded(&self, a: &BlockAccess<'_>) -> Result<DecodedBlock> {
         let dn = a.cluster.datanode(a.replica)?;
         let bytes = dn.peek_replica(a.block)?;
-        let indexed = IndexedBlock::parse(bytes)?;
+        Ok(DecodedBlock::new(IndexedBlock::parse(bytes)?))
+    }
+
+    fn apply_residual(
+        &self,
+        decoded: &DecodedBlock,
+        a: &BlockAccess<'_>,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
+        let dn = a.cluster.datanode(a.replica)?;
+        let indexed = decoded.indexed();
         let index = indexed
             .index()
             .ok_or_else(|| HailError::Internal("replica advertised an index it lacks".into()))?;
@@ -331,7 +429,7 @@ impl AccessPath for ClusteredIndexScan {
         });
 
         // Bad records ride along to the map function (§4.3).
-        emit_pax_bad_records(&indexed, &mut stats, emit)?;
+        emit_pax_bad_records(indexed, &mut stats, emit)?;
         a.charge_remote(&mut stats, remote_bytes);
         stats.paths.record(self.kind());
         Ok(stats)

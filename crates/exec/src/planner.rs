@@ -72,6 +72,7 @@ use crate::path::{
     AccessPath, BitmapScan, BlockAccess, ClusteredIndexScan, FullScan, InvertedListScan,
     ScanLayout, TrojanIndexScan,
 };
+use crate::sharing::{Acquired, ScanShareRegistry, ShareKey};
 use hail_core::{Dataset, DatasetFormat, HailQuery, Predicate};
 use hail_dfs::DfsCluster;
 use hail_index::IndexKind;
@@ -243,6 +244,16 @@ pub struct PlannerConfig {
     /// [`crate::synopsis::DISABLE_SYNOPSES_ENV`] environment variable
     /// flips the default off for a whole process (CI's unpruned leg).
     pub synopsis_pruning: bool,
+    /// Freeze [`PlannerConfig::feedback`] for the duration of a job:
+    /// observations are still *collected* into each task's
+    /// `TaskStats::selectivity`, but the execution layer does not
+    /// absorb them into the shared store mid-job. The batch runner
+    /// absorbs every job's observations afterwards in submission
+    /// order, which is what makes a shared feedback store
+    /// deterministic under concurrency: during the batch the store is
+    /// read-only, and the write order is fixed by submission, not by
+    /// completion races.
+    pub defer_feedback: bool,
 }
 
 impl Default for PlannerConfig {
@@ -255,6 +266,7 @@ impl Default for PlannerConfig {
             plan_cache: None,
             feedback: None,
             synopsis_pruning: crate::synopsis::env_synopsis_pruning(),
+            defer_feedback: false,
         }
     }
 }
@@ -1095,6 +1107,33 @@ impl<'a> QueryPlanner<'a> {
         query: &HailQuery,
         emit: &mut dyn FnMut(MapRecord),
     ) -> Result<TaskStats> {
+        self.execute_block_shared(plan, block, task_node, schema, query, None, emit)
+    }
+
+    /// [`QueryPlanner::execute_block`] with cooperative scan sharing:
+    /// when a registry is passed and the planned path's decode is
+    /// shareable ([`AccessPath::share_shape`]), the read goes through
+    /// [`ScanShareRegistry::acquire`] — one concurrent job decodes the
+    /// block, every other job attaches to that decode and applies only
+    /// its own residual predicate/projection. Attached reads synthesize
+    /// bit-for-bit the statistics a solo read records (the residual
+    /// replays the solo read's exact ledger charges), plus the
+    /// telemetry-only [`TaskStats::blocks_read_shared`] /
+    /// [`TaskStats::shared_bytes_saved`] counters. Any mismatch —
+    /// unshareable path, registry says fall back, residual fails
+    /// against a stale decode — degrades to an independent
+    /// [`AccessPath::execute`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_block_shared(
+        &self,
+        plan: &QueryPlan,
+        block: BlockId,
+        task_node: DatanodeId,
+        schema: &Schema,
+        query: &HailQuery,
+        scan_share: Option<&ScanShareRegistry>,
+        emit: &mut dyn FnMut(MapRecord),
+    ) -> Result<TaskStats> {
         let bp_owned;
         let mut bp = match plan.block_plan(block) {
             Some(bp) => bp,
@@ -1150,7 +1189,7 @@ impl<'a> QueryPlanner<'a> {
             schema,
             query,
         };
-        let mut stats = bp.path.execute(&access, emit)?;
+        let mut stats = execute_access(&*bp.path, &access, scan_share, emit)?;
         stats.fell_back_to_scan |= bp.fallback || (originally_indexed && !bp.kind.is_index_scan());
         Ok(stats)
     }
@@ -1214,6 +1253,46 @@ impl QueryPlanner<'_> {
             selectivity: Vec::new(),
             pruned: None,
         }
+    }
+}
+
+/// Runs one resolved block access, routing it through the scan-share
+/// registry when both sides can share (a registry is plugged in *and*
+/// the path's decode has a [`crate::sharing::ShareShape`]); anything
+/// else is a plain independent [`AccessPath::execute`].
+fn execute_access(
+    path: &dyn AccessPath,
+    access: &BlockAccess<'_>,
+    scan_share: Option<&ScanShareRegistry>,
+    emit: &mut dyn FnMut(MapRecord),
+) -> Result<TaskStats> {
+    let (registry, shape) = match (scan_share, path.share_shape()) {
+        (Some(registry), Some(shape)) => (registry, shape),
+        _ => return path.execute(access, emit),
+    };
+    let key = ShareKey {
+        block: access.block,
+        replica: access.replica,
+        shape,
+    };
+    match registry.acquire(key, || path.produce_decoded(access))? {
+        Acquired::Produced(decoded) => path.apply_residual(&decoded, access, emit),
+        Acquired::Attached(decoded) => match path.apply_residual(&decoded, access, emit) {
+            Ok(mut stats) => {
+                stats.blocks_read_shared = 1;
+                stats.shared_bytes_saved = stats.ledger.disk_read;
+                Ok(stats)
+            }
+            Err(_) => {
+                // A retained decode that no longer applies (say the
+                // serving replica died between the producer's decode
+                // and this residual) must not poison later consumers:
+                // drop it and read independently.
+                registry.evict_blocks(&[key.block]);
+                path.execute(access, emit)
+            }
+        },
+        Acquired::Fallback => path.execute(access, emit),
     }
 }
 

@@ -10,6 +10,10 @@
 //!   (scheduler and both failover passes) reads splits through
 //! - [`manager`] — FIFO admission of concurrent jobs with a bounded
 //!   in-flight limit (`HAIL_MAX_CONCURRENT_JOBS`)
+//! - [`inflight`] — cross-job in-flight block interest
+//!   ([`InFlightBlocks`]): which blocks admitted jobs are still going
+//!   to read, with drain notifications the execution layer's
+//!   scan-share registry keys its decoded-block retention on
 //! - [`shuffle`] — grouped reduce with costed shuffle
 //! - [`failover`] — mid-job node death, task re-execution, slowdown
 //!
@@ -48,6 +52,7 @@
 
 pub mod driver;
 pub mod failover;
+pub mod inflight;
 pub mod input_format;
 pub mod job;
 pub mod manager;
@@ -56,8 +61,9 @@ pub mod shuffle;
 
 pub use driver::{ChunkedDrive, SPLIT_BATCH_CHUNK};
 pub use failover::{run_map_job_with_failure, FailoverRun, FailureScenario};
+pub use inflight::{InFlightBlocks, InterestGuard};
 pub use input_format::{InputFormat, InputSplit, SplitContext, SplitPlan, SplitRead, SplitTask};
 pub use job::{JobReport, MapRecord, PathCounts, SelectivityObservation, TaskReport, TaskStats};
 pub use manager::{JobManager, MAX_CONCURRENT_JOBS_ENV};
-pub use scheduler::{run_map_job, JobRun, MapJob};
+pub use scheduler::{run_map_job, run_map_job_with_interest, JobRun, MapJob};
 pub use shuffle::{run_map_reduce_job, MapReduceJob, MapReduceRun};

@@ -5,13 +5,13 @@
 //! real: callers queue a batch of jobs, the manager dequeues them in
 //! strict FIFO order, and at most [`JobManager::max_concurrent`] jobs
 //! are in flight at any moment. Each in-flight job runs the ordinary
-//! [`run_map_job`] drive loop, so every job keeps the solo O(chunk)
+//! [`crate::scheduler::run_map_job`] drive loop, so every job keeps the solo O(chunk)
 //! peak-memory bound (bounded in-flight jobs × bounded chunk each).
 //!
 //! # Determinism contract
 //!
 //! A managed job's output, its report fields, and its own feedback
-//! deltas are bit-for-bit identical to a solo [`run_map_job`] run at
+//! deltas are bit-for-bit identical to a solo [`crate::scheduler::run_map_job`] run at
 //! any interleaving — concurrency may only change measured wall clock
 //! ([`crate::job::TaskReport::reader_wall_seconds`]) and the
 //! queue-wait telemetry
@@ -31,14 +31,34 @@
 //! but their hit/miss *counters* naturally depend on which job warmed
 //! the cache first. Callers comparing managed reports against solo
 //! baselines with shared caches should compare aggregate counts, not
-//! per-job ones.
+//! per-job ones. A shared *feedback* store is safe under the same
+//! contract when its absorption is deferred to a submission-order
+//! barrier after the batch (the bench layer's `run_queries_managed`
+//! does this): during the batch the store is frozen — planners read
+//! it, nothing writes it — so every job prices against identical
+//! state at any concurrency.
+//!
+//! # Scan sharing
+//!
+//! The manager also tracks which blocks its in-flight jobs are still
+//! going to read (an [`InFlightBlocks`] interest map, registered per
+//! job at dequeue and released chunk by chunk as the drive loop
+//! progresses). The execution layer's scan-share registry subscribes
+//! to its drain signal so decoded blocks are retained exactly while
+//! some admitted job still wants them — see `hail_exec::sharing`. The
+//! sharing counters (`TaskStats::blocks_read_shared` /
+//! `shared_bytes_saved`) are the one telemetry pair excluded from the
+//! per-job determinism contract: which of two overlapping jobs
+//! produces vs. attaches is a race, but every *other* stat is
+//! synthesized bit-for-bit either way.
 
-use crate::scheduler::{run_map_job, JobRun, MapJob};
+use crate::inflight::InFlightBlocks;
+use crate::scheduler::{run_map_job_with_interest, JobRun, MapJob};
 use hail_dfs::DfsCluster;
 use hail_sim::ClusterSpec;
 use hail_types::Result;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Environment override for the manager's in-flight-job bound, read by
@@ -69,6 +89,7 @@ fn env_max_concurrent_jobs() -> usize {
 /// planner `RwLock`s.
 pub struct JobManager {
     max_concurrent: usize,
+    in_flight: Arc<InFlightBlocks>,
 }
 
 impl JobManager {
@@ -77,6 +98,7 @@ impl JobManager {
     pub fn new(max_concurrent: usize) -> Self {
         JobManager {
             max_concurrent: max_concurrent.max(1),
+            in_flight: Arc::new(InFlightBlocks::new()),
         }
     }
 
@@ -89,6 +111,15 @@ impl JobManager {
     /// The in-flight-job bound.
     pub fn max_concurrent(&self) -> usize {
         self.max_concurrent
+    }
+
+    /// The manager's in-flight block interest map: every admitted
+    /// job's input blocks, registered at dequeue and released chunk by
+    /// chunk as its drive loop progresses. The scan-share registry
+    /// subscribes to its drain signal to bound decoded-block retention
+    /// to the admission window.
+    pub fn in_flight_blocks(&self) -> &Arc<InFlightBlocks> {
+        &self.in_flight
     }
 
     /// Runs `jobs` to completion, at most [`Self::max_concurrent`] at
@@ -123,10 +154,19 @@ impl JobManager {
                         break;
                     }
                     let queue_wait_seconds = admitted.elapsed().as_secs_f64();
-                    let result = run_map_job(cluster, spec, &jobs[i]).map(|mut run| {
-                        run.report.queue_wait_seconds = queue_wait_seconds;
-                        run
-                    });
+                    // Declare this job's blocks in flight for the whole
+                    // read (released chunk by chunk by the drive loop,
+                    // remainder on drop) so overlapping jobs can attach
+                    // to each other's decodes.
+                    let interest = self.in_flight.register(&jobs[i].input);
+                    let result =
+                        run_map_job_with_interest(cluster, spec, &jobs[i], Some(&interest)).map(
+                            |mut run| {
+                                run.report.queue_wait_seconds = queue_wait_seconds;
+                                run
+                            },
+                        );
+                    drop(interest);
                     *slots[i].lock().unwrap() = Some(result);
                 });
             }
@@ -147,6 +187,7 @@ mod tests {
     use super::*;
     use crate::input_format::{InputFormat, InputSplit, SplitPlan, SplitRead, SplitTask};
     use crate::job::{MapRecord, TaskStats};
+    use crate::scheduler::run_map_job;
     use hail_sim::HardwareProfile;
     use hail_types::{BlockId, DatanodeId, Row, StorageConfig, Value};
 

@@ -96,14 +96,18 @@ fn drive(tb: &Testbed, conc: usize, rounds: usize) -> (SystemSetup, AdaptiveRun)
     (setup, run)
 }
 
-/// `JobReport` rendered with the measured-wall-clock fields (the only
-/// fields allowed to vary between runs) zeroed.
+/// `JobReport` rendered with the measured-wall-clock fields and the
+/// scan-sharing telemetry (the only fields allowed to vary between
+/// runs — which reads attach to a concurrent decode depends on real
+/// thread timing) zeroed.
 fn report_modulo_wall(report: &JobReport) -> String {
     let mut r = report.clone();
     r.job_name = String::new();
     r.queue_wait_seconds = 0.0;
     for t in &mut r.tasks {
         t.reader_wall_seconds = 0.0;
+        t.stats.blocks_read_shared = 0;
+        t.stats.shared_bytes_saved = 0;
     }
     format!("{r:?}")
 }
