@@ -1,0 +1,118 @@
+//! Ranked-lock overhead guard: the PR 10 migration of every engine
+//! lock onto `hail_sync`'s `OrderedMutex`/`OrderedRwLock` wrappers
+//! must be free in release builds (the rank checking is compiled out;
+//! the wrappers are newtypes plus a poison-recovering acquire).
+//!
+//! Re-runs the `scan_sharing` bench's concurrency-4 managed batch —
+//! the most lock-hungry configuration in the suite (manager slots,
+//! pool deques, node gate, planner stores, and the share registry all
+//! contended at once) — and asserts jobs/sec stays within 5% of the
+//! `BENCH_9.json` baseline recorded before the migration. Headline
+//! metrics land in `BENCH_10.json`.
+
+use hail_bench::{
+    run_queries_managed, setup_hail, uv_testbed, BenchSummary, ExperimentScale, Report,
+    SharedJobInfra,
+};
+use hail_core::HailQuery;
+use hail_mr::JobManager;
+use hail_sim::HardwareProfile;
+use hail_workloads::bob_queries;
+use std::time::Instant;
+
+/// Best-of samples: throughput guards compare minima, not means, so a
+/// scheduler hiccup cannot fail the guard.
+const SAMPLES: usize = 3;
+const CONCURRENCY: usize = 4;
+/// Queue depth, matching `scan_sharing`: each Bob query ×4, adjacent.
+const REPEATS: usize = 4;
+/// Allowed regression vs the pre-migration baseline.
+const FLOOR: f64 = 0.95;
+
+/// Pulls `"jobs_per_sec_c4": <value>` out of `BENCH_9.json` without a
+/// JSON dependency — the file is flat `"key": number` pairs.
+fn baseline_jobs_per_sec(bench9: &str) -> Option<f64> {
+    let key = "\"jobs_per_sec_c4\":";
+    let at = bench9.find(key)? + key.len();
+    let rest = bench9[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let scale = ExperimentScale::query(4, 40_000)
+        .with_blocks_per_node(16)
+        .with_partition_size(64);
+    let tb = uv_testbed(scale, HardwareProfile::physical());
+    let hail = setup_hail(&tb, &[2, 0, 3]).expect("hail setup"); // visitDate, sourceIP, adRevenue
+
+    let queries: Vec<HailQuery> = bob_queries()
+        .iter()
+        .flat_map(|spec| {
+            let q = spec.to_query(&tb.schema).expect(spec.id);
+            std::iter::repeat_n(q, REPEATS)
+        })
+        .collect();
+
+    let mut table = Report::new(
+        "lock-overhead/throughput",
+        format!(
+            "{} queued Bob jobs at concurrency {CONCURRENCY}, ranked locks, best of {SAMPLES}",
+            queries.len()
+        ),
+        "jobs/sec vs the BENCH_9 pre-migration baseline",
+    );
+    let mut summary = BenchSummary::new("BENCH_10");
+
+    let mut best = 0.0f64;
+    for sample in 0..SAMPLES {
+        let manager = JobManager::new(CONCURRENCY);
+        let infra = SharedJobInfra::for_jobs(CONCURRENCY);
+        let started = Instant::now();
+        let batch = run_queries_managed(&hail, &tb.spec, &queries, true, &manager, &infra)
+            .expect("managed batch");
+        let secs = started.elapsed().as_secs_f64();
+        let jobs_per_sec = queries.len() as f64 / secs;
+        best = best.max(jobs_per_sec);
+        table.row(format!("sample {sample} jobs/sec"), None, jobs_per_sec);
+        assert!(
+            batch.summary.logical_blocks > 0,
+            "batch must actually read blocks"
+        );
+    }
+    summary.metric("jobs_per_sec_c4", best);
+
+    let bench9_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    match std::fs::read_to_string(bench9_path)
+        .ok()
+        .as_deref()
+        .and_then(baseline_jobs_per_sec)
+    {
+        Some(baseline) => {
+            let ratio = best / baseline;
+            summary.metric("baseline_jobs_per_sec_c4", baseline);
+            summary.metric("throughput_ratio_vs_bench9", ratio);
+            table.note(format!(
+                "{best:.2} jobs/sec vs {baseline:.2} baseline ({ratio:.3}×, floor {FLOOR}×)"
+            ));
+            assert!(
+                ratio >= FLOOR,
+                "ranked-lock migration regressed managed throughput: \
+                 {best:.2} jobs/sec vs {baseline:.2} baseline ({ratio:.3}× < {FLOOR}×)"
+            );
+        }
+        None => {
+            // No baseline on disk (fresh checkout without bench
+            // artifacts): record the measurement, skip the guard.
+            table.note("BENCH_9.json baseline not found; guard skipped");
+        }
+    }
+    table.print();
+
+    summary.report(table);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
+    summary.write_to(out).expect("write BENCH_10.json");
+    eprintln!("wrote {out}");
+}

@@ -1,0 +1,252 @@
+//! The central registry of every `HAIL_*` environment knob.
+//!
+//! Every runtime-tunable environment variable the engine reads is
+//! declared here — name, parse rule, default, and one documentation
+//! line — and every read goes through this module's typed accessors.
+//! Nothing else in the workspace may call `std::env::var`: the
+//! `hail-lint` `knob-registry` rule fails CI on any `HAIL_*` read (or
+//! any `env::var` call at all) outside this file, so a knob cannot be
+//! added without registering it, and two call sites cannot silently
+//! parse the same variable differently.
+//!
+//! [`list`] enumerates the registry for the lint and for the generated
+//! knob table in ARCHITECTURE.md ("Concurrency invariants &
+//! enforcement"); [`doc_table`] renders that table.
+//!
+//! Parse rules are deliberately preserved bit-for-bit from the
+//! pre-registry call sites (CI matrix legs pin them):
+//!
+//! - [`KnobKind::Count`]: unset, unparsable, or `0` mean 1 — "absent
+//!   means no concurrency".
+//! - [`KnobKind::DisableFlag`]: the feature is ON unless the variable
+//!   is set to a non-empty value other than `0` (after trimming).
+//! - [`KnobKind::DisableFlagExact`]: the feature is ON unless the
+//!   variable is exactly `1` (the historical `HAIL_DISABLE_REINDEX`
+//!   contract).
+//! - [`KnobKind::CheckFlag`]: the check is ON unless the variable is
+//!   set to `0` — and only ever consulted in debug builds
+//!   (`hail-sync` compiles its rank checking out of release builds
+//!   entirely, so release never pays even the read).
+
+/// How a knob's raw string value is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnobKind {
+    /// A positive count; unset/unparsable/`0` → 1.
+    Count,
+    /// Feature on unless set non-empty and not `0` (trimmed).
+    DisableFlag,
+    /// Feature on unless the value is exactly `1`.
+    DisableFlagExact,
+    /// Debug-build check on unless the value is `0`.
+    CheckFlag,
+}
+
+/// One registered environment knob.
+#[derive(Debug, Clone, Copy)]
+pub struct Knob {
+    /// The environment variable name (always `HAIL_*`).
+    pub name: &'static str,
+    /// Parse rule.
+    pub kind: KnobKind,
+    /// Human-readable effective default (what an unset variable means).
+    pub default: &'static str,
+    /// One-line description for the generated doc table.
+    pub doc: &'static str,
+}
+
+impl Knob {
+    /// The raw environment value, if set. The single `env::var` choke
+    /// point for the whole workspace.
+    pub fn read_raw(&self) -> Option<String> {
+        std::env::var(self.name).ok()
+    }
+
+    /// Parses this knob as a [`KnobKind::Count`].
+    pub fn count(&self) -> usize {
+        debug_assert_eq!(self.kind, KnobKind::Count);
+        self.read_raw()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    }
+
+    /// Parses this knob as an on/off state per its [`KnobKind`]
+    /// (`true` = the guarded feature/check is enabled).
+    pub fn enabled(&self) -> bool {
+        match self.kind {
+            KnobKind::Count => self.count() > 1,
+            KnobKind::DisableFlag => !self
+                .read_raw()
+                .map(|v| !v.trim().is_empty() && v.trim() != "0")
+                .unwrap_or(false),
+            KnobKind::DisableFlagExact => !self.read_raw().map(|v| v == "1").unwrap_or(false),
+            KnobKind::CheckFlag => !self.read_raw().map(|v| v.trim() == "0").unwrap_or(false),
+        }
+    }
+}
+
+/// Intra-split read parallelism: worker threads fanning one split's
+/// block reads (`crate::knobs::parallelism`).
+pub const PARALLELISM: Knob = Knob {
+    name: "HAIL_PARALLELISM",
+    kind: KnobKind::Count,
+    default: "1 (serial)",
+    doc: "Worker threads fanning one split's block reads.",
+};
+
+/// Job-level split overlap: how many whole splits of one job may
+/// execute at once.
+pub const JOB_PARALLELISM: Knob = Knob {
+    name: "HAIL_JOB_PARALLELISM",
+    kind: KnobKind::Count,
+    default: "1 (sequential splits)",
+    doc: "Whole splits of one job overlapping on the work-stealing JobPool.",
+};
+
+/// The `JobManager`'s in-flight job bound.
+pub const MAX_CONCURRENT_JOBS: Knob = Knob {
+    name: "HAIL_MAX_CONCURRENT_JOBS",
+    kind: KnobKind::Count,
+    default: "1 (serial admission)",
+    doc: "Concurrent jobs the JobManager keeps in flight (FIFO admission).",
+};
+
+/// Kill switch for cooperative scan sharing.
+pub const DISABLE_SCAN_SHARING: Knob = Knob {
+    name: "HAIL_DISABLE_SCAN_SHARING",
+    kind: KnobKind::DisableFlag,
+    default: "sharing on",
+    doc: "Set non-zero to make every job read independently (no shared decodes).",
+};
+
+/// Kill switch for zone-map/Bloom synopsis pruning.
+pub const DISABLE_SYNOPSES: Knob = Knob {
+    name: "HAIL_DISABLE_SYNOPSES",
+    kind: KnobKind::DisableFlag,
+    default: "pruning on",
+    doc: "Set non-zero to price every block instead of skipping via synopses.",
+};
+
+/// Kill switch for adaptive re-indexing.
+pub const DISABLE_REINDEX: Knob = Knob {
+    name: "HAIL_DISABLE_REINDEX",
+    kind: KnobKind::DisableFlagExact,
+    default: "re-indexing on",
+    doc: "Set to exactly 1 to freeze the physical design (no advisor rewrites).",
+};
+
+/// Debug-build lock-rank checking in `hail-sync`.
+pub const LOCK_ORDER_CHECK: Knob = Knob {
+    name: "HAIL_LOCK_ORDER_CHECK",
+    kind: KnobKind::CheckFlag,
+    default: "on in debug builds, compiled out of release",
+    doc: "Set to 0 to silence hail-sync's lock-hierarchy checker in debug builds.",
+};
+
+/// Every registered knob, in documentation order. The lint's
+/// `doc-sync` rule checks ARCHITECTURE.md's knob table against this
+/// list (via the source), so a knob cannot be added without a doc row.
+pub fn list() -> &'static [Knob] {
+    &[
+        PARALLELISM,
+        JOB_PARALLELISM,
+        MAX_CONCURRENT_JOBS,
+        DISABLE_SCAN_SHARING,
+        DISABLE_SYNOPSES,
+        DISABLE_REINDEX,
+        LOCK_ORDER_CHECK,
+    ]
+}
+
+/// Renders the registry as the markdown table embedded in
+/// ARCHITECTURE.md between the `knob-table` markers.
+pub fn doc_table() -> String {
+    let mut out = String::from("| Knob | Default | Effect |\n|---|---|---|\n");
+    for k in list() {
+        out.push_str(&format!("| `{}` | {} | {} |\n", k.name, k.default, k.doc));
+    }
+    out
+}
+
+/// Intra-split parallelism ([`PARALLELISM`]).
+pub fn parallelism() -> usize {
+    PARALLELISM.count()
+}
+
+/// Job-level split overlap ([`JOB_PARALLELISM`]).
+pub fn job_parallelism() -> usize {
+    JOB_PARALLELISM.count()
+}
+
+/// The manager's in-flight job bound ([`MAX_CONCURRENT_JOBS`]).
+pub fn max_concurrent_jobs() -> usize {
+    MAX_CONCURRENT_JOBS.count()
+}
+
+/// Whether cooperative scan sharing is enabled.
+pub fn scan_sharing_enabled() -> bool {
+    DISABLE_SCAN_SHARING.enabled()
+}
+
+/// Whether synopsis pruning is enabled.
+pub fn synopsis_pruning_enabled() -> bool {
+    DISABLE_SYNOPSES.enabled()
+}
+
+/// Whether adaptive re-indexing is enabled.
+pub fn reindex_enabled() -> bool {
+    DISABLE_REINDEX.enabled()
+}
+
+/// Whether debug-build lock-rank checking is requested. `hail-sync`
+/// consults this once (release builds compile the checker out and
+/// never call it).
+pub fn lock_order_check() -> bool {
+    LOCK_ORDER_CHECK.enabled()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_hail_prefixed() {
+        let names: Vec<&str> = list().iter().map(|k| k.name).collect();
+        for name in &names {
+            assert!(name.starts_with("HAIL_"), "{name} must be HAIL_-prefixed");
+        }
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate knob registered");
+    }
+
+    #[test]
+    fn counts_clamp_to_one_and_flags_default_on() {
+        // The suite cannot mutate the process environment safely, but
+        // the contracts hold whatever CI's matrix leg set: counts are
+        // ≥ 1, and the doc table names every knob.
+        assert!(parallelism() >= 1);
+        assert!(job_parallelism() >= 1);
+        assert!(max_concurrent_jobs() >= 1);
+        let table = doc_table();
+        for k in list() {
+            assert!(table.contains(k.name), "doc table missing {}", k.name);
+        }
+    }
+
+    #[test]
+    fn parse_rules_match_historical_call_sites() {
+        // DisableFlag: non-empty, non-zero disables (trimmed).
+        let f = |v: Option<&str>| {
+            !v.map(|v| !v.trim().is_empty() && v.trim() != "0")
+                .unwrap_or(false)
+        };
+        assert!(f(None) && f(Some("")) && f(Some("0")) && f(Some(" 0 ")));
+        assert!(!f(Some("1")) && !f(Some("yes")));
+        // DisableFlagExact: only the exact string "1" disables.
+        let g = |v: Option<&str>| !v.map(|v| v == "1").unwrap_or(false);
+        assert!(g(None) && g(Some("true")) && g(Some(" 1")));
+        assert!(!g(Some("1")));
+    }
+}

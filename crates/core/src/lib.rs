@@ -11,6 +11,8 @@
 //! - [`baselines`] — Hadoop++'s storage format and upload jobs (trojan
 //!   index, row layout)
 //! - [`dataset`] — dataset handles
+//! - [`knobs`] — the central registry of every `HAIL_*` environment
+//!   knob (the only module in the workspace allowed to read them)
 //!
 //! The query side — record readers, splitting policies, input formats —
 //! lives in the `hail-exec` crate behind its cost-based `QueryPlanner`,
@@ -21,6 +23,7 @@
 pub mod annotation;
 pub mod baselines;
 pub mod dataset;
+pub mod knobs;
 pub mod upload;
 
 pub use annotation::{CmpOp, HailQuery, Predicate};

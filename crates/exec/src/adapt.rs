@@ -46,21 +46,21 @@
 use crate::cache::SelectivityFeedback;
 use hail_dfs::{rewrite_replica, DfsCluster, Namenode};
 use hail_index::{IndexKind, IndexMetadata, SidecarSpec, SortOrder};
+use hail_sync::{LockRank, OrderedMutex};
 use hail_types::{BlockId, DatanodeId, Result};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Mutex;
 
 /// Environment knob: set to `1` to force adaptive re-indexing off (the
-/// conservative static-design fallback).
-pub const DISABLE_REINDEX_ENV: &str = "HAIL_DISABLE_REINDEX";
+/// conservative static-design fallback). Registered in
+/// [`hail_core::knobs`].
+pub const DISABLE_REINDEX_ENV: &str = hail_core::knobs::DISABLE_REINDEX.name;
 
 /// Whether adaptive re-indexing is enabled; on by default,
-/// [`DISABLE_REINDEX_ENV`] turns it off.
+/// [`DISABLE_REINDEX_ENV`] turns it off. Delegates to the central knob
+/// registry.
 pub fn env_reindex_enabled() -> bool {
-    !std::env::var(DISABLE_REINDEX_ENV)
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    hail_core::knobs::reindex_enabled()
 }
 
 /// What kind of index a recommendation builds.
@@ -140,12 +140,14 @@ struct TriggerState {
 
 /// The advisory side of the loop: watches a [`SelectivityFeedback`]
 /// store between job batches and recommends missing indexes once the
-/// evidence is sustained. Interior-mutable behind a mutex so it can sit
-/// in shared infrastructure next to the plan cache.
+/// evidence is sustained. Interior-mutable behind a mutex
+/// ([`LockRank::AdvisorState`] — held across `SelectivityFeedback`
+/// reads, hence ranked above [`LockRank::Feedback`]) so it can sit in
+/// shared infrastructure next to the plan cache.
 #[derive(Debug)]
 pub struct ReindexAdvisor {
     policy: ReindexPolicy,
-    state: Mutex<BTreeMap<(usize, bool), TriggerState>>,
+    state: OrderedMutex<BTreeMap<(usize, bool), TriggerState>>,
 }
 
 impl Default for ReindexAdvisor {
@@ -158,7 +160,11 @@ impl ReindexAdvisor {
     pub fn new(policy: ReindexPolicy) -> Self {
         ReindexAdvisor {
             policy,
-            state: Mutex::new(BTreeMap::new()),
+            state: OrderedMutex::new(
+                LockRank::AdvisorState,
+                "reindex-advisor-state",
+                BTreeMap::new(),
+            ),
         }
     }
 
@@ -170,8 +176,7 @@ impl ReindexAdvisor {
     /// True when a `(column, class)` already fired (diagnostics).
     pub fn has_fired(&self, column: usize, eq: bool) -> bool {
         self.state
-            .lock()
-            .unwrap()
+            .acquire()
             .get(&(column, eq))
             .is_some_and(|s| s.fired)
     }
@@ -197,7 +202,7 @@ impl ReindexAdvisor {
         if !self.policy.enabled {
             return Vec::new();
         }
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.acquire();
         let mut actions = Vec::new();
         for (column, eq) in feedback.observed_classes() {
             let entry = state.entry((column, eq)).or_default();

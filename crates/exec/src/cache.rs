@@ -48,18 +48,18 @@
 //! shared by every `QueryPlanner` a job constructs — including the
 //! worker threads of [`crate::executor::ExecutorContext`] fanning one
 //! split's block reads out in parallel. Internally each store is a
-//! single [`RwLock`]: concurrent `plan_block` calls take the read lock
-//! for warm hits, and only structural changes (inserts, evictions,
-//! death-log processing, fingerprint revalidation) take the write lock.
-//! Effectiveness counters are separate atomics so read-path hits never
-//! contend on a write lock.
+//! single rank-checked [`OrderedRwLock`]: concurrent `plan_block`
+//! calls take the read lock for warm hits, and only structural changes
+//! (inserts, evictions, death-log processing, fingerprint
+//! revalidation) take the write lock. Effectiveness counters are
+//! separate atomics so read-path hits never contend on a write lock.
 //!
-//! The lock hierarchy is strictly `PlanCache` → `SelectivityFeedback`
-//! (the planner consults feedback while building a plan context, before
-//! any cache lock is held, and never acquires feedback locks while
-//! holding a cache lock), so the two stores cannot deadlock against
-//! each other. Neither lock is ever held across an
-//! `AccessPath::execute` call. Death-log eviction
+//! Both locks sit in the global hierarchy enforced by `hail-sync`
+//! (see ARCHITECTURE.md, "Concurrency invariants & enforcement"):
+//! [`LockRank::PlanCache`] ranks above [`LockRank::Feedback`], and
+//! neither lock is ever held across an `AccessPath::execute` call.
+//! Acquisitions recover from poisoning, so a worker panicking mid-read
+//! cannot wedge every other job's planner. Death-log eviction
 //! ([`PlanCache::sync_deaths`]) and feedback absorption
 //! ([`SelectivityFeedback::absorb`]) each run under one continuous
 //! write-lock section, so an in-flight `plan_block` observes either
@@ -69,10 +69,10 @@ use crate::planner::BlockPlan;
 use hail_core::{CmpOp, DatasetFormat, HailQuery, Predicate};
 use hail_dfs::Namenode;
 use hail_mr::TaskStats;
+use hail_sync::{LockRank, OrderedRwLock};
 use hail_types::{BlockId, DatanodeId};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
 
 /// Quantization granularity for selectivities embedded in a
 /// [`FilterShape`]: 1/1000ths. Coarse enough that a converged feedback
@@ -272,7 +272,7 @@ struct CacheCounters {
 /// `&self` and are safe to call from concurrent executor workers.
 #[derive(Debug)]
 pub struct PlanCache {
-    inner: RwLock<CacheInner>,
+    inner: OrderedRwLock<CacheInner>,
     counters: CacheCounters,
     capacity: usize,
 }
@@ -289,7 +289,7 @@ impl PlanCache {
     /// entry is evicted when a new insert would exceed it.
     pub fn with_capacity(capacity: usize) -> Self {
         PlanCache {
-            inner: RwLock::new(CacheInner::default()),
+            inner: OrderedRwLock::new(LockRank::PlanCache, "plan-cache", CacheInner::default()),
             counters: CacheCounters::default(),
             capacity: capacity.max(1),
         }
@@ -311,12 +311,12 @@ impl PlanCache {
         // Fast path: nothing new — a read lock suffices, so concurrent
         // planners only serialize when a death actually needs work.
         {
-            let inner = self.inner.read().unwrap();
+            let inner = self.inner.read();
             if death_log.len() == inner.deaths_seen {
                 return;
             }
         }
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write();
         let seen = inner.deaths_seen;
         if death_log.len() < seen {
             // A shorter log than the one we tracked: this is a
@@ -339,7 +339,7 @@ impl PlanCache {
     /// death-log path calls this automatically; it is public for callers
     /// that learn about a failure out of band.
     pub fn invalidate_datanode(&self, datanode: DatanodeId) {
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write();
         self.evict_datanode_locked(&mut inner, datanode);
     }
 
@@ -362,7 +362,7 @@ impl PlanCache {
     /// eviction tests; a fully synced cache reports zero for every dead
     /// datanode.
     pub fn entries_involving(&self, datanode: DatanodeId) -> usize {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner.read();
         inner
             .entries
             .values()
@@ -384,7 +384,7 @@ impl PlanCache {
         // Hits resolve under the read lock; only dropping a stale entry
         // needs the write lock.
         {
-            let inner = self.inner.read().unwrap();
+            let inner = self.inner.read();
             match inner.entries.get(&key) {
                 Some(e) if e.fingerprint == *fingerprint => {
                     return Some(self.count_hit(&e.plan));
@@ -435,7 +435,7 @@ impl PlanCache {
         let key = (shape.clone(), block);
         let watermark = (namenode.instance_id(), namenode.design_epoch());
         {
-            let inner = self.inner.read().unwrap();
+            let inner = self.inner.read();
             match inner.entries.get(&key) {
                 Some(e) if e.validated_at == watermark => {
                     return ValidatedLookup::Hit(self.count_hit(&e.plan));
@@ -451,7 +451,7 @@ impl PlanCache {
         // validated: pay the fingerprint once, then either refresh the
         // watermark or evict.
         let fingerprint = BlockFingerprint::of(namenode, block);
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write();
         match inner.entries.get_mut(&key) {
             Some(e) if e.fingerprint == fingerprint => {
                 e.validated_at = watermark;
@@ -493,7 +493,7 @@ impl PlanCache {
         key: &(FilterShape, BlockId),
         keep: impl Fn(&CacheEntry) -> bool,
     ) -> Option<BlockPlan> {
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write();
         match inner.entries.get(key) {
             Some(e) if keep(e) => Some(e.plan.clone()),
             Some(_) => {
@@ -554,7 +554,7 @@ impl PlanCache {
         validated_at: (u64, u64),
         plan: BlockPlan,
     ) {
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write();
         let key = (shape.clone(), block);
         if inner
             .entries
@@ -599,7 +599,7 @@ impl PlanCache {
         shape: &FilterShape,
         blocks: &[BlockId],
     ) -> Vec<Option<f64>> {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner.read();
         let mut key = (shape.clone(), 0);
         blocks
             .iter()
@@ -638,7 +638,7 @@ impl PlanCache {
 
     /// Number of memoized block plans.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().entries.len()
+        self.inner.read().entries.len()
     }
 
     /// True if nothing is memoized.
@@ -648,7 +648,7 @@ impl PlanCache {
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write();
         let n = inner.entries.len() as u64;
         inner.entries.clear();
         inner.order.clear();
@@ -707,7 +707,7 @@ struct ColumnFeedback {
 /// shift.
 #[derive(Debug)]
 pub struct SelectivityFeedback {
-    inner: RwLock<BTreeMap<(usize, bool), ColumnFeedback>>,
+    inner: OrderedRwLock<BTreeMap<(usize, bool), ColumnFeedback>>,
     decay: f64,
     prior_weight: f64,
 }
@@ -727,7 +727,7 @@ impl SelectivityFeedback {
     /// prior weight (in units of observed blocks).
     pub fn new(decay: f64, prior_weight: f64) -> Self {
         SelectivityFeedback {
-            inner: RwLock::new(BTreeMap::new()),
+            inner: OrderedRwLock::new(LockRank::Feedback, "selectivity-feedback", BTreeMap::new()),
             decay: decay.clamp(0.0, 0.999),
             prior_weight: prior_weight.max(0.0),
         }
@@ -757,7 +757,7 @@ impl SelectivityFeedback {
     /// Records one block's observed selectivity for a column under a
     /// predicate class (`eq` = equality, else range).
     pub fn observe(&self, column: usize, eq: bool, matched: u64, total: u64) {
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write();
         self.fold(&mut inner, column, eq, matched, total);
     }
 
@@ -770,7 +770,7 @@ impl SelectivityFeedback {
         if stats.selectivity.is_empty() {
             return;
         }
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write();
         for obs in &stats.selectivity {
             self.fold(&mut inner, obs.column, obs.eq, obs.matched, obs.total);
         }
@@ -779,7 +779,7 @@ impl SelectivityFeedback {
     /// The decayed observed mean for a (column, class), with its
     /// weight, if any observation has been recorded.
     pub fn observed(&self, column: usize, eq: bool) -> Option<(f64, f64)> {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner.read();
         inner
             .get(&(column, eq))
             .filter(|f| f.weight > 0.0)
@@ -788,7 +788,7 @@ impl SelectivityFeedback {
 
     /// Raw observation count for a (column, class) (diagnostics).
     pub fn observation_count(&self, column: usize, eq: bool) -> u64 {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner.read();
         inner
             .get(&(column, eq))
             .map(|f| f.observations)
@@ -800,7 +800,7 @@ impl SelectivityFeedback {
     /// re-indexing advisor walks when it looks for sustained evidence
     /// of a selective predicate on an unindexed column.
     pub fn observed_classes(&self) -> Vec<(usize, bool)> {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner.read();
         inner
             .iter()
             .filter(|(_, f)| f.weight > 0.0)
@@ -812,7 +812,7 @@ impl SelectivityFeedback {
     /// `prior` when nothing was observed, otherwise the prior-weighted
     /// blend `(prior·Wp + Σ decayed obs) / (Wp + W)`.
     pub fn adjusted(&self, column: usize, eq: bool, prior: f64) -> (f64, SelectivitySource) {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner.read();
         match inner.get(&(column, eq)).filter(|f| f.weight > 0.0) {
             None => (prior, SelectivitySource::Prior),
             Some(f) => {
@@ -828,7 +828,7 @@ impl SelectivityFeedback {
 
     /// Drops all accumulated feedback.
     pub fn clear(&self) {
-        self.inner.write().unwrap().clear();
+        self.inner.write().clear();
     }
 }
 

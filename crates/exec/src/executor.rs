@@ -31,43 +31,35 @@
 //! below it always run, in case one fails at a lower index still.
 
 use crate::sharing::ScanShareRegistry;
+use hail_sync::{LockRank, OrderedCondvar, OrderedMutex};
 use hail_types::{DatanodeId, Result};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
 /// Environment variable overriding the default executor parallelism
 /// (`HAIL_PARALLELISM=4` runs every split's block reads on 4 workers).
-/// Unset, unparsable, or zero values mean serial execution.
-pub const PARALLELISM_ENV: &str = "HAIL_PARALLELISM";
+/// Unset, unparsable, or zero values mean serial execution. Registered
+/// in [`hail_core::knobs`].
+pub const PARALLELISM_ENV: &str = hail_core::knobs::PARALLELISM.name;
 
 /// Environment variable overriding the default *job-level* parallelism
 /// (`HAIL_JOB_PARALLELISM=4` lets the planner-backed formats overlap 4
 /// whole splits). Unset, unparsable, or zero values mean sequential
-/// split execution.
-pub const JOB_PARALLELISM_ENV: &str = "HAIL_JOB_PARALLELISM";
-
-/// Shared parser for the parallelism environment knobs: unset,
-/// unparsable, or zero values mean 1 (no parallelism).
-fn env_parallelism_var(var: &str) -> usize {
-    std::env::var(var)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&p| p >= 1)
-        .unwrap_or(1)
-}
+/// split execution. Registered in [`hail_core::knobs`].
+pub const JOB_PARALLELISM_ENV: &str = hail_core::knobs::JOB_PARALLELISM.name;
 
 /// The parallelism configured by [`PARALLELISM_ENV`], defaulting to 1
 /// (serial) — the knob CI uses to exercise the parallel path across the
 /// whole suite without touching any call site.
 pub fn env_parallelism() -> usize {
-    env_parallelism_var(PARALLELISM_ENV)
+    hail_core::knobs::parallelism()
 }
 
 /// The job-level parallelism configured by [`JOB_PARALLELISM_ENV`],
 /// defaulting to 1 (sequential split execution).
 pub fn env_job_parallelism() -> usize {
-    env_parallelism_var(JOB_PARALLELISM_ENV)
+    hail_core::knobs::job_parallelism()
 }
 
 /// Executor knobs: worker-pool width and the optional per-node slot
@@ -131,13 +123,14 @@ impl ExecutorConfig {
 /// against any single datanode — not just one split's. Permits are
 /// held only for the duration of a single block read (never across
 /// blocks, never while waiting on another permit), so the gate cannot
-/// deadlock; in the lock hierarchy it sits strictly below the
-/// `JobPool`'s scheduling state and strictly above the planner's
-/// `RwLock`s.
+/// deadlock; its mutex sits at [`LockRank::NodeGate`] — strictly below
+/// the `JobPool`'s scheduling state and strictly above the planner's
+/// locks (enforced by `hail-sync`; see ARCHITECTURE.md, "Concurrency
+/// invariants & enforcement").
 #[derive(Debug)]
 pub struct NodeGate {
-    in_flight: Mutex<BTreeMap<DatanodeId, usize>>,
-    freed: Condvar,
+    in_flight: OrderedMutex<BTreeMap<DatanodeId, usize>>,
+    freed: OrderedCondvar,
     slots_per_node: usize,
 }
 
@@ -146,8 +139,8 @@ impl NodeGate {
     /// against any one datanode (clamped to at least 1).
     pub fn new(slots_per_node: usize) -> Self {
         NodeGate {
-            in_flight: Mutex::new(BTreeMap::new()),
-            freed: Condvar::new(),
+            in_flight: OrderedMutex::new(LockRank::NodeGate, "node-gate", BTreeMap::new()),
+            freed: OrderedCondvar::new(),
             slots_per_node: slots_per_node.max(1),
         }
     }
@@ -155,9 +148,9 @@ impl NodeGate {
     /// Blocks until `node` has a free slot, then occupies one. The
     /// returned guard frees the slot on drop.
     pub fn acquire(&self, node: DatanodeId) -> NodePermit<'_> {
-        let mut counts = self.in_flight.lock().unwrap();
+        let mut counts = self.in_flight.acquire();
         while counts.get(&node).copied().unwrap_or(0) >= self.slots_per_node {
-            counts = self.freed.wait(counts).unwrap();
+            counts = self.freed.wait(counts);
         }
         *counts.entry(node).or_insert(0) += 1;
         NodePermit { gate: self, node }
@@ -172,7 +165,7 @@ pub struct NodePermit<'a> {
 
 impl Drop for NodePermit<'_> {
     fn drop(&mut self) {
-        let mut counts = self.gate.in_flight.lock().unwrap();
+        let mut counts = self.gate.in_flight.acquire();
         if let Some(n) = counts.get_mut(&self.node) {
             *n = n.saturating_sub(1);
         }
@@ -298,7 +291,9 @@ impl ExecutorContext {
         let next = AtomicUsize::new(0);
         // Lowest failing index seen so far (monotonically decreasing).
         let failed_at = AtomicUsize::new(usize::MAX);
-        let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<OrderedMutex<Option<Result<T>>>> = (0..n)
+            .map(|_| OrderedMutex::new(LockRank::PoolDeque, "executor-task-slot", None))
+            .collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -315,7 +310,7 @@ impl ExecutorContext {
                     if result.is_err() {
                         failed_at.fetch_min(i, Ordering::Relaxed);
                     }
-                    *slots[i].lock().unwrap() = Some(result);
+                    *slots[i].acquire() = Some(result);
                 });
             }
         });
@@ -327,7 +322,6 @@ impl ExecutorContext {
         for slot in slots {
             let result = slot
                 .into_inner()
-                .unwrap()
                 .expect("executor worker left a pre-failure task slot unfilled");
             out.push(result?);
         }
@@ -604,12 +598,20 @@ impl JobPool {
 
         // Per-worker deques, seeded round-robin so early (often larger,
         // often lower-indexed) splits start immediately everywhere.
-        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        let deques: Vec<OrderedMutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                OrderedMutex::new(
+                    LockRank::PoolDeque,
+                    "pool-deque",
+                    (w..n).step_by(workers).collect(),
+                )
+            })
             .collect();
         // Lowest failing split index seen so far.
         let failed_at = AtomicUsize::new(usize::MAX);
-        let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<OrderedMutex<Option<Result<T>>>> = (0..n)
+            .map(|_| OrderedMutex::new(LockRank::PoolDeque, "pool-split-slot", None))
+            .collect();
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let deques = &deques;
@@ -627,13 +629,13 @@ impl JobPool {
                         // still holding work. The task set is static
                         // (no pushes after seeding), so finding every
                         // deque empty means the job tail is done.
-                        let mut next = deques[w].lock().unwrap().pop_front();
+                        let mut next = deques[w].acquire().pop_front();
                         if next.is_none() {
                             for (v, d) in deques.iter().enumerate() {
                                 if v == w {
                                     continue;
                                 }
-                                next = d.lock().unwrap().pop_back();
+                                next = d.acquire().pop_back();
                                 if next.is_some() {
                                     break;
                                 }
@@ -650,7 +652,7 @@ impl JobPool {
                         if result.is_err() {
                             failed_at.fetch_min(i, Ordering::Relaxed);
                         }
-                        *slots[i].lock().unwrap() = Some(result);
+                        *slots[i].acquire() = Some(result);
                     }
                     // This worker is done: its budget share frees up
                     // for the surviving splits' intra-split claims.
@@ -666,7 +668,6 @@ impl JobPool {
         for slot in slots {
             let result = slot
                 .into_inner()
-                .unwrap()
                 .expect("job pool worker left a pre-failure split slot unfilled");
             out.push(result?);
         }

@@ -47,38 +47,44 @@
 //!
 //! # Locking
 //!
-//! The registry's mutex is a **leaf** in the engine's lock hierarchy
-//! (JobManager → JobPool → NodeGate → planner `RwLock`s → registry):
-//! it is never held while decoding, applying residuals, or doing I/O.
-//! A producer inserts an in-flight marker, *releases the lock*, decodes
+//! The registry's mutex sits at [`LockRank::ShareRegistry`] — the
+//! **leaf** of the hierarchy enforced by `hail-sync` (see
+//! ARCHITECTURE.md, "Concurrency invariants & enforcement"): it is
+//! never held while decoding, applying residuals, or doing I/O. A
+//! producer inserts an in-flight marker, *releases the lock*, decodes
 //! (holding its `NodeGate` permit like any other read), then publishes.
 //! Waiters block on the registry's condvar holding no other engine
 //! lock beyond their own node permit — and a producer already holds its
 //! permit before its marker exists, so waiters can never starve the
 //! producer's gate slot.
 //!
+//! The in-flight marker is protected by an RAII cleanup guard, so a
+//! producer that **panics** mid-decode (not just one that returns an
+//! error) still removes its marker and wakes waiters into
+//! [`Acquired::Fallback`] — without it, a worker panic would strand
+//! the marker and every later acquirer of that key would wait forever.
+//!
 //! Set [`DISABLE_SCAN_SHARING_ENV`] to opt out: every read degrades to
 //! today's independent path with identical results.
 
 use hail_index::IndexedBlock;
 use hail_mr::InFlightBlocks;
+use hail_sync::{LockRank, OrderedCondvar, OrderedMutex};
 use hail_types::{BlockId, DatanodeId};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Weak};
 
 /// Environment kill switch: set to a non-empty value other than `0` to
 /// disable cooperative scan sharing (every job reads independently, as
-/// before this module existed).
-pub const DISABLE_SCAN_SHARING_ENV: &str = "HAIL_DISABLE_SCAN_SHARING";
+/// before this module existed). Registered in [`hail_core::knobs`].
+pub const DISABLE_SCAN_SHARING_ENV: &str = hail_core::knobs::DISABLE_SCAN_SHARING.name;
 
 /// The default for scan sharing: on, unless [`DISABLE_SCAN_SHARING_ENV`]
-/// turns it off.
+/// turns it off. Delegates to the central knob registry.
 pub fn env_scan_sharing_enabled() -> bool {
-    !std::env::var(DISABLE_SCAN_SHARING_ENV)
-        .map(|v| !v.trim().is_empty() && v.trim() != "0")
-        .unwrap_or(false)
+    hail_core::knobs::scan_sharing_enabled()
 }
 
 /// Retained produced-decode cap (entries, not bytes): a backstop for
@@ -147,6 +153,24 @@ enum Entry {
     Produced { decoded: DecodedBlock, tick: u64 },
 }
 
+/// RAII ownership of an [`Entry::InFlight`] marker: while `armed`,
+/// dropping (including during panic unwinding) removes the marker and
+/// wakes waiters so they fall back to independent reads.
+struct MarkerCleanup<'a> {
+    registry: &'a ScanShareRegistry,
+    key: ShareKey,
+    armed: bool,
+}
+
+impl Drop for MarkerCleanup<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.registry.entries.acquire().remove(&self.key);
+            self.registry.published.notify_all();
+        }
+    }
+}
+
 #[derive(Default)]
 struct Telemetry {
     produced: AtomicU64,
@@ -170,13 +194,14 @@ pub struct ShareStats {
 /// protocol; one registry is shared by every job of a
 /// [`crate::executor::JobPool`] (see [`crate::formats::shared_job_pool`]).
 pub struct ScanShareRegistry {
-    entries: Mutex<HashMap<ShareKey, Entry>>,
-    published: Condvar,
+    entries: OrderedMutex<HashMap<ShareKey, Entry>>,
+    published: OrderedCondvar,
     tick: AtomicU64,
     telemetry: Telemetry,
     /// Trackers already subscribed to (ptr-identity dedup, so repeated
-    /// batch wiring never stacks duplicate observers).
-    attached_trackers: Mutex<Vec<Weak<InFlightBlocks>>>,
+    /// batch wiring never stacks duplicate observers). Same leaf rank
+    /// as `entries`; the two are never held together.
+    attached_trackers: OrderedMutex<Vec<Weak<InFlightBlocks>>>,
 }
 
 impl fmt::Debug for ScanShareRegistry {
@@ -194,11 +219,19 @@ impl fmt::Debug for ScanShareRegistry {
 impl Default for ScanShareRegistry {
     fn default() -> Self {
         ScanShareRegistry {
-            entries: Mutex::new(HashMap::new()),
-            published: Condvar::new(),
+            entries: OrderedMutex::new(
+                LockRank::ShareRegistry,
+                "scan-share-entries",
+                HashMap::new(),
+            ),
+            published: OrderedCondvar::new(),
             tick: AtomicU64::new(0),
             telemetry: Telemetry::default(),
-            attached_trackers: Mutex::new(Vec::new()),
+            attached_trackers: OrderedMutex::new(
+                LockRank::ShareRegistry,
+                "scan-share-trackers",
+                Vec::new(),
+            ),
         }
     }
 }
@@ -210,17 +243,17 @@ impl ScanShareRegistry {
 
     /// One shared read of `key`: attach to a published decode, wait for
     /// an in-flight producer, or become the producer by running
-    /// `produce` (outside the registry lock). A producer error removes
-    /// the marker and wakes waiters with [`Acquired::Fallback`]; the
-    /// error itself is returned only to the producer, so each caller
-    /// still surfaces its own failures.
+    /// `produce` (outside the registry lock). A producer error — or
+    /// panic — removes the marker and wakes waiters with
+    /// [`Acquired::Fallback`]; the error itself is returned only to the
+    /// producer, so each caller still surfaces its own failures.
     pub fn acquire<E>(
         &self,
         key: ShareKey,
         produce: impl FnOnce() -> std::result::Result<DecodedBlock, E>,
     ) -> std::result::Result<Acquired, E> {
         {
-            let mut entries = self.entries.lock().unwrap();
+            let mut entries = self.entries.acquire();
             loop {
                 match entries.get(&key) {
                     Some(Entry::Produced { decoded, .. }) => {
@@ -232,7 +265,7 @@ impl ScanShareRegistry {
                         // fail. The condvar releases the registry lock,
                         // and the producer never blocks on the registry
                         // while decoding, so this always makes progress.
-                        entries = self.published.wait(entries).unwrap();
+                        entries = self.published.wait(entries);
                         if entries.get(&key).is_none() {
                             // Producer failed and removed its marker:
                             // read independently rather than racing to
@@ -248,32 +281,34 @@ impl ScanShareRegistry {
                 }
             }
         }
+        // From here this caller owns the in-flight marker. The cleanup
+        // guard removes it and wakes waiters on *any* exit that did not
+        // publish — error return or unwinding panic alike — so a dying
+        // producer can never strand waiters on a marker nobody owns.
+        let mut cleanup = MarkerCleanup {
+            registry: self,
+            key,
+            armed: true,
+        };
         // Produce outside the lock (this is the actual read + decode,
         // done while holding the caller's NodeGate permit like any
         // independent read).
-        match produce() {
-            Ok(decoded) => {
-                let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-                let mut entries = self.entries.lock().unwrap();
-                entries.insert(
-                    key,
-                    Entry::Produced {
-                        decoded: decoded.clone(),
-                        tick,
-                    },
-                );
-                self.enforce_cap(&mut entries);
-                drop(entries);
-                self.published.notify_all();
-                self.telemetry.produced.fetch_add(1, Ordering::Relaxed);
-                Ok(Acquired::Produced(decoded))
-            }
-            Err(err) => {
-                self.entries.lock().unwrap().remove(&key);
-                self.published.notify_all();
-                Err(err)
-            }
-        }
+        let decoded = produce()?;
+        cleanup.armed = false;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.acquire();
+        entries.insert(
+            key,
+            Entry::Produced {
+                decoded: decoded.clone(),
+                tick,
+            },
+        );
+        self.enforce_cap(&mut entries);
+        drop(entries);
+        self.published.notify_all();
+        self.telemetry.produced.fetch_add(1, Ordering::Relaxed);
+        Ok(Acquired::Produced(decoded))
     }
 
     /// Evicts every published decode of the given blocks (the in-flight
@@ -281,7 +316,7 @@ impl ScanShareRegistry {
     /// In-flight markers are left alone — their producer's job still
     /// holds its own interest.
     pub fn evict_blocks(&self, blocks: &[BlockId]) {
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.entries.acquire();
         entries.retain(|key, entry| {
             !(matches!(entry, Entry::Produced { .. }) && blocks.contains(&key.block))
         });
@@ -293,16 +328,14 @@ impl ScanShareRegistry {
     /// stale decodes to later attachers.
     pub fn clear(&self) {
         self.entries
-            .lock()
-            .unwrap()
+            .acquire()
             .retain(|_, entry| matches!(entry, Entry::InFlight));
     }
 
     /// Number of currently retained published decodes.
     pub fn retained(&self) -> usize {
         self.entries
-            .lock()
-            .unwrap()
+            .acquire()
             .values()
             .filter(|e| matches!(e, Entry::Produced { .. }))
             .count()
@@ -324,7 +357,7 @@ impl ScanShareRegistry {
     /// observers.
     pub fn attach_in_flight(self: &Arc<Self>, tracker: &Arc<InFlightBlocks>) {
         {
-            let mut attached = self.attached_trackers.lock().unwrap();
+            let mut attached = self.attached_trackers.acquire();
             attached.retain(|w| w.strong_count() > 0);
             if attached
                 .iter()
@@ -452,6 +485,42 @@ mod tests {
         // The failed key self-heals: the next acquire produces afresh.
         let got = reg
             .acquire::<HailError>(key(9), || Ok(decoded_block()))
+            .unwrap();
+        assert!(matches!(got, Acquired::Produced(_)));
+        assert_eq!(reg.stats().fallback, 1);
+    }
+
+    #[test]
+    fn producer_panic_unstrands_waiters_and_heals() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let reg = Arc::new(ScanShareRegistry::new());
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+
+        std::thread::scope(|scope| {
+            let producer_reg = Arc::clone(&reg);
+            let producer_barrier = Arc::clone(&barrier);
+            let producer = scope.spawn(move || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    let _ = producer_reg.acquire(key(11), || -> Result<DecodedBlock> {
+                        producer_barrier.wait(); // waiter is about to queue
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        panic!("producer dies mid-decode");
+                    });
+                }))
+            });
+            barrier.wait();
+            // Without the RAII marker cleanup this wait would hang
+            // forever on the stranded InFlight marker.
+            let got = reg
+                .acquire::<HailError>(key(11), || panic!("waiter never produces"))
+                .unwrap();
+            assert!(matches!(got, Acquired::Fallback));
+            assert!(producer.join().unwrap().is_err(), "producer panicked");
+        });
+
+        // The panicked key self-heals: the next acquire produces afresh.
+        let got = reg
+            .acquire::<HailError>(key(11), || Ok(decoded_block()))
             .unwrap();
         assert!(matches!(got, Acquired::Produced(_)));
         assert_eq!(reg.stats().fallback, 1);

@@ -32,15 +32,15 @@ use std::fmt;
 
 /// Environment variable force-disabling synopsis pruning (set to any
 /// value other than `0` or the empty string). CI uses it to keep the
-/// unpruned planning path exercised by the whole suite.
-pub const DISABLE_SYNOPSES_ENV: &str = "HAIL_DISABLE_SYNOPSES";
+/// unpruned planning path exercised by the whole suite. Registered in
+/// [`hail_core::knobs`].
+pub const DISABLE_SYNOPSES_ENV: &str = hail_core::knobs::DISABLE_SYNOPSES.name;
 
 /// The default for [`PlannerConfig::synopsis_pruning`]: on, unless
-/// [`DISABLE_SYNOPSES_ENV`] turns it off.
+/// [`DISABLE_SYNOPSES_ENV`] turns it off. Delegates to the central
+/// knob registry.
 pub fn env_synopsis_pruning() -> bool {
-    !std::env::var(DISABLE_SYNOPSES_ENV)
-        .map(|v| !v.trim().is_empty() && v.trim() != "0")
-        .unwrap_or(false)
+    hail_core::knobs::synopsis_pruning_enabled()
 }
 
 /// Which synopsis kind proved a block empty.

@@ -1,0 +1,24 @@
+//! `hail-lint`: scan the workspace for concurrency-contract
+//! violations and exit non-zero if any are found. Run from CI as
+//! `cargo run -p hail-lint` (an explicit root may be passed as the
+//! first argument).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let violations = hail_lint::scan_workspace(&root);
+    if violations.is_empty() {
+        println!("hail-lint: workspace clean");
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    eprintln!("hail-lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}

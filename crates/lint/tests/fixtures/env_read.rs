@@ -1,0 +1,4 @@
+// Fixture: an ad-hoc HAIL_* environment read outside the registry.
+pub fn sneaky_knob() -> bool {
+    std::env::var("HAIL_SNEAKY").is_ok()
+}

@@ -1,0 +1,10 @@
+// Fixture: lock acquisitions that propagate poisoning via unwrap.
+pub fn drain(m: &hail_sync_stand_in::Mu) -> u32 {
+    let a = *m.inner.lock().unwrap();
+    let b = *m.table.read().unwrap();
+    let c = *m
+        .table
+        .write()
+        .unwrap();
+    a + b + c
+}

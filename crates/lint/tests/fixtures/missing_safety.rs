@@ -1,0 +1,4 @@
+// Fixture: an unsafe block with no preceding SAFETY comment.
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,13 @@
+// Fixture: direct std::sync lock primitives in engine code.
+use std::sync::{Condvar, Mutex, RwLock};
+
+pub struct Bad {
+    state: Mutex<u32>,
+    table: RwLock<u32>,
+    wake: Condvar,
+}
+
+pub fn peek(b: &Bad) -> u32 {
+    let _ = &b.wake;
+    *b.table.read().unwrap_or_else(|e| e.into_inner()) + *b.state.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -10,21 +10,35 @@
 //! layer's scan-share registry uses exactly that signal to evict its
 //! retained decoded blocks, so sharing windows track admission windows.
 //!
-//! Lock discipline: the interest-count mutex here is a leaf — it is
-//! never held while calling out. Drain observers run *after* the counts
-//! lock is dropped, and must not call back into this tracker.
+//! Lock discipline (ranks enforced by `hail-sync`; see
+//! ARCHITECTURE.md, "Concurrency invariants & enforcement"): the
+//! interest-count mutex ([`LockRank::InterestCounts`]) is never held
+//! while calling out — drain observers run *after* the counts lock is
+//! dropped, under the observer-list mutex ([`LockRank::ObserverList`]),
+//! which ranks just above the scan-share registry leaf so an observer
+//! may evict retained decodes but must not call back into this
+//! tracker or take any higher-ranked lock.
 
+use hail_sync::{LockRank, OrderedMutex};
 use hail_types::BlockId;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 type DrainObserver = Box<dyn Fn(&[BlockId]) + Send + Sync>;
 
 /// Reference-counted interest in block ids across in-flight jobs.
-#[derive(Default)]
 pub struct InFlightBlocks {
-    counts: Mutex<BTreeMap<BlockId, usize>>,
-    observers: Mutex<Vec<DrainObserver>>,
+    counts: OrderedMutex<BTreeMap<BlockId, usize>>,
+    observers: OrderedMutex<Vec<DrainObserver>>,
+}
+
+impl Default for InFlightBlocks {
+    fn default() -> Self {
+        InFlightBlocks {
+            counts: OrderedMutex::new(LockRank::InterestCounts, "inflight-counts", BTreeMap::new()),
+            observers: OrderedMutex::new(LockRank::ObserverList, "inflight-observers", Vec::new()),
+        }
+    }
 }
 
 impl InFlightBlocks {
@@ -37,7 +51,7 @@ impl InFlightBlocks {
     pub fn register(self: &Arc<Self>, blocks: &[BlockId]) -> InterestGuard {
         let mut remaining: BTreeMap<BlockId, usize> = BTreeMap::new();
         {
-            let mut counts = self.counts.lock().unwrap();
+            let mut counts = self.counts.acquire();
             for &b in blocks {
                 *counts.entry(b).or_insert(0) += 1;
                 *remaining.entry(b).or_insert(0) += 1;
@@ -45,36 +59,35 @@ impl InFlightBlocks {
         }
         InterestGuard {
             tracker: Arc::clone(self),
-            remaining: Mutex::new(remaining),
+            remaining: OrderedMutex::new(
+                LockRank::InterestCounts,
+                "interest-guard-remaining",
+                remaining,
+            ),
         }
     }
 
     /// Current interest count for one block.
     pub fn interest(&self, block: BlockId) -> usize {
-        self.counts
-            .lock()
-            .unwrap()
-            .get(&block)
-            .copied()
-            .unwrap_or(0)
+        self.counts.acquire().get(&block).copied().unwrap_or(0)
     }
 
     /// Subscribes a drain observer: called with every batch of blocks
     /// whose interest count just reached zero. Runs without the counts
     /// lock held; must not call back into this tracker.
     pub fn on_drained(&self, observer: impl Fn(&[BlockId]) + Send + Sync + 'static) {
-        self.observers.lock().unwrap().push(Box::new(observer));
+        self.observers.acquire().push(Box::new(observer));
     }
 
     /// Number of subscribed drain observers (observer dedup support for
     /// layers that must not subscribe twice).
     pub fn observer_count(&self) -> usize {
-        self.observers.lock().unwrap().len()
+        self.observers.acquire().len()
     }
 
     fn release(&self, blocks: &[BlockId]) {
         let drained: Vec<BlockId> = {
-            let mut counts = self.counts.lock().unwrap();
+            let mut counts = self.counts.acquire();
             blocks
                 .iter()
                 .filter_map(|&b| match counts.get_mut(&b) {
@@ -95,7 +108,7 @@ impl InFlightBlocks {
         }
         // The counts lock is dropped; observers see a consistent "these
         // blocks drained" batch and may take their own (leaf) locks.
-        for observer in self.observers.lock().unwrap().iter() {
+        for observer in self.observers.acquire().iter() {
             observer(&drained);
         }
     }
@@ -106,7 +119,7 @@ impl InFlightBlocks {
 /// an error mid-job never leaks interest counts.
 pub struct InterestGuard {
     tracker: Arc<InFlightBlocks>,
-    remaining: Mutex<BTreeMap<BlockId, usize>>,
+    remaining: OrderedMutex<BTreeMap<BlockId, usize>>,
 }
 
 impl InterestGuard {
@@ -115,7 +128,7 @@ impl InterestGuard {
     /// per-chunk release followed by `Drop` never double-releases.
     pub fn release_blocks(&self, blocks: &[BlockId]) {
         let to_release: Vec<BlockId> = {
-            let mut remaining = self.remaining.lock().unwrap();
+            let mut remaining = self.remaining.acquire();
             blocks
                 .iter()
                 .filter(|&&b| match remaining.get_mut(&b) {
@@ -143,7 +156,6 @@ impl Drop for InterestGuard {
         let rest: Vec<BlockId> = self
             .remaining
             .get_mut()
-            .unwrap()
             .iter()
             .flat_map(|(&b, &n)| std::iter::repeat_n(b, n))
             .collect();
@@ -157,6 +169,7 @@ impl Drop for InterestGuard {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn register_release_and_drain_notifications() {

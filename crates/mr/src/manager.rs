@@ -56,24 +56,23 @@ use crate::inflight::InFlightBlocks;
 use crate::scheduler::{run_map_job_with_interest, JobRun, MapJob};
 use hail_dfs::DfsCluster;
 use hail_sim::ClusterSpec;
+use hail_sync::{LockRank, OrderedMutex};
 use hail_types::Result;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Environment override for the manager's in-flight-job bound, read by
 /// [`JobManager::from_env`]. Unset, unparsable, or `0` mean 1 (serial
 /// admission) — the same "absent means no concurrency" convention as
-/// `HAIL_PARALLELISM` / `HAIL_JOB_PARALLELISM`.
-pub const MAX_CONCURRENT_JOBS_ENV: &str = "HAIL_MAX_CONCURRENT_JOBS";
+/// `HAIL_PARALLELISM` / `HAIL_JOB_PARALLELISM`. Registered in
+/// [`hail_core::knobs`].
+pub const MAX_CONCURRENT_JOBS_ENV: &str = hail_core::knobs::MAX_CONCURRENT_JOBS.name;
 
-/// The in-flight bound from [`MAX_CONCURRENT_JOBS_ENV`].
+/// The in-flight bound from [`MAX_CONCURRENT_JOBS_ENV`], via the
+/// central knob registry.
 fn env_max_concurrent_jobs() -> usize {
-    std::env::var(MAX_CONCURRENT_JOBS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(1)
+    hail_core::knobs::max_concurrent_jobs()
 }
 
 /// Admits and runs concurrent map jobs with FIFO dequeue order and a
@@ -86,7 +85,9 @@ fn env_max_concurrent_jobs() -> usize {
 /// plumbing the same `Arc`s into each job's `InputFormat`, not by the
 /// manager reaching into the formats. That keeps the lock hierarchy
 /// one-directional: JobManager → (per job) JobPool → NodeGate →
-/// planner `RwLock`s.
+/// planner locks — machine-checked end to end by `hail-sync`'s
+/// `LockRank` (the slots here sit at the top rank, `ManagerSlot`; see
+/// ARCHITECTURE.md, "Concurrency invariants & enforcement").
 pub struct JobManager {
     max_concurrent: usize,
     in_flight: Arc<InFlightBlocks>,
@@ -143,8 +144,10 @@ impl JobManager {
         }
         let admitted = Instant::now();
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<JobRun>>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<OrderedMutex<Option<Result<JobRun>>>> = jobs
+            .iter()
+            .map(|_| OrderedMutex::new(LockRank::ManagerSlot, "manager-job-slot", None))
+            .collect();
         let workers = self.max_concurrent.min(jobs.len());
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -167,7 +170,7 @@ impl JobManager {
                             },
                         );
                     drop(interest);
-                    *slots[i].lock().unwrap() = Some(result);
+                    *slots[i].acquire() = Some(result);
                 });
             }
         });
@@ -175,7 +178,6 @@ impl JobManager {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .unwrap()
                     .expect("every admitted job leaves a result")
             })
             .collect()
@@ -190,6 +192,7 @@ mod tests {
     use crate::scheduler::run_map_job;
     use hail_sim::HardwareProfile;
     use hail_types::{BlockId, DatanodeId, Row, StorageConfig, Value};
+    use std::sync::Mutex;
 
     /// Emits one row per block and tracks how many batch reads are in
     /// flight at once (the manager-level concurrency gauge).

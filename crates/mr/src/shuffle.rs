@@ -52,11 +52,16 @@ pub fn run_map_reduce_job(
     job: &MapReduceJob<'_>,
 ) -> Result<MapReduceRun> {
     // Map phase: collect (key, row) pairs from the user's map function.
-    // The capture is a Mutex (not a RefCell) purely to satisfy MapJob's
+    // The capture is a mutex (not a RefCell) purely to satisfy MapJob's
     // Send + Sync map bound; the scheduler still invokes the map
     // function from one thread in split order, so there is never
-    // contention.
-    let pairs_cell: std::sync::Mutex<Vec<(Value, Row)>> = std::sync::Mutex::new(Vec::new());
+    // contention. Rank MapScratch: acquired with no engine lock held
+    // (the drive loop runs map functions outside every lock).
+    let pairs_cell = hail_sync::OrderedMutex::new(
+        hail_sync::LockRank::MapScratch,
+        "map-reduce-scratch",
+        Vec::<(Value, Row)>::new(),
+    );
     let map_run = {
         let map_job = MapJob {
             name: job.name.clone(),
@@ -67,12 +72,12 @@ pub fn run_map_reduce_job(
             map: Box::new(|rec, _out| {
                 let mut emitted = Vec::new();
                 (job.map)(rec, &mut emitted);
-                pairs_cell.lock().unwrap().append(&mut emitted);
+                pairs_cell.acquire().append(&mut emitted);
             }),
         };
         run_map_job(cluster, spec, &map_job)?
     };
-    let mut pairs = pairs_cell.into_inner().unwrap();
+    let mut pairs = pairs_cell.into_inner();
     {
         // Shuffle: group by key. Cost: map output crosses the network
         // once and is merge-sorted.

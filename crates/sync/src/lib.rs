@@ -1,0 +1,578 @@
+//! Rank-checked lock wrappers enforcing the HAIL lock hierarchy.
+//!
+//! Every lock in the engine is an [`OrderedMutex`] / [`OrderedRwLock`]
+//! carrying a [`LockRank`] — the one enum encoding the full documented
+//! hierarchy (see ARCHITECTURE.md, "Concurrency invariants &
+//! enforcement"; the `hail-lint` `doc-sync` rule keeps the two in
+//! lockstep). A thread may only acquire a lock whose rank is *strictly
+//! below* every rank it already holds, which makes lock-order
+//! deadlocks impossible by construction: any cycle would need at least
+//! one edge going up the order.
+//!
+//! In debug builds (unless `HAIL_LOCK_ORDER_CHECK=0`), a thread-local
+//! stack of held ranks verifies this on every acquisition and panics
+//! naming **both** locks on an out-of-order or same-rank re-entrant
+//! acquisition. In release builds the checking code is compiled out
+//! entirely (`cfg(debug_assertions)`) and the wrappers are
+//! zero-overhead newtypes over `std::sync` — BENCH_10.json pins that.
+//!
+//! Poison policy: [`OrderedMutex::acquire`] and the `OrderedRwLock`
+//! accessors recover from poisoning via
+//! `unwrap_or_else(PoisonError::into_inner)`. Every guarded region in
+//! the engine leaves its structure consistent before any call that can
+//! panic (writes are complete assignments, not staged mutations), so a
+//! panicked worker must not cascade into wedging the shared
+//! `PlanCache`, the `JobManager` result slots, or a scan-share waiter.
+//! Code that needs "the producer died" signalling handles it
+//! explicitly (RAII cleanup guards), not via poisoning.
+
+use std::fmt;
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// The global lock hierarchy, highest rank first. A thread holding a
+/// lock may only acquire locks of *strictly lower* rank.
+///
+/// The variant order here is the canonical rank table; ARCHITECTURE.md
+/// embeds the same table between `lock-rank-table` markers and the
+/// `doc-sync` lint fails if the two drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LockRank {
+    /// `JobManager` per-job result slots (crates/mr/src/manager.rs).
+    ManagerSlot = 9,
+    /// `JobPool` work-stealing deques and per-split result slots
+    /// (crates/exec/src/executor.rs).
+    PoolDeque = 8,
+    /// `NodeGate` per-datanode in-flight counts (crates/exec/src/executor.rs).
+    NodeGate = 7,
+    /// `ReindexAdvisor` trigger state — held across `SelectivityFeedback`
+    /// reads (crates/exec/src/adapt.rs).
+    AdvisorState = 6,
+    /// `PlanCache` fingerprinted plan entries (crates/exec/src/cache.rs).
+    PlanCache = 5,
+    /// `SelectivityFeedback` per-class observations (crates/exec/src/cache.rs).
+    Feedback = 4,
+    /// Per-job map-side scratch accumulators (crates/mr/src/shuffle.rs).
+    MapScratch = 3,
+    /// `InFlightBlocks` interest counts and `InterestGuard` remainders
+    /// (crates/mr/src/inflight.rs).
+    InterestCounts = 2,
+    /// `InFlightBlocks` drain-observer list — held while observers run,
+    /// which may acquire the share registry (crates/mr/src/inflight.rs).
+    ObserverList = 1,
+    /// `ScanShareRegistry` entry map and attached-tracker list — a leaf;
+    /// nothing may be acquired under it (crates/exec/src/sharing.rs).
+    ShareRegistry = 0,
+}
+
+impl LockRank {
+    /// All ranks, highest first — the same order as the declaration and
+    /// the ARCHITECTURE.md table.
+    pub const ALL: [LockRank; 10] = [
+        LockRank::ManagerSlot,
+        LockRank::PoolDeque,
+        LockRank::NodeGate,
+        LockRank::AdvisorState,
+        LockRank::PlanCache,
+        LockRank::Feedback,
+        LockRank::MapScratch,
+        LockRank::InterestCounts,
+        LockRank::ObserverList,
+        LockRank::ShareRegistry,
+    ];
+}
+
+impl fmt::Display for LockRank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(debug_assertions)]
+mod check {
+    use super::LockRank;
+    use std::cell::RefCell;
+    use std::sync::OnceLock;
+
+    thread_local! {
+        /// Ranks (with lock names) this thread currently holds, in
+        /// acquisition order. Acquisition order is strictly descending
+        /// rank, so the last entry is always the minimum.
+        static HELD: RefCell<Vec<(LockRank, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn enabled() -> bool {
+        static ENABLED: OnceLock<bool> = OnceLock::new();
+        *ENABLED.get_or_init(hail_core::knobs::lock_order_check)
+    }
+
+    /// Records an acquisition, panicking (naming both locks) if `rank`
+    /// is not strictly below everything already held.
+    pub(super) fn on_acquire(rank: LockRank, name: &'static str) {
+        if !enabled() {
+            return;
+        }
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(held_rank, held_name)) = held.last() {
+                assert!(
+                    rank < held_rank,
+                    "lock hierarchy violation: acquiring `{name}` ({rank:?}, rank {}) \
+                     while holding `{held_name}` ({held_rank:?}, rank {}); \
+                     acquisitions must strictly descend the LockRank order \
+                     (see ARCHITECTURE.md, Concurrency invariants & enforcement)",
+                    rank as u8,
+                    held_rank as u8,
+                );
+            }
+            held.push((rank, name));
+        });
+    }
+
+    /// Records a release. Guards can drop in any order, so remove the
+    /// matching entry wherever it sits (ranks are unique in the stack:
+    /// same-rank re-acquisition panics in `on_acquire`).
+    pub(super) fn on_release(rank: LockRank) {
+        if !enabled() {
+            return;
+        }
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&(r, _)| r == rank) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(debug_assertions)]
+fn on_acquire(rank: LockRank, name: &'static str) {
+    check::on_acquire(rank, name);
+}
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+fn on_acquire(_rank: LockRank, _name: &'static str) {}
+
+#[cfg(debug_assertions)]
+fn on_release(rank: LockRank) {
+    check::on_release(rank);
+}
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+fn on_release(_rank: LockRank) {}
+
+/// Pops the rank entry when a guard drops (or is consumed by a condvar
+/// wait, which immediately re-arms a new one).
+struct Release(LockRank);
+impl Drop for Release {
+    fn drop(&mut self) {
+        on_release(self.0);
+    }
+}
+
+/// A [`LockRank`]-carrying `std::sync::Mutex`. Acquire with
+/// [`acquire`](OrderedMutex::acquire) — there is deliberately no
+/// `lock()` returning a `Result`; poisoning is always recovered.
+pub struct OrderedMutex<T: ?Sized> {
+    rank: LockRank,
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wraps `value` in a mutex at `rank`. `name` appears in
+    /// hierarchy-violation panics and `Debug` output.
+    pub const fn new(rank: LockRank, name: &'static str, value: T) -> Self {
+        Self {
+            rank,
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, recovering the value even if poisoned.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> OrderedMutex<T> {
+    /// Locks, checking the rank order in debug builds and recovering
+    /// from poisoning. Panics (naming both locks) on a hierarchy
+    /// violation.
+    pub fn acquire(&self) -> OrderedMutexGuard<'_, T> {
+        on_acquire(self.rank, self.name);
+        let release = Release(self.rank);
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        OrderedMutexGuard {
+            guard: Some(guard),
+            _release: release,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`, so no
+    /// rank bookkeeping applies). Recovers from poisoning.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedMutex")
+            .field("rank", &self.rank)
+            .field("name", &self.name)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Guard for an [`OrderedMutex`]. The inner guard lives in an `Option`
+/// only so [`OrderedCondvar::wait`] can hand it to the OS condvar
+/// and re-wrap it; it is `Some` at every other moment.
+pub struct OrderedMutexGuard<'a, T: ?Sized> {
+    guard: Option<MutexGuard<'a, T>>,
+    _release: Release,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard
+            .as_ref()
+            .expect("guard present outside condvar wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard
+            .as_mut()
+            .expect("guard present outside condvar wait")
+    }
+}
+
+/// A condvar paired with [`OrderedMutex`]-guarded state. While a
+/// thread waits, its rank entry stays on the held stack: a blocked
+/// waiter still logically holds its place in the hierarchy, and the
+/// re-acquisition on wakeup happens at the same stack position.
+pub struct OrderedCondvar {
+    inner: Condvar,
+}
+
+impl OrderedCondvar {
+    pub const fn new() -> Self {
+        Self {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard and waits for a notification,
+    /// recovering from poisoning on wakeup. The rank bookkeeping is
+    /// untouched — the same `Release` is carried across the wait.
+    pub fn wait<'a, T>(&self, mut guard: OrderedMutexGuard<'a, T>) -> OrderedMutexGuard<'a, T> {
+        let inner = guard
+            .guard
+            .take()
+            .expect("guard present outside condvar wait");
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.guard = Some(inner);
+        guard
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+}
+
+impl Default for OrderedCondvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for OrderedCondvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedCondvar").finish_non_exhaustive()
+    }
+}
+
+/// A [`LockRank`]-carrying `std::sync::RwLock`. Readers and writers
+/// follow the same rank rule: a read lock still excludes writers, so
+/// it participates in deadlock cycles exactly like a mutex.
+pub struct OrderedRwLock<T: ?Sized> {
+    rank: LockRank,
+    name: &'static str,
+    inner: RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// Wraps `value` in an rwlock at `rank`.
+    pub const fn new(rank: LockRank, name: &'static str, value: T) -> Self {
+        Self {
+            rank,
+            name,
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, recovering the value even if poisoned.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> OrderedRwLock<T> {
+    /// Shared lock, rank-checked, poison-recovering.
+    pub fn read(&self) -> OrderedReadGuard<'_, T> {
+        on_acquire(self.rank, self.name);
+        let release = Release(self.rank);
+        let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        OrderedReadGuard {
+            guard,
+            _release: release,
+        }
+    }
+
+    /// Exclusive lock, rank-checked, poison-recovering.
+    pub fn write(&self) -> OrderedWriteGuard<'_, T> {
+        on_acquire(self.rank, self.name);
+        let release = Release(self.rank);
+        let guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        OrderedWriteGuard {
+            guard,
+            _release: release,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrderedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedRwLock")
+            .field("rank", &self.rank)
+            .field("name", &self.name)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Shared guard for an [`OrderedRwLock`].
+pub struct OrderedReadGuard<'a, T: ?Sized> {
+    guard: RwLockReadGuard<'a, T>,
+    _release: Release,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// Exclusive guard for an [`OrderedRwLock`].
+pub struct OrderedWriteGuard<'a, T: ?Sized> {
+    guard: RwLockWriteGuard<'a, T>,
+    _release: Release,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for OrderedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_order_matches_discriminants() {
+        // ALL is highest-first and the discriminants strictly descend.
+        for pair in LockRank::ALL.windows(2) {
+            assert!(
+                pair[0] > pair[1],
+                "{:?} must rank above {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        assert_eq!(LockRank::ALL.len(), 10);
+        assert_eq!(LockRank::ShareRegistry as u8, 0);
+        assert_eq!(LockRank::ManagerSlot as u8, 9);
+    }
+
+    #[test]
+    fn descending_acquisition_is_allowed() {
+        let slot = OrderedMutex::new(LockRank::ManagerSlot, "slot", 1u32);
+        let gate = OrderedMutex::new(LockRank::NodeGate, "gate", 2u32);
+        let reg = OrderedMutex::new(LockRank::ShareRegistry, "registry", 3u32);
+        let a = slot.acquire();
+        let b = gate.acquire();
+        let c = reg.acquire();
+        assert_eq!(*a + *b + *c, 6);
+        drop((a, b, c));
+        // Dropping restores a clean stack: re-acquiring top rank works.
+        let _again = slot.acquire();
+    }
+
+    #[test]
+    fn release_order_need_not_mirror_acquisition() {
+        let cache = OrderedRwLock::new(LockRank::PlanCache, "plan-cache", ());
+        let feedback = OrderedRwLock::new(LockRank::Feedback, "feedback", ());
+        let a = cache.read();
+        let b = feedback.read();
+        drop(a); // release the *higher* rank first
+        drop(b);
+        let _w = cache.write();
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_propagated() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::Arc;
+        let m = Arc::new(OrderedMutex::new(LockRank::PlanCache, "poisoned", 7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                let _g = m2.acquire();
+                panic!("worker dies holding the lock");
+            }));
+        })
+        .join();
+        // acquire() must hand the value back, not propagate the poison.
+        assert_eq!(*m.acquire(), 7);
+        let mut owned = Arc::try_unwrap(m).expect("sole owner");
+        assert_eq!(*owned.get_mut(), 7);
+        assert_eq!(owned.into_inner(), 7);
+    }
+
+    #[test]
+    fn condvar_wait_keeps_rank_and_recovers() {
+        use std::sync::Arc;
+        let state = Arc::new(OrderedMutex::new(LockRank::NodeGate, "gate-state", false));
+        let cv = Arc::new(OrderedCondvar::new());
+        let (s2, c2) = (Arc::clone(&state), Arc::clone(&cv));
+        let waiter = std::thread::spawn(move || {
+            let mut g = s2.acquire();
+            while !*g {
+                g = c2.wait(g);
+            }
+            // Still holding NodeGate after the wait: a lower-rank
+            // acquisition must be legal, a higher-rank one would panic.
+            let leaf = OrderedMutex::new(LockRank::ShareRegistry, "leaf", ());
+            let _l = leaf.acquire();
+            *g
+        });
+        {
+            let mut g = state.acquire();
+            *g = true;
+        }
+        cv.notify_all();
+        assert!(waiter.join().unwrap());
+    }
+
+    // The inversion-injection test: checking only exists in debug
+    // builds, and respects the HAIL_LOCK_ORDER_CHECK=0 opt-out, so it
+    // runs in a fresh thread (thread-local stack) and only when the
+    // checker is active.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn inversion_panics_naming_both_locks() {
+        if !hail_core::knobs::lock_order_check() {
+            return; // explicitly silenced for this run
+        }
+        let err = std::thread::spawn(|| {
+            let cache = OrderedRwLock::new(LockRank::PlanCache, "plan-cache", ());
+            let gate = OrderedMutex::new(LockRank::NodeGate, "node-gate", ());
+            let _held = cache.read();
+            let _bad = gate.acquire(); // NodeGate after PlanCache: inverted
+        })
+        .join()
+        .expect_err("inverted acquisition must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string");
+        assert!(
+            msg.contains("node-gate"),
+            "panic must name the acquired lock: {msg}"
+        );
+        assert!(
+            msg.contains("plan-cache"),
+            "panic must name the held lock: {msg}"
+        );
+        assert!(
+            msg.contains("hierarchy"),
+            "panic must say what went wrong: {msg}"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn same_rank_reentry_panics() {
+        if !hail_core::knobs::lock_order_check() {
+            return;
+        }
+        let err = std::thread::spawn(|| {
+            let a = OrderedMutex::new(LockRank::Feedback, "feedback-a", ());
+            let b = OrderedMutex::new(LockRank::Feedback, "feedback-b", ());
+            let _held = a.acquire();
+            let _bad = b.acquire(); // same rank while held: forbidden
+        })
+        .join()
+        .expect_err("same-rank acquisition must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string");
+        assert!(
+            msg.contains("feedback-a") && msg.contains("feedback-b"),
+            "{msg}"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn panic_unwinding_releases_held_ranks() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        if !hail_core::knobs::lock_order_check() {
+            return;
+        }
+        let cache = OrderedRwLock::new(LockRank::PlanCache, "plan-cache", ());
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = cache.write();
+            panic!("die holding plan-cache");
+        }));
+        // The unwound guard must have popped its rank: acquiring a
+        // higher rank on this thread is legal again.
+        let slot = OrderedMutex::new(LockRank::ManagerSlot, "slot", ());
+        let _s = slot.acquire();
+    }
+}

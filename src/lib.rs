@@ -26,6 +26,7 @@
 //! | [`pax`] | `hail-pax` | PAX block layout, packets, checksums |
 //! | [`index`] | `hail-index` | clustered/trojan/bitmap/inverted indexes |
 //! | [`sim`] | `hail-sim` | hardware profiles and the cost model |
+//! | [`sync`] | `hail-sync` | ranked lock wrappers (`LockRank`, debug hierarchy checking) |
 //! | [`dfs`] | `hail-dfs` | namenode (`Dir_rep`), datanodes, upload pipelines |
 //! | [`mr`] | `hail-mr` | MapReduce engine, scheduler, failover |
 //! | [`core`] | `hail-core` | upload clients, `@HailQuery`, Hadoop++ storage |
@@ -79,6 +80,7 @@ pub use hail_index as index;
 pub use hail_mr as mr;
 pub use hail_pax as pax;
 pub use hail_sim as sim;
+pub use hail_sync as sync;
 pub use hail_types as types;
 pub use hail_workloads as workloads;
 
